@@ -1,0 +1,106 @@
+//! Ablation benches for the design choices the paper motivates in §4:
+//! IOhost polling vs interrupts (§4.2), the 8100-byte jumbo MTU (§4.3/4.4),
+//! the receive-ring size (§4.5), the worker count, and the §4.6
+//! monitor/mwait energy extension.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use vrio::TestbedConfig;
+use vrio_hv::IoModel;
+use vrio_sim::SimDuration;
+use vrio_workloads::{netperf_rr, run_filebench, Personality};
+
+const DUR: SimDuration = SimDuration::millis(8);
+
+/// §4.2: the polling IOhost vs the interrupt-driven one. The no-poll
+/// variant pays 4 extra IOhost interrupts per request-response (Table 3).
+fn ablate_iohost_polling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_iohost_polling");
+    g.sample_size(10);
+    for model in [IoModel::Vrio, IoModel::VrioNoPoll] {
+        g.bench_function(model.name().replace([' ', '/'], "_"), |b| {
+            b.iter(|| netperf_rr(TestbedConfig::simple(model, 4), DUR));
+        });
+    }
+    g.finish();
+}
+
+/// §4.5: the IOhost receive-ring size. With 512 entries and loss-free
+/// operation both behave alike; under burst pressure the small ring drops
+/// and forces retransmissions (the paper's "in the wild" incident).
+fn ablate_rx_ring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_rx_ring");
+    g.sample_size(10);
+    for ring in [vrio_net::RX_RING_DEFAULT as u64, vrio_net::RX_RING_LARGE as u64] {
+        g.bench_function(format!("rx_{ring}"), |b| {
+            b.iter(|| {
+                let mut cfg = TestbedConfig::simple(IoModel::Vrio, 6);
+                cfg.iohost_rx_ring = ring;
+                run_filebench(cfg, Personality::RandomIo { readers: 2, writers: 2 }, DUR)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// §4.6 energy extension: monitor/mwait sidecore idling trades wake-up
+/// latency for polling energy.
+fn ablate_mwait(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_mwait");
+    g.sample_size(10);
+    for (name, wake) in [("busy_poll", None), ("mwait_2us", Some(SimDuration::micros(2)))] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = TestbedConfig::simple(IoModel::Vrio, 2);
+                cfg.sidecore_mwait_wake = wake;
+                netperf_rr(cfg, DUR)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Worker-count scaling at the IOhost (the dynamic-allocation question the
+/// paper contrasts against [49]).
+fn ablate_worker_count(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_worker_count");
+    g.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        g.bench_function(format!("workers_{workers}"), |b| {
+            b.iter(|| {
+                let mut cfg = TestbedConfig::simple(IoModel::Vrio, 12);
+                cfg.num_vmhosts = 4;
+                cfg.backend_cores = workers;
+                netperf_rr(cfg, DUR)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// §4.3: channel loss and the retransmission machinery under stress.
+fn ablate_channel_loss(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_channel_loss");
+    g.sample_size(10);
+    for loss in [0.0f64, 0.01] {
+        g.bench_function(format!("loss_{loss}"), |b| {
+            b.iter(|| {
+                let mut cfg = TestbedConfig::simple(IoModel::Vrio, 2);
+                cfg.channel_loss = loss;
+                cfg.retx.initial_timeout = SimDuration::micros(500);
+                run_filebench(cfg, Personality::RandomIo { readers: 2, writers: 0 }, DUR)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablate_iohost_polling,
+    ablate_rx_ring,
+    ablate_mwait,
+    ablate_worker_count,
+    ablate_channel_loss
+);
+criterion_main!(ablations);

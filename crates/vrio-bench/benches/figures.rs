@@ -1,0 +1,140 @@
+//! One criterion group per table/figure of the paper: each benchmark runs
+//! the corresponding experiment at a reduced simulated duration, so
+//! `cargo bench` both times the harness and re-executes every
+//! reproduction. The `repro` binary prints the full-resolution numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use vrio::TestbedConfig;
+use vrio_hv::IoModel;
+use vrio_sim::SimDuration;
+use vrio_workloads::{
+    netperf_rr, netperf_stream, run_filebench, run_txn_bench, Personality, TxnProfile,
+};
+
+const DUR: SimDuration = SimDuration::millis(8);
+
+fn cost_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cost_tables");
+    g.bench_function("fig1_adjacency_scatter", |b| b.iter(vrio_bench::fig1));
+    g.bench_function("tab1_server_configs", |b| b.iter(vrio_bench::tab1));
+    g.bench_function("tab2_rack_prices", |b| b.iter(vrio_bench::tab2));
+    g.bench_function("fig3_ssd_consolidation", |b| b.iter(vrio_bench::fig3));
+    g.finish();
+}
+
+fn fig05_apache_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig05_apache_models");
+    g.sample_size(10);
+    for model in IoModel::ALL {
+        g.bench_function(model.name().replace(' ', "_").replace('/', "_"), |b| {
+            b.iter(|| run_txn_bench(TestbedConfig::simple(model, 4), TxnProfile::apache(), DUR));
+        });
+    }
+    g.finish();
+}
+
+fn fig07_rr_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig07_rr_latency");
+    g.sample_size(10);
+    for model in IoModel::MAIN {
+        g.bench_function(model.name(), |b| {
+            b.iter(|| netperf_rr(TestbedConfig::simple(model, 4), DUR));
+        });
+    }
+    g.finish();
+}
+
+fn fig09_stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig09_stream");
+    g.sample_size(10);
+    for model in IoModel::MAIN {
+        g.bench_function(model.name(), |b| {
+            b.iter(|| netperf_stream(TestbedConfig::simple(model, 4), DUR));
+        });
+    }
+    g.finish();
+}
+
+fn fig12_macro(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_macro");
+    g.sample_size(10);
+    g.bench_function("memcached_vrio", |b| {
+        b.iter(|| run_txn_bench(TestbedConfig::simple(IoModel::Vrio, 4), TxnProfile::memcached(), DUR));
+    });
+    g.bench_function("apache_vrio", |b| {
+        b.iter(|| run_txn_bench(TestbedConfig::simple(IoModel::Vrio, 4), TxnProfile::apache(), DUR));
+    });
+    g.finish();
+}
+
+fn fig13_scalability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_scalability");
+    g.sample_size(10);
+    for sidecores in [1usize, 2, 4] {
+        g.bench_function(format!("rr_16vms_{sidecores}sidecores"), |b| {
+            b.iter(|| {
+                let mut cfg = TestbedConfig::simple(IoModel::Vrio, 16);
+                cfg.num_vmhosts = 4;
+                cfg.backend_cores = sidecores;
+                cfg.numa_generators = true;
+                netperf_rr(cfg, DUR)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn fig14_filebench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_filebench");
+    g.sample_size(10);
+    for (name, readers, writers) in
+        [("1reader", 1usize, 0usize), ("1pair", 1, 1), ("2pairs", 2, 2)]
+    {
+        g.bench_function(format!("elvis_{name}"), |b| {
+            b.iter(|| {
+                run_filebench(
+                    TestbedConfig::simple(IoModel::Elvis, 2),
+                    Personality::RandomIo { readers, writers },
+                    DUR,
+                )
+            });
+        });
+        g.bench_function(format!("vrio_{name}"), |b| {
+            b.iter(|| {
+                run_filebench(
+                    TestbedConfig::simple(IoModel::Vrio, 2),
+                    Personality::RandomIo { readers, writers },
+                    DUR,
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn fig16_consolidation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig16_consolidation");
+    g.sample_size(10);
+    g.bench_function("webserver_tradeoff_vrio", |b| {
+        b.iter(|| {
+            let mut cfg = TestbedConfig::simple(IoModel::Vrio, 10);
+            cfg.num_vmhosts = 2;
+            run_filebench(cfg, Personality::Webserver { bursty: true }, DUR)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    cost_tables,
+    fig05_apache_models,
+    fig07_rr_latency,
+    fig09_stream,
+    fig12_macro,
+    fig13_scalability,
+    fig14_filebench,
+    fig16_consolidation
+);
+criterion_main!(figures);

@@ -1,0 +1,89 @@
+//! The repro harness: regenerates every table and figure of
+//! "Paravirtual Remote I/O" (ASPLOS 2016).
+//!
+//! ```text
+//! repro --all            # everything (full preset)
+//! repro --quick --all    # everything, short runs
+//! repro --fig7 --tab3    # selected experiments
+//! ```
+
+use vrio_bench::*;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let rc = if quick { ReproConfig::quick() } else { ReproConfig::full() };
+
+    // --out DIR: additionally write each report to DIR/<experiment>.txt.
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| {
+            let dir = args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("--out requires a directory argument");
+                std::process::exit(2);
+            });
+            args.drain(i..=i + 1);
+            dir
+        });
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+
+    let all = args.iter().any(|a| a == "--all")
+        || args.iter().all(|a| a == "--quick");
+
+    let want = |flag: &str| all || args.iter().any(|a| a == flag);
+
+    type Experiment = (&'static str, Box<dyn Fn() -> String>);
+    let experiments: Vec<Experiment> = vec![
+        ("--fig1", Box::new(fig1)),
+        ("--fig2", Box::new(fig2)),
+        ("--tab1", Box::new(tab1)),
+        ("--tab2", Box::new(tab2)),
+        ("--fig3", Box::new(fig3)),
+        ("--tab3", Box::new(move || tab3(rc))),
+        ("--fig5", Box::new(move || fig5(rc))),
+        ("--fig7", Box::new(move || fig7(rc))),
+        ("--fig8", Box::new(move || fig8(rc))),
+        ("--tab4", Box::new(move || tab4(rc))),
+        ("--fig9", Box::new(move || fig9(rc))),
+        ("--fig10", Box::new(move || fig10(rc))),
+        ("--fig11", Box::new(move || fig11(rc))),
+        ("--fig12", Box::new(move || fig12(rc))),
+        ("--fig13", Box::new(move || fig13(rc))),
+        ("--fig14", Box::new(move || fig14(rc))),
+        ("--fig15", Box::new(move || fig15(rc))),
+        ("--fig16", Box::new(move || fig16(rc))),
+        ("--hetero", Box::new(move || hetero(rc))),
+        ("--retx", Box::new(move || retx_validation(rc))),
+        ("--failover", Box::new(move || failover(rc))),
+    ];
+
+    let known: Vec<&str> = experiments.iter().map(|(f, _)| *f).collect();
+    for a in &args {
+        if a != "--all" && a != "--quick" && !known.contains(&a.as_str()) {
+            eprintln!("unknown flag {a}; known: --all --quick {}", known.join(" "));
+            std::process::exit(2);
+        }
+    }
+
+    let mut ran = 0;
+    for (flag, run) in &experiments {
+        if want(flag) {
+            let report = run();
+            println!("{}", "=".repeat(74));
+            println!("{report}");
+            if let Some(dir) = &out_dir {
+                let name = flag.trim_start_matches("--");
+                std::fs::write(format!("{dir}/{name}.txt"), &report)
+                    .expect("write report file");
+            }
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        eprintln!("nothing selected; try --all or one of {}", known.join(" "));
+        std::process::exit(2);
+    }
+}

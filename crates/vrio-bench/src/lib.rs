@@ -1,0 +1,21 @@
+//! # vrio-bench
+//!
+//! The benchmark harness of the vRIO reproduction: one function per table
+//! and figure of the paper, each returning a plain-text report comparing
+//! the paper's numbers with the testbed's measurements. The `repro` binary
+//! drives them (`cargo run -p vrio-bench --bin repro -- --all`), and the
+//! criterion benches under `benches/` time the underlying machinery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost_exps;
+mod report;
+mod sys_exps;
+
+pub use cost_exps::{fig1, fig2, fig3, tab1, tab2};
+pub use report::{downsample, f, render_table, sparkline};
+pub use sys_exps::{
+    failover, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig5, fig7, fig8, fig9, hetero,
+    retx_validation, tab3, tab4, ReproConfig,
+};

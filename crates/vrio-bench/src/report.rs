@@ -1,0 +1,130 @@
+//! Plain-text rendering helpers for the repro harness: aligned tables and
+//! unicode sparklines for utilization traces.
+
+/// Renders an aligned table: a header row plus data rows.
+///
+/// # Examples
+///
+/// ```
+/// use vrio_bench::render_table;
+///
+/// let t = render_table(
+///     &["model", "latency"],
+///     &[vec!["optimum".into(), "32.1".into()], vec!["vrio".into(), "43.9".into()]],
+/// );
+/// assert!(t.contains("optimum"));
+/// assert!(t.lines().count() >= 4);
+/// ```
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep: String = widths.iter().map(|w| format!("+{}", "-".repeat(w + 2))).collect::<String>() + "+\n";
+    out.push_str(&sep);
+    let fmt_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(&format!("| {:width$} ", cell, width = widths[i]));
+        }
+        line.push_str("|\n");
+        line
+    };
+    out.push_str(&fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    out.push_str(&sep);
+    for row in rows {
+        out.push_str(&fmt_row(row));
+    }
+    out.push_str(&sep);
+    out
+}
+
+/// Renders a `[0, 1]` series as a unicode sparkline (for Fig 15's CPU
+/// traces).
+///
+/// # Examples
+///
+/// ```
+/// use vrio_bench::sparkline;
+///
+/// let s = sparkline(&[0.0, 0.5, 1.0]);
+/// assert_eq!(s.chars().count(), 3);
+/// ```
+pub fn sparkline(series: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    series
+        .iter()
+        .map(|&v| {
+            let idx = (v.clamp(0.0, 1.0) * 7.0).round() as usize;
+            BARS[idx]
+        })
+        .collect()
+}
+
+/// Downsamples a series to at most `n` points by averaging buckets.
+pub fn downsample(series: &[f64], n: usize) -> Vec<f64> {
+    if series.len() <= n || n == 0 {
+        return series.to_vec();
+    }
+    let chunk = series.len().div_ceil(n);
+    series.chunks(chunk).map(|c| c.iter().sum::<f64>() / c.len() as f64).collect()
+}
+
+/// Formats a float with engineering-friendly precision.
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(&["a", "bbbb"], &[vec!["xx".into(), "1".into()]]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 5);
+        let widths: Vec<usize> = lines.iter().map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        render_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn sparkline_extremes() {
+        let s = sparkline(&[0.0, 1.0]);
+        assert!(s.starts_with('▁') && s.ends_with('█'));
+    }
+
+    #[test]
+    fn downsample_averages() {
+        let d = downsample(&[0.0, 1.0, 0.0, 1.0], 2);
+        assert_eq!(d, vec![0.5, 0.5]);
+        assert_eq!(downsample(&[1.0], 4), vec![1.0]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(3.14159), "3.14");
+        assert_eq!(f(42.31), "42.3");
+        assert_eq!(f(1234.5), "1234");
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the block substrate: alignment splitting preserves
+//! content and alignment, the gate never admits overlapping requests, and
+//! the elevator never loses or duplicates requests.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use vrio_block::{
+    split_sector_aligned, BlockGate, BlockRequest, Elevator, Ramdisk, RequestId,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn aligned_split_partitions_buffer(
+        offset in 0u64..10_000,
+        len in 1usize..20_000,
+    ) {
+        let data: Vec<u8> = (0..len).map(|i| (i ^ 0x5a) as u8).collect();
+        let s = split_sector_aligned(offset, Bytes::from(data.clone()));
+        // Partition: head+middle+tail reconstruct the buffer.
+        let mut rebuilt = s.head.to_vec();
+        rebuilt.extend_from_slice(&s.middle);
+        rebuilt.extend_from_slice(&s.tail);
+        prop_assert_eq!(rebuilt, data);
+        // Alignment: the middle starts and ends on sector boundaries.
+        if !s.middle.is_empty() {
+            let mid_start = offset + s.head.len() as u64;
+            prop_assert_eq!(mid_start % 512, 0);
+            prop_assert_eq!(s.middle.len() % 512, 0);
+        }
+        // Edges are each shorter than a sector... except when there is no
+        // aligned interior at all, in which case everything is "head".
+        if !s.middle.is_empty() {
+            prop_assert!(s.head.len() < 512);
+            prop_assert!(s.tail.len() < 512);
+        }
+    }
+
+    #[test]
+    fn gate_never_admits_overlaps(
+        ops in proptest::collection::vec((0u64..64, 1u64..16, any::<bool>()), 1..100),
+    ) {
+        let mut gate = BlockGate::new();
+        let mut in_flight: Vec<BlockRequest> = Vec::new();
+        let mut submitted = 0u64;
+        let mut completed = 0usize;
+        for (i, (sector, sectors, complete_one)) in ops.into_iter().enumerate() {
+            let req = BlockRequest::write(
+                RequestId(i as u64),
+                sector,
+                Bytes::from(vec![0u8; (sectors * 512) as usize]),
+            );
+            submitted += 1;
+            if let Some(r) = gate.submit(req) {
+                in_flight.push(r);
+            }
+            // Invariant after every step: pairwise disjoint in-flight ranges.
+            for (x, a) in in_flight.iter().enumerate() {
+                for b in in_flight.iter().skip(x + 1) {
+                    let (ra, rb) = (a.sector_range(), b.sector_range());
+                    prop_assert!(ra.start >= rb.end || rb.start >= ra.end,
+                        "overlapping in-flight: {:?} vs {:?}", ra, rb);
+                }
+            }
+            if complete_one && !in_flight.is_empty() {
+                let done = in_flight.remove(0);
+                completed += 1;
+                in_flight.extend(gate.complete(done.id));
+            }
+        }
+        // Drain: completing everything must eventually release everything.
+        let mut guard = 0;
+        while !in_flight.is_empty() {
+            let done = in_flight.remove(0);
+            completed += 1;
+            in_flight.extend(gate.complete(done.id));
+            guard += 1;
+            prop_assert!(guard < 10_000, "gate failed to drain");
+        }
+        prop_assert_eq!(completed as u64, submitted);
+        prop_assert_eq!(gate.pending(), 0);
+    }
+
+    #[test]
+    fn elevator_serves_every_request_exactly_once(
+        sectors in proptest::collection::vec(0u64..1000, 1..80),
+    ) {
+        let mut e = Elevator::new(4);
+        for (i, &s) in sectors.iter().enumerate() {
+            e.push(BlockRequest::read(RequestId(i as u64), s, 512));
+        }
+        let mut served: Vec<u64> = Vec::new();
+        let mut head = 0;
+        while let Some(r) = e.pop(head) {
+            head = r.sector;
+            served.push(r.id.0);
+        }
+        served.sort_unstable();
+        let expect: Vec<u64> = (0..sectors.len() as u64).collect();
+        prop_assert_eq!(served, expect);
+    }
+
+    #[test]
+    fn ramdisk_write_read_identity(
+        offset in 0u64..4096,
+        data in proptest::collection::vec(any::<u8>(), 1..4096),
+    ) {
+        let mut d = Ramdisk::new(16384);
+        d.write(offset, &data).unwrap();
+        prop_assert_eq!(&d.read(offset, data.len() as u64).unwrap()[..], &data[..]);
+    }
+}

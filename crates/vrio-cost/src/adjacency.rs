@@ -1,0 +1,168 @@
+//! The adjacency analysis behind Figure 1: within a product ladder, how
+//! much extra hardware does each extra dollar buy?
+//!
+//! Two CPUs are *adjacent* when the cheaper has fewer cores, identical
+//! series/clock/feature-size, and proportionally-smaller-or-equal cache,
+//! power and QPI (§3). Two NICs are adjacent when the cheaper has lower
+//! throughput, identical vendor/series/ports/form-factor, and
+//! proportionally-smaller-or-equal power and PCIe capability. Each
+//! adjacent pair yields an `(added cost ratio, added hardware ratio)`
+//! point; CPU points fall below the break-even diagonal (a price premium),
+//! NIC points above it (a discount) — the trend that makes trading CPUs
+//! for NICs profitable.
+
+use crate::catalog::{CpuEntry, NicEntry};
+
+/// One Figure 1 data point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpgradePoint {
+    /// Relative price of the upgrade (x-axis), > 1.
+    pub cost_ratio: f64,
+    /// Relative added hardware (y-axis): cores for CPUs, bandwidth for
+    /// NICs, > 1.
+    pub hardware_ratio: f64,
+}
+
+impl UpgradePoint {
+    /// Whether the upgrade buys proportionally more hardware than it costs
+    /// (above the break-even diagonal).
+    pub fn above_break_even(&self) -> bool {
+        self.hardware_ratio > self.cost_ratio
+    }
+}
+
+/// Proportionally-smaller-or-equal: `a/b <= big_a/big_b` within tolerance,
+/// i.e. the smaller part does not overshoot the scaling of the metric that
+/// defines the ladder.
+fn proportional_le(small: f64, big: f64, small_metric: f64, big_metric: f64) -> bool {
+    if big <= 0.0 || big_metric <= 0.0 {
+        return false;
+    }
+    small / big <= small_metric / big_metric + 1e-9
+}
+
+/// Whether `c1` is adjacent-below `c2` under the paper's CPU criteria.
+pub fn cpus_adjacent(c1: &CpuEntry, c2: &CpuEntry) -> bool {
+    c1.cores < c2.cores
+        && c1.series == c2.series
+        && (c1.ghz - c2.ghz).abs() < 1e-9
+        && c1.nm == c2.nm
+        && proportional_le(c1.cache_mb, c2.cache_mb, f64::from(c1.cores), f64::from(c2.cores))
+        && c1.watts <= c2.watts
+        && c1.qpi_gts <= c2.qpi_gts
+}
+
+/// Whether `n1` is adjacent-below `n2` under the paper's NIC criteria.
+pub fn nics_adjacent(n1: &NicEntry, n2: &NicEntry) -> bool {
+    n1.total_gbps() < n2.total_gbps()
+        && n1.vendor == n2.vendor
+        && n1.series == n2.series
+        && n1.ports == n2.ports
+        && n1.watts <= n2.watts
+        && n1.pcie_gen <= n2.pcie_gen
+        && n1.pcie_lanes <= n2.pcie_lanes
+}
+
+/// All CPU upgrade points from a catalog.
+///
+/// # Examples
+///
+/// ```
+/// use vrio_cost::{cpu_catalog, cpu_upgrade_points};
+///
+/// let points = cpu_upgrade_points(&cpu_catalog());
+/// // The paper's example: $3,059 12-core -> $4,616 15-core.
+/// assert!(points
+///     .iter()
+///     .any(|p| (p.cost_ratio - 1.51).abs() < 0.01 && (p.hardware_ratio - 1.25).abs() < 0.01));
+/// // Every CPU upgrade carries a premium (below break-even).
+/// assert!(points.iter().all(|p| !p.above_break_even()));
+/// ```
+pub fn cpu_upgrade_points(catalog: &[CpuEntry]) -> Vec<UpgradePoint> {
+    let mut points = Vec::new();
+    for c1 in catalog {
+        for c2 in catalog {
+            if cpus_adjacent(c1, c2) {
+                points.push(UpgradePoint {
+                    cost_ratio: c2.price / c1.price,
+                    hardware_ratio: f64::from(c2.cores) / f64::from(c1.cores),
+                });
+            }
+        }
+    }
+    points
+}
+
+/// All NIC upgrade points from a catalog.
+///
+/// # Examples
+///
+/// ```
+/// use vrio_cost::{nic_catalog, nic_upgrade_points};
+///
+/// let points = nic_upgrade_points(&nic_catalog());
+/// // The paper's example: $560 2x10GbE -> $1,121 2x40GbE (2x price, 4x bw).
+/// assert!(points
+///     .iter()
+///     .any(|p| (p.cost_ratio - 2.0).abs() < 0.01 && (p.hardware_ratio - 4.0).abs() < 0.01));
+/// assert!(points.iter().all(|p| p.above_break_even()));
+/// ```
+pub fn nic_upgrade_points(catalog: &[NicEntry]) -> Vec<UpgradePoint> {
+    let mut points = Vec::new();
+    for n1 in catalog {
+        for n2 in catalog {
+            if nics_adjacent(n1, n2) {
+                points.push(UpgradePoint {
+                    cost_ratio: n2.price / n1.price,
+                    hardware_ratio: n2.total_gbps() / n1.total_gbps(),
+                });
+            }
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{cpu_catalog, nic_catalog};
+
+    #[test]
+    fn figure1_shape_cpus_below_nics_above() {
+        let cpu_points = cpu_upgrade_points(&cpu_catalog());
+        let nic_points = nic_upgrade_points(&nic_catalog());
+        assert!(cpu_points.len() >= 5, "need a populated scatter: {}", cpu_points.len());
+        assert!(nic_points.len() >= 4, "need a populated scatter: {}", nic_points.len());
+        for p in &cpu_points {
+            assert!(!p.above_break_even(), "CPU point above diagonal: {p:?}");
+            assert!(p.cost_ratio > 1.0 && p.hardware_ratio > 1.0);
+        }
+        for p in &nic_points {
+            assert!(p.above_break_even(), "NIC point below diagonal: {p:?}");
+        }
+    }
+
+    #[test]
+    fn adjacency_requires_same_ladder() {
+        let cpus = cpu_catalog();
+        let a = cpus.iter().find(|c| c.model == "E7-8850 v2").unwrap();
+        let b = cpus.iter().find(|c| c.model == "E5-2695 v3").unwrap();
+        assert!(!cpus_adjacent(a, b));
+        assert!(!cpus_adjacent(a, a)); // needs strictly more cores
+    }
+
+    #[test]
+    fn adjacency_is_antisymmetric() {
+        let cpus = cpu_catalog();
+        for a in &cpus {
+            for b in &cpus {
+                assert!(
+                    !(cpus_adjacent(a, b) && cpus_adjacent(b, a)),
+                    "{} <-> {}",
+                    a.model,
+                    b.model
+                );
+            }
+        }
+    }
+}

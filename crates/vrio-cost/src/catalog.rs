@@ -1,0 +1,173 @@
+//! Hardware catalogs: CPU and NIC entries with the attributes the paper's
+//! adjacency analysis compares (§3, Figure 1).
+//!
+//! The CPU entries follow Intel's June 2015 Xeon price list (the paper's
+//! source [35]); the NIC entries follow the multi-vendor web pricing the
+//! paper collected (Chelsio, Dell, Emulex, HotLava, Intel, Mellanox,
+//! SolarFlare). The worked examples from the paper appear verbatim: the
+//! E7-8850 v2 / E7-8870 v2 pair and the Mellanox ConnectX-3
+//! MCX312B/MCX314A pair.
+
+/// One CPU model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuEntry {
+    /// Model name.
+    pub model: &'static str,
+    /// Series (e.g. "E7-8800 v2"); adjacency requires equality.
+    pub series: &'static str,
+    /// Price in dollars.
+    pub price: f64,
+    /// Core count.
+    pub cores: u32,
+    /// Clock in GHz; adjacency requires equality.
+    pub ghz: f64,
+    /// Feature size in nm; adjacency requires equality.
+    pub nm: u32,
+    /// Cache in MB; adjacency requires proportional-or-equal scaling.
+    pub cache_mb: f64,
+    /// TDP in watts.
+    pub watts: f64,
+    /// QPI speed in GT/s.
+    pub qpi_gts: f64,
+}
+
+/// One NIC model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NicEntry {
+    /// Model name.
+    pub model: &'static str,
+    /// Vendor; adjacency requires equality.
+    pub vendor: &'static str,
+    /// Product series; adjacency requires equality.
+    pub series: &'static str,
+    /// Price in dollars (cable included).
+    pub price: f64,
+    /// Per-port throughput in Gbps.
+    pub gbps_per_port: f64,
+    /// Number of ports; adjacency requires equality.
+    pub ports: u32,
+    /// PCIe generation.
+    pub pcie_gen: u32,
+    /// PCIe lanes.
+    pub pcie_lanes: u32,
+    /// Typical power in watts.
+    pub watts: f64,
+}
+
+impl NicEntry {
+    /// Total throughput across ports.
+    pub fn total_gbps(&self) -> f64 {
+        self.gbps_per_port * f64::from(self.ports)
+    }
+}
+
+/// One raw CPU catalog row: series, model, price, cores, GHz, nm, cache,
+/// watts, QPI.
+type CpuRow = (&'static str, &'static str, f64, u32, f64, u32, f64, f64, f64);
+/// One raw NIC catalog row: vendor, series, model, price, Gbps/port,
+/// ports, PCIe gen, lanes, watts.
+type NicRow = (&'static str, &'static str, &'static str, f64, f64, u32, u32, u32, f64);
+
+/// The CPU catalog (Intel Xeon, June 2015 pricing).
+pub fn cpu_catalog() -> Vec<CpuEntry> {
+    let rows: &[CpuRow] = &[
+        // The paper's worked example pair.
+        ("E7-8800 v2", "E7-8850 v2", 3_059.0, 12, 2.3, 22, 24.0, 105.0, 7.2),
+        ("E7-8800 v2", "E7-8870 v2", 4_616.0, 15, 2.3, 22, 30.0, 130.0, 8.0),
+        // E5-2600 v3 ladder (2.3 GHz, 22 nm).
+        ("E5-2600 v3", "E5-2650 v3", 1_166.0, 10, 2.3, 22, 25.0, 105.0, 9.6),
+        ("E5-2600 v3", "E5-2695 v3", 2_424.0, 14, 2.3, 22, 35.0, 120.0, 9.6),
+        // E5-2600 v3, 2.6 GHz step.
+        ("E5-2600 v3", "E5-2640 v3", 939.0, 8, 2.6, 22, 20.0, 90.0, 8.0),
+        ("E5-2600 v3", "E5-2690 v3", 2_090.0, 12, 2.6, 22, 30.0, 135.0, 9.6),
+        // E5-2600 v3, 2.5 GHz step.
+        ("E5-2600 v3", "E5-2680 v3", 1_745.0, 12, 2.5, 22, 30.0, 120.0, 9.6),
+        ("E5-2600 v3", "E5-2698 v3", 3_226.0, 16, 2.5, 22, 40.0, 135.0, 9.6),
+        // E7-4800 v2 ladder.
+        ("E7-4800 v2", "E7-4820 v2", 1_446.0, 8, 2.0, 22, 16.0, 105.0, 7.2),
+        ("E7-4800 v2", "E7-4850 v2", 2_837.0, 12, 2.0, 22, 24.0, 105.0, 7.2),
+        // E7-8800 v3 ladder (the R930's CPU family).
+        ("E7-8800 v3", "E7-8860 v3", 4_061.0, 16, 2.2, 22, 40.0, 140.0, 9.6),
+        ("E7-8800 v3", "E7-8880 v3", 5_895.0, 18, 2.3, 22, 45.0, 150.0, 9.6),
+        // E5-4600 v2 ladder.
+        ("E5-4600 v2", "E5-4620 v2", 1_611.0, 8, 2.6, 22, 20.0, 95.0, 7.2),
+        ("E5-4600 v2", "E5-4650 v2", 3_616.0, 10, 2.4, 22, 25.0, 95.0, 8.0),
+        ("E5-4600 v2", "E5-4657L v2", 4_509.0, 12, 2.4, 22, 30.0, 115.0, 8.0),
+    ];
+    rows.iter()
+        .map(|&(series, model, price, cores, ghz, nm, cache_mb, watts, qpi_gts)| CpuEntry {
+            model,
+            series,
+            price,
+            cores,
+            ghz,
+            nm,
+            cache_mb,
+            watts,
+            qpi_gts,
+        })
+        .collect()
+}
+
+/// The NIC catalog (2015 web pricing, cables included).
+pub fn nic_catalog() -> Vec<NicEntry> {
+    let rows: &[NicRow] = &[
+        // The paper's worked example pair.
+        ("Mellanox", "ConnectX-3", "MCX312B-XCCT", 560.0, 10.0, 2, 3, 8, 8.0),
+        ("Mellanox", "ConnectX-3", "MCX314A-BCCT", 1_121.0, 40.0, 2, 3, 8, 12.0),
+        // Intel ladder.
+        ("Intel", "X710", "X710-DA2", 420.0, 10.0, 2, 3, 8, 7.0),
+        ("Intel", "X710", "XL710-QDA2", 880.0, 40.0, 2, 3, 8, 10.0),
+        // Chelsio ladder.
+        ("Chelsio", "T5", "T520-CR", 650.0, 10.0, 2, 3, 8, 14.0),
+        ("Chelsio", "T5", "T580-CR", 1_400.0, 40.0, 2, 3, 8, 20.0),
+        // SolarFlare single-port ladder.
+        ("SolarFlare", "Flareon", "SFN7122F", 490.0, 10.0, 2, 3, 8, 10.0),
+        ("SolarFlare", "Flareon", "SFN7142Q", 1_180.0, 40.0, 2, 3, 8, 16.0),
+        // Emulex ladder (1G -> 10G).
+        ("Emulex", "OneConnect", "OCe11102", 310.0, 10.0, 2, 2, 8, 12.0),
+        ("Emulex", "OneConnect", "OCe14401", 940.0, 40.0, 1, 3, 8, 14.0),
+        // HotLava multi-port 10G ladder.
+        ("HotLava", "Tambora", "6x10G", 1_350.0, 10.0, 6, 3, 8, 20.0),
+    ];
+    rows.iter()
+        .map(
+            |&(vendor, series, model, price, gbps_per_port, ports, pcie_gen, pcie_lanes, watts)| {
+                NicEntry {
+                    model,
+                    vendor,
+                    series,
+                    price,
+                    gbps_per_port,
+                    ports,
+                    pcie_gen,
+                    pcie_lanes,
+                    watts,
+                }
+            },
+        )
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogs_contain_the_papers_examples() {
+        let cpus = cpu_catalog();
+        let c1 = cpus.iter().find(|c| c.model == "E7-8850 v2").unwrap();
+        let c2 = cpus.iter().find(|c| c.model == "E7-8870 v2").unwrap();
+        assert_eq!(c1.price, 3_059.0);
+        assert_eq!(c2.price, 4_616.0);
+        assert_eq!((c1.cores, c2.cores), (12, 15));
+
+        let nics = nic_catalog();
+        let n1 = nics.iter().find(|n| n.model == "MCX312B-XCCT").unwrap();
+        let n2 = nics.iter().find(|n| n.model == "MCX314A-BCCT").unwrap();
+        assert_eq!(n1.price, 560.0);
+        assert_eq!(n2.price, 1_121.0);
+        assert_eq!(n1.total_gbps(), 20.0);
+        assert_eq!(n2.total_gbps(), 80.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! # vrio-cost
+//!
+//! The cost-effectiveness analysis of vRIO (paper §3), fully executable:
+//!
+//! * [`cpu_upgrade_points`] / [`nic_upgrade_points`] — the adjacency
+//!   analysis over real 2015 hardware catalogs behind **Figure 1** (CPU
+//!   upgrades carry a premium; NIC upgrades a discount);
+//! * [`ServerConfig`] — the Dell R930 configurator reproducing **Table 1**
+//!   (per-server prices, components, provisioned and required bandwidth);
+//! * [`RackSetup`] / [`Table2Row`] — the Elvis-to-vRIO rack transform of
+//!   **Figure 2** and the full-rack prices of **Table 2** (vRIO 10 % and
+//!   13 % cheaper for 3- and 6-server racks);
+//! * [`consolidation_ratio`] / [`figure3_series`] — the SSD device
+//!   consolidation pricing of **Figure 3** (8–38 % savings).
+//!
+//! All dollar figures reproduce the paper's tables to the printed
+//! precision; tests assert each one.
+//!
+//! ```
+//! use vrio_cost::Table2Row;
+//!
+//! let row = Table2Row::for_servers(6);
+//! // Table 2: $266.9K vs $232.3K, about -13%.
+//! assert!(row.price_diff() < -0.125);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adjacency;
+mod catalog;
+mod rack;
+mod server;
+mod ssd;
+mod wiring;
+
+pub use adjacency::{
+    cpu_upgrade_points, cpus_adjacent, nic_upgrade_points, nics_adjacent, UpgradePoint,
+};
+pub use catalog::{cpu_catalog, nic_catalog, CpuEntry, NicEntry};
+pub use rack::{RackSetup, Table2Row};
+pub use server::{prices, required_gbps, ServerConfig, MBPS_PER_CORE};
+pub use ssd::{
+    consolidation_ratio, elvis_with_ssds, extra_nics_for, figure3_series, vrio_with_ssds,
+    SsdModel,
+};
+pub use wiring::{elvis_wiring, vrio_wiring, IohostAttachment, WiringPlan};

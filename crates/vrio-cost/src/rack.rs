@@ -1,0 +1,140 @@
+//! Rack-level setups: Figure 2's topologies and Table 2's prices.
+
+use crate::server::ServerConfig;
+
+/// A full rack configuration in the paper's `k + j` notation: `k` VMhosts
+/// plus `j` IOhosts (Elvis setups have `j = 0` and every server is an
+/// Elvis server).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RackSetup {
+    /// Human-readable name ("R930 x 3 elvis", "R930 x 3 vrio 2+1"...).
+    pub name: String,
+    /// The servers in the rack.
+    pub servers: Vec<ServerConfig>,
+}
+
+impl RackSetup {
+    /// An Elvis rack of `n` identical servers (Fig 2a).
+    pub fn elvis(n: usize) -> Self {
+        RackSetup {
+            name: format!("R930 x {n} elvis"),
+            servers: vec![ServerConfig::elvis(); n],
+        }
+    }
+
+    /// The vRIO transform of an `n`-server Elvis rack: for every 3 Elvis
+    /// servers, 2 VMhosts; IOhosts merge pairwise into heavy ones
+    /// (Fig 2b/2c). `n` must be a multiple of 3.
+    pub fn vrio(n: usize) -> Self {
+        assert!(n.is_multiple_of(3) && n > 0, "vRIO transform applies to multiples of 3 servers");
+        let groups = n / 3;
+        let vmhosts = groups * 2;
+        let mut servers = vec![ServerConfig::vmhost(); vmhosts];
+        // Merge light IOhosts pairwise into heavy ones; an odd group count
+        // leaves one light IOhost.
+        let heavy = groups / 2;
+        let light = groups % 2;
+        servers.extend(vec![ServerConfig::heavy_iohost(); heavy]);
+        servers.extend(vec![ServerConfig::light_iohost(); light]);
+        RackSetup {
+            name: format!("R930 x {n} vrio {}+{}", vmhosts, heavy + light),
+            servers,
+        }
+    }
+
+    /// Total rack price.
+    pub fn price(&self) -> f64 {
+        self.servers.iter().map(ServerConfig::price).sum()
+    }
+
+    /// Total VM-running cores (sidecores and IOhost cores excluded).
+    pub fn vm_cores(&self) -> u32 {
+        self.servers
+            .iter()
+            .map(|s| match s.name {
+                // 1/3 of an Elvis server's cores are sidecores.
+                "elvis" => s.cores() * 2 / 3,
+                "vmhost" => s.cores(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Number of servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+}
+
+/// One row of Table 2: an Elvis rack and its vRIO transform.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// The Elvis setup.
+    pub elvis: RackSetup,
+    /// The vRIO setup.
+    pub vrio: RackSetup,
+}
+
+impl Table2Row {
+    /// Builds the row for an `n`-server rack.
+    pub fn for_servers(n: usize) -> Self {
+        Table2Row { elvis: RackSetup::elvis(n), vrio: RackSetup::vrio(n) }
+    }
+
+    /// Relative price difference (negative: vRIO is cheaper).
+    pub fn price_diff(&self) -> f64 {
+        self.vrio.price() / self.elvis.price() - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_three_server_row() {
+        // "R930 x 3: 3 vs 2+1, $133.4K vs $120.0K, -10%".
+        let row = Table2Row::for_servers(3);
+        assert_eq!(row.elvis.server_count(), 3);
+        assert_eq!(row.vrio.server_count(), 3); // 2 VMhosts + 1 light IOhost
+        assert_eq!((row.elvis.price() / 100.0).round() * 100.0, 133_400.0);
+        assert_eq!((row.vrio.price() / 100.0).round() * 100.0, 120_000.0);
+        let diff = row.price_diff();
+        assert!((-0.105..=-0.095).contains(&diff), "diff {diff}");
+    }
+
+    #[test]
+    fn table2_six_server_row() {
+        // "R930 x 6: 6 vs 4+1, $266.9K vs $232.3K, -13%".
+        let row = Table2Row::for_servers(6);
+        assert_eq!(row.elvis.server_count(), 6);
+        assert_eq!(row.vrio.server_count(), 5); // 4 VMhosts + 1 heavy IOhost
+        assert_eq!((row.elvis.price() / 100.0).round() * 100.0, 266_800.0);
+        assert_eq!((row.vrio.price() / 100.0).round() * 100.0, 232_300.0);
+        let diff = row.price_diff();
+        assert!((-0.135..=-0.125).contains(&diff), "diff {diff}");
+    }
+
+    #[test]
+    fn vm_core_counts_are_preserved() {
+        // The vRIO transform must not lose VM capacity (§3): 2/3 of each
+        // Elvis server's cores equal the VMhosts' full cores.
+        for n in [3usize, 6, 9, 12] {
+            let row = Table2Row::for_servers(n);
+            assert_eq!(row.elvis.vm_cores(), row.vrio.vm_cores(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn vrio_is_cheaper_and_gets_better_with_scale() {
+        let d3 = Table2Row::for_servers(3).price_diff();
+        let d6 = Table2Row::for_servers(6).price_diff();
+        assert!(d3 < 0.0 && d6 < d3);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiples of 3")]
+    fn vrio_needs_multiple_of_three() {
+        RackSetup::vrio(4);
+    }
+}

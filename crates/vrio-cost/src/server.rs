@@ -1,0 +1,164 @@
+//! The Dell PowerEdge R930 configurator: Table 1 of the paper.
+
+/// Component prices (Dell website, July 2015 — Table 1's price column).
+pub mod prices {
+    /// R930 base chassis.
+    pub const BASE: f64 = 6_407.0;
+    /// 18-core 2.5 GHz Intel Xeon E7-8890 v3.
+    pub const CPU_18C: f64 = 8_006.0;
+    /// 8 GB DIMM.
+    pub const DRAM_8GB: f64 = 172.0;
+    /// 16 GB DIMM.
+    pub const DRAM_16GB: f64 = 273.0;
+    /// Dual-port 10 Gbps Mellanox NIC (cable included).
+    pub const NIC_10G_DP: f64 = 560.0;
+    /// Dual-port 40 Gbps Mellanox NIC (cable included).
+    pub const NIC_40G_DP: f64 = 1_121.0;
+    /// FusionIO SX300 3.2 TB PCIe SSD.
+    pub const SSD_3_2TB: f64 = 12_706.0;
+    /// FusionIO SX300 6.4 TB PCIe SSD.
+    pub const SSD_6_4TB: f64 = 24_063.0;
+}
+
+/// Per-core network demand: the 380 Mbps upper bound measured across four
+/// cloud providers (§3, ref \[50\]). Gbps conversions use binary (1024) scaling,
+/// matching the paper's arithmetic (4 x 18 x 380 Mbps = 26.72 Gbps).
+pub const MBPS_PER_CORE: f64 = 380.0;
+
+/// A configured R930.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerConfig {
+    /// Role name as Table 1 prints it.
+    pub name: &'static str,
+    /// 18-core CPUs installed.
+    pub cpus: u32,
+    /// 8 GB DIMMs.
+    pub dimms_8gb: u32,
+    /// 16 GB DIMMs.
+    pub dimms_16gb: u32,
+    /// Dual-port 10 G NICs.
+    pub nics_10g: u32,
+    /// Dual-port 40 G NICs.
+    pub nics_40g: u32,
+}
+
+impl ServerConfig {
+    /// The Elvis server: 4 CPUs (1/3 of cores as sidecores), 288 GB
+    /// (18 x 16 GB), two 2x10 G NICs.
+    pub fn elvis() -> Self {
+        ServerConfig { name: "elvis", cpus: 4, dimms_8gb: 0, dimms_16gb: 18, nics_10g: 2, nics_40g: 0 }
+    }
+
+    /// The vRIO VMhost: 4 CPUs all running VMs, 432 GB (1.5x the VMs), one
+    /// 2x40 G NIC toward the IOhost. The 432 GB uses 2x8 GB + 26x16 GB
+    /// because the DIMM count must be even (Table 1's footnote).
+    pub fn vmhost() -> Self {
+        ServerConfig { name: "vmhost", cpus: 4, dimms_8gb: 2, dimms_16gb: 26, nics_10g: 0, nics_40g: 1 }
+    }
+
+    /// The "light" IOhost: 2 CPUs of consolidated sidecores, minimal 64 GB,
+    /// two 2x40 G NICs (160 Gbps aggregate).
+    pub fn light_iohost() -> Self {
+        ServerConfig { name: "light iohost", cpus: 2, dimms_8gb: 8, dimms_16gb: 0, nics_10g: 0, nics_40g: 2 }
+    }
+
+    /// The "heavy" IOhost: two light IOhosts merged — 4 CPUs, 64 GB, four
+    /// 2x40 G NICs (320 Gbps).
+    pub fn heavy_iohost() -> Self {
+        ServerConfig { name: "heavy iohost", cpus: 4, dimms_8gb: 8, dimms_16gb: 0, nics_10g: 0, nics_40g: 4 }
+    }
+
+    /// Total server price in dollars.
+    pub fn price(&self) -> f64 {
+        prices::BASE
+            + f64::from(self.cpus) * prices::CPU_18C
+            + f64::from(self.dimms_8gb) * prices::DRAM_8GB
+            + f64::from(self.dimms_16gb) * prices::DRAM_16GB
+            + f64::from(self.nics_10g) * prices::NIC_10G_DP
+            + f64::from(self.nics_40g) * prices::NIC_40G_DP
+    }
+
+    /// Installed memory in GB.
+    pub fn memory_gb(&self) -> u32 {
+        self.dimms_8gb * 8 + self.dimms_16gb * 16
+    }
+
+    /// Total NIC throughput in Gbps.
+    pub fn total_gbps(&self) -> f64 {
+        f64::from(self.nics_10g) * 20.0 + f64::from(self.nics_40g) * 80.0
+    }
+
+    /// Total cores.
+    pub fn cores(&self) -> u32 {
+        self.cpus * 18
+    }
+}
+
+/// Required bandwidth per server role (Table 1's last row), in Gbps with
+/// the paper's binary Mbps->Gbps conversion.
+pub fn required_gbps(role: &ServerConfig) -> f64 {
+    let per_server = f64::from(ServerConfig::elvis().cores()) * MBPS_PER_CORE / 1024.0;
+    match role.name {
+        "elvis" => per_server,                  // 26.72
+        "vmhost" => per_server * 1.5,           // 40.08: 1.5x the VMs
+        "light iohost" => per_server * 1.5 * 2.0 * 2.0, // 160.31: 2 VMhosts, rx+tx
+        "heavy iohost" => per_server * 1.5 * 2.0 * 2.0 * 2.0, // 320.63
+        other => unreachable!("unknown role {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_prices_match_paper() {
+        // Table 1's "total server price" row: $44.5K, $47.0K, $26.0K, $44.2K.
+        assert_eq!(ServerConfig::elvis().price().round(), 44_465.0);
+        assert_eq!(ServerConfig::vmhost().price().round(), 46_994.0);
+        assert_eq!(ServerConfig::light_iohost().price().round(), 26_037.0);
+        assert_eq!(ServerConfig::heavy_iohost().price().round(), 44_291.0);
+    }
+
+    #[test]
+    fn table1_gbps_rows() {
+        // "total Gbps": 40 / 80 / 160 / 320.
+        assert_eq!(ServerConfig::elvis().total_gbps(), 40.0);
+        assert_eq!(ServerConfig::vmhost().total_gbps(), 80.0);
+        assert_eq!(ServerConfig::light_iohost().total_gbps(), 160.0);
+        assert_eq!(ServerConfig::heavy_iohost().total_gbps(), 320.0);
+        // "required Gbps": 26.72 / 40.08 / 160.31 / 320.63.
+        assert!((required_gbps(&ServerConfig::elvis()) - 26.72).abs() < 0.01);
+        assert!((required_gbps(&ServerConfig::vmhost()) - 40.08).abs() < 0.01);
+        assert!((required_gbps(&ServerConfig::light_iohost()) - 160.31).abs() < 0.01);
+        assert!((required_gbps(&ServerConfig::heavy_iohost()) - 320.63).abs() < 0.01);
+    }
+
+    #[test]
+    fn provisioned_bandwidth_covers_requirement() {
+        for cfg in [ServerConfig::elvis(), ServerConfig::vmhost()] {
+            assert!(
+                cfg.total_gbps() >= required_gbps(&cfg),
+                "{} underprovisioned",
+                cfg.name
+            );
+        }
+        // The IOhosts run right at their limit (Table 1: 160.00 provisioned
+        // vs 160.31 required, 320.00 vs 320.63) — the paper accepts the
+        // 0.2% shortfall.
+        for cfg in [ServerConfig::light_iohost(), ServerConfig::heavy_iohost()] {
+            assert!(required_gbps(&cfg) / cfg.total_gbps() < 1.01, "{}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn memory_sizing() {
+        assert_eq!(ServerConfig::elvis().memory_gb(), 288);
+        assert_eq!(ServerConfig::vmhost().memory_gb(), 432);
+        assert_eq!(ServerConfig::light_iohost().memory_gb(), 64);
+        // Even DIMM counts (the R930 constraint the paper notes).
+        for cfg in [ServerConfig::elvis(), ServerConfig::vmhost(), ServerConfig::light_iohost()] {
+            assert_eq!((cfg.dimms_8gb + cfg.dimms_16gb) % 2, 0, "{}", cfg.name);
+        }
+    }
+}

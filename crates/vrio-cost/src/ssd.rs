@@ -1,0 +1,140 @@
+//! SSD device consolidation: Figure 3 of the paper.
+//!
+//! An `e => v` consolidation compares an Elvis rack with one FusionIO
+//! PCIe SSD per server (`e` drives) against the vRIO transform of the same
+//! rack with `v` drives consolidated at the IOhost. The SX300 delivers up
+//! to 21.6 Gbps, so every three consolidated drives need one extra
+//! 2x40 Gbps NIC at the IOhost.
+
+use crate::rack::RackSetup;
+use crate::server::prices;
+
+/// Which SX300 model is installed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SsdModel {
+    /// 3.2 TB, $12,706 ("smaller SSD").
+    Small,
+    /// 6.4 TB, $24,063 ("bigger SSD").
+    Large,
+}
+
+impl SsdModel {
+    /// Unit price.
+    pub fn price(self) -> f64 {
+        match self {
+            SsdModel::Small => prices::SSD_3_2TB,
+            SsdModel::Large => prices::SSD_6_4TB,
+        }
+    }
+}
+
+/// Extra dual-port 40 G NICs the IOhost needs for `drives` consolidated
+/// SX300s (21.6 Gbps each; one 80 Gbps NIC per three drives).
+pub fn extra_nics_for(drives: usize) -> usize {
+    drives.div_ceil(3)
+}
+
+/// Price of the Elvis rack with one drive per server.
+pub fn elvis_with_ssds(servers: usize, model: SsdModel) -> f64 {
+    RackSetup::elvis(servers).price() + servers as f64 * model.price()
+}
+
+/// Price of the vRIO transform with `drives` consolidated at the IOhost.
+pub fn vrio_with_ssds(servers: usize, drives: usize, model: SsdModel) -> f64 {
+    RackSetup::vrio(servers).price()
+        + drives as f64 * model.price()
+        + extra_nics_for(drives) as f64 * prices::NIC_40G_DP
+}
+
+/// One Figure 3 data point: vRIO price relative to Elvis for an
+/// `e => v` consolidation ratio.
+///
+/// # Examples
+///
+/// ```
+/// use vrio_cost::{consolidation_ratio, SsdModel};
+///
+/// // The most aggressive consolidation (6 => 1, bigger SSD) reaches the
+/// // paper's 38% saving.
+/// let r = consolidation_ratio(6, 1, SsdModel::Large);
+/// assert!((0.62..0.64).contains(&r), "{r}");
+/// // The least aggressive (3 => 3, smaller SSD) still saves ~7-8%.
+/// let r = consolidation_ratio(3, 3, SsdModel::Small);
+/// assert!((0.91..0.94).contains(&r), "{r}");
+/// ```
+pub fn consolidation_ratio(servers: usize, drives: usize, model: SsdModel) -> f64 {
+    vrio_with_ssds(servers, drives, model) / elvis_with_ssds(servers, model)
+}
+
+/// All Figure 3 points for a rack of `servers`: ratios for `e => v` with
+/// `v = servers, servers-1, ..., 1`, for both SSD models. Returns
+/// `(v, small_ratio, large_ratio)` triples.
+pub fn figure3_series(servers: usize) -> Vec<(usize, f64, f64)> {
+    (1..=servers)
+        .rev()
+        .map(|v| {
+            (
+                v,
+                consolidation_ratio(servers, v, SsdModel::Small),
+                consolidation_ratio(servers, v, SsdModel::Large),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extra_nic_rule() {
+        assert_eq!(extra_nics_for(1), 1);
+        assert_eq!(extra_nics_for(3), 1);
+        assert_eq!(extra_nics_for(4), 2);
+        assert_eq!(extra_nics_for(6), 2);
+    }
+
+    #[test]
+    fn figure3_endpoint_prices_match_paper() {
+        // The figure's printed endpoints for the 6-server rack:
+        // smaller SSD: $311K (6=>6) down to $246K (6=>1);
+        // bigger SSD: $379K (6=>6) down to $257K (6=>1).
+        let k = |x: f64| (x / 1000.0).round();
+        assert_eq!(k(vrio_with_ssds(6, 6, SsdModel::Small)), 311.0);
+        assert_eq!(k(vrio_with_ssds(6, 1, SsdModel::Small)), 246.0);
+        assert_eq!(k(vrio_with_ssds(6, 6, SsdModel::Large)), 379.0);
+        assert_eq!(k(vrio_with_ssds(6, 1, SsdModel::Large)), 257.0);
+    }
+
+    #[test]
+    fn cost_reduction_spans_8_to_38_percent() {
+        // "The cost reduction is between 8%–38%" (§3).
+        let mut min_saving = f64::INFINITY;
+        let mut max_saving = f64::NEG_INFINITY;
+        for servers in [3usize, 6] {
+            for (_, small, large) in figure3_series(servers) {
+                for r in [small, large] {
+                    min_saving = min_saving.min(1.0 - r);
+                    max_saving = max_saving.max(1.0 - r);
+                }
+            }
+        }
+        // The shallowest point (3 => 3, bigger SSD) saves ~6%; the paper
+        // quotes "8%-38%" over the ratios it plots.
+        assert!((0.055..=0.10).contains(&min_saving), "min {min_saving}");
+        assert!((0.36..=0.40).contains(&max_saving), "max {max_saving}");
+    }
+
+    #[test]
+    fn ratios_monotone_in_consolidation() {
+        // Consolidating harder (fewer drives) is monotonically cheaper.
+        for model in [SsdModel::Small, SsdModel::Large] {
+            let mut prev = f64::INFINITY;
+            for v in (1..=6).rev() {
+                let r = consolidation_ratio(6, v, model);
+                assert!(r <= prev + 1e-12, "v={v} r={r} prev={prev}");
+                prev = r;
+            }
+        }
+    }
+}

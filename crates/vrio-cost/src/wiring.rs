@@ -1,0 +1,137 @@
+//! Rack wiring: ports and cables for the Figure 2 topologies.
+//!
+//! The paper's §3 connects VMhosts directly to their IOhost (cheaper — the
+//! existing 10 GbE switch and cabling stay) and the IOhost to the switch
+//! with 40GbE-to-4x10GbE breakout cables, noting that *"in both cases the
+//! number of cables connecting the IOhost to the switch is smaller than
+//! the corresponding number in the Elvis setup"*. This module makes those
+//! counts — and the §4.6 alternative of routing everything through a
+//! costlier switch — computable.
+
+use crate::server::{required_gbps, ServerConfig};
+
+/// How VMhosts reach their IOhost (§4.6 "Fault Tolerance" discusses the
+/// tradeoff).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IohostAttachment {
+    /// Direct point-to-point cables (cheapest; an IOhost failure cuts the
+    /// VMhosts off).
+    Direct,
+    /// Via the rack switch (survivable and re-routable, but the switch
+    /// must carry the doubled IOhost bandwidth).
+    ViaSwitch,
+}
+
+/// A computed wiring plan for one rack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WiringPlan {
+    /// Cables from servers into the rack switch.
+    pub switch_cables: usize,
+    /// Direct VMhost-to-IOhost cables (0 for Elvis or via-switch plans).
+    pub direct_cables: usize,
+    /// 10 GbE-equivalent switch ports consumed (a 40 GbE port via breakout
+    /// counts as 4).
+    pub switch_ports_10g: usize,
+    /// Aggregate Gbps the switch must carry.
+    pub switch_gbps: f64,
+}
+
+impl WiringPlan {
+    /// Total cables of any kind.
+    pub fn total_cables(&self) -> usize {
+        self.switch_cables + self.direct_cables
+    }
+}
+
+/// The Elvis rack of Figure 2a: each server connects 3 of its 4 10 GbE
+/// ports to the switch (26.72 Gbps required < 30 provisioned).
+pub fn elvis_wiring(servers: usize) -> WiringPlan {
+    let per_server = 3;
+    WiringPlan {
+        switch_cables: servers * per_server,
+        direct_cables: 0,
+        switch_ports_10g: servers * per_server,
+        switch_gbps: servers as f64 * required_gbps(&ServerConfig::elvis()),
+    }
+}
+
+/// The vRIO rack of Figure 2b/2c: `vmhosts` wired directly to the IOhost
+/// (one 2x40 GbE NIC each), and the IOhost's remaining 40 GbE ports broken
+/// out to the 10 GbE switch.
+pub fn vrio_wiring(vmhosts: usize, attachment: IohostAttachment) -> WiringPlan {
+    // Each VMhost needs 40.08 Gbps toward the IOhost: both ports of its
+    // dual-port 40G NIC.
+    let vmhost_links = vmhosts * 2;
+    // The IOhost keeps enough 40G ports for the VMhosts and sends the same
+    // outward-facing traffic to the switch: one 40G port per 2 VMhosts,
+    // broken out into 4x10GbE.
+    let iohost_uplinks = vmhosts.div_ceil(2);
+    let outward_gbps = vmhosts as f64 * required_gbps(&ServerConfig::vmhost());
+    match attachment {
+        IohostAttachment::Direct => WiringPlan {
+            switch_cables: iohost_uplinks,
+            direct_cables: vmhost_links,
+            switch_ports_10g: iohost_uplinks * 4,
+            switch_gbps: outward_gbps,
+        },
+        IohostAttachment::ViaSwitch => {
+            // Everything crosses the switch: the VMhost/IOhost channel
+            // (twice — in and out) plus the outward traffic.
+            WiringPlan {
+                switch_cables: vmhost_links + iohost_uplinks + vmhost_links,
+                direct_cables: 0,
+                switch_ports_10g: (vmhost_links * 2 + iohost_uplinks) * 4,
+                switch_gbps: outward_gbps * 3.0,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iohost_uses_fewer_switch_cables_than_elvis() {
+        // The paper's claim, for the 3-server (2 VMhosts) and 6-server
+        // (4 VMhosts) transforms.
+        for (elvis_servers, vmhosts) in [(3usize, 2usize), (6, 4)] {
+            let elvis = elvis_wiring(elvis_servers);
+            let vrio = vrio_wiring(vmhosts, IohostAttachment::Direct);
+            assert!(
+                vrio.switch_cables < elvis.switch_cables,
+                "{elvis_servers} servers: vrio {} vs elvis {}",
+                vrio.switch_cables,
+                elvis.switch_cables
+            );
+        }
+    }
+
+    #[test]
+    fn direct_attachment_keeps_switch_load_unchanged() {
+        // "vRIO supports the same volume of network traffic as its
+        // competitors" — the outward-facing switch load matches Elvis's.
+        let elvis = elvis_wiring(3);
+        let vrio = vrio_wiring(2, IohostAttachment::Direct);
+        // 2 VMhosts at 1.5x load == 3 Elvis servers.
+        assert!((vrio.switch_gbps - elvis.switch_gbps).abs() < 0.5);
+    }
+
+    #[test]
+    fn via_switch_attachment_needs_a_bigger_switch() {
+        let direct = vrio_wiring(4, IohostAttachment::Direct);
+        let via = vrio_wiring(4, IohostAttachment::ViaSwitch);
+        assert!(via.switch_gbps > direct.switch_gbps * 2.5);
+        assert!(via.switch_ports_10g > direct.switch_ports_10g);
+        assert_eq!(via.direct_cables, 0);
+    }
+
+    #[test]
+    fn cable_totals() {
+        let w = vrio_wiring(2, IohostAttachment::Direct);
+        assert_eq!(w.direct_cables, 4); // 2 VMhosts x dual-port 40G
+        assert_eq!(w.switch_cables, 1); // one 40G->4x10G breakout
+        assert_eq!(w.total_cables(), 5);
+        assert_eq!(w.switch_ports_10g, 4);
+    }
+}

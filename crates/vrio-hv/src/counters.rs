@@ -1,0 +1,186 @@
+//! The I/O models under comparison and their per-request event accounting
+//! (paper Table 3).
+
+use std::fmt;
+
+/// The five I/O-model configurations the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoModel {
+    /// KVM virtio with vhost threads — the state of practice ("baseline").
+    Baseline,
+    /// Elvis: local sidecores polling guest rings, ELI interrupts — the
+    /// state of the art.
+    Elvis,
+    /// vRIO with IOhost NIC polling (the proposed configuration).
+    Vrio,
+    /// vRIO with interrupt-driven IOhost NICs (the §4.2 ablation).
+    VrioNoPoll,
+    /// SRIOV + ELI passthrough — the non-interposable "optimum".
+    Optimum,
+}
+
+impl IoModel {
+    /// All models, in the paper's usual presentation order.
+    pub const ALL: [IoModel; 5] =
+        [IoModel::Optimum, IoModel::Vrio, IoModel::Elvis, IoModel::VrioNoPoll, IoModel::Baseline];
+
+    /// The four models of the main latency/throughput figures (no-poll
+    /// variant excluded).
+    pub const MAIN: [IoModel; 4] =
+        [IoModel::Optimum, IoModel::Vrio, IoModel::Elvis, IoModel::Baseline];
+
+    /// Whether the model supports I/O interposition (SRIOV does not — the
+    /// paper's central qualitative axis).
+    pub fn is_interposable(self) -> bool {
+        !matches!(self, IoModel::Optimum)
+    }
+
+    /// Short lowercase name as the paper prints it.
+    pub fn name(self) -> &'static str {
+        match self {
+            IoModel::Baseline => "baseline",
+            IoModel::Elvis => "elvis",
+            IoModel::Vrio => "vrio",
+            IoModel::VrioNoPoll => "vrio w/o poll",
+            IoModel::Optimum => "optimum",
+        }
+    }
+}
+
+impl fmt::Display for IoModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Counts of the virtualization events one request-response induces —
+/// the columns of the paper's Table 3.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventCounters {
+    /// Synchronous guest exits.
+    pub sync_exits: u64,
+    /// Virtual interrupts handled by the guest.
+    pub guest_interrupts: u64,
+    /// Interrupt injections performed by the host (non-ELI path).
+    pub interrupt_injections: u64,
+    /// Physical interrupts handled by the (VM)host.
+    pub host_interrupts: u64,
+    /// Physical interrupts handled at the IOhost (vRIO only).
+    pub iohost_interrupts: u64,
+}
+
+impl EventCounters {
+    /// The paper's "sum" column.
+    pub fn sum(&self) -> u64 {
+        self.sync_exits
+            + self.guest_interrupts
+            + self.interrupt_injections
+            + self.host_interrupts
+            + self.iohost_interrupts
+    }
+
+    /// Accumulates another counter set (e.g. across many requests).
+    pub fn add(&mut self, other: &EventCounters) {
+        self.sync_exits += other.sync_exits;
+        self.guest_interrupts += other.guest_interrupts;
+        self.interrupt_injections += other.interrupt_injections;
+        self.host_interrupts += other.host_interrupts;
+        self.iohost_interrupts += other.iohost_interrupts;
+    }
+
+    /// Divides all counters by `n` (for per-request averages).
+    pub fn per_request(&self, n: u64) -> EventCounters {
+        assert!(n > 0);
+        EventCounters {
+            sync_exits: self.sync_exits / n,
+            guest_interrupts: self.guest_interrupts / n,
+            interrupt_injections: self.interrupt_injections / n,
+            host_interrupts: self.host_interrupts / n,
+            iohost_interrupts: self.iohost_interrupts / n,
+        }
+    }
+}
+
+/// The paper's Table 3: expected event counts per request-response for each
+/// model. The testbed's measured counters must match these exactly — an
+/// integration test asserts it.
+pub fn table3_expected(model: IoModel) -> EventCounters {
+    match model {
+        IoModel::Optimum => EventCounters {
+            sync_exits: 0,
+            guest_interrupts: 2,
+            interrupt_injections: 0,
+            host_interrupts: 0,
+            iohost_interrupts: 0,
+        },
+        IoModel::Vrio => EventCounters {
+            sync_exits: 0,
+            guest_interrupts: 2,
+            interrupt_injections: 0,
+            host_interrupts: 0,
+            iohost_interrupts: 0,
+        },
+        IoModel::Elvis => EventCounters {
+            sync_exits: 0,
+            guest_interrupts: 2,
+            interrupt_injections: 0,
+            host_interrupts: 2,
+            iohost_interrupts: 0,
+        },
+        IoModel::VrioNoPoll => EventCounters {
+            sync_exits: 0,
+            guest_interrupts: 2,
+            interrupt_injections: 0,
+            host_interrupts: 0,
+            iohost_interrupts: 4,
+        },
+        IoModel::Baseline => EventCounters {
+            sync_exits: 3,
+            guest_interrupts: 2,
+            interrupt_injections: 2,
+            host_interrupts: 2,
+            iohost_interrupts: 0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_sums_match_paper() {
+        // Table 3's "sum" column: optimum 2, vrio 2, elvis 4,
+        // vrio w/o poll 6, baseline 9.
+        assert_eq!(table3_expected(IoModel::Optimum).sum(), 2);
+        assert_eq!(table3_expected(IoModel::Vrio).sum(), 2);
+        assert_eq!(table3_expected(IoModel::Elvis).sum(), 4);
+        assert_eq!(table3_expected(IoModel::VrioNoPoll).sum(), 6);
+        assert_eq!(table3_expected(IoModel::Baseline).sum(), 9);
+    }
+
+    #[test]
+    fn interposability() {
+        assert!(!IoModel::Optimum.is_interposable());
+        for m in [IoModel::Baseline, IoModel::Elvis, IoModel::Vrio, IoModel::VrioNoPoll] {
+            assert!(m.is_interposable());
+        }
+    }
+
+    #[test]
+    fn accumulate_and_average() {
+        let mut total = EventCounters::default();
+        for _ in 0..10 {
+            total.add(&table3_expected(IoModel::Baseline));
+        }
+        assert_eq!(total.sum(), 90);
+        assert_eq!(total.per_request(10), table3_expected(IoModel::Baseline));
+    }
+
+    #[test]
+    fn names_render() {
+        assert_eq!(IoModel::VrioNoPoll.to_string(), "vrio w/o poll");
+        assert_eq!(IoModel::ALL.len(), 5);
+        assert_eq!(IoModel::MAIN.len(), 4);
+    }
+}

@@ -1,0 +1,164 @@
+//! ELI — exitless interrupts — as a concrete mechanism.
+//!
+//! The models that avoid EOI exits (everything but the baseline, Table 3)
+//! do so the way the ELI paper describes: the hypervisor clears the
+//! x2APIC EOI register's bit in the VM's **MSR bitmap**, so guest writes to
+//! it no longer trap. This module implements that bitmap for real: 1024
+//! bytes covering the low MSR range, a bit per MSR, consulted on every
+//! (simulated) guest MSR write.
+
+/// The x2APIC EOI register (MSR `0x80B`) — the register a guest writes at
+/// the end of every interrupt handler.
+pub const MSR_X2APIC_EOI: u32 = 0x80B;
+/// The x2APIC task-priority register, also exposable.
+pub const MSR_X2APIC_TPR: u32 = 0x808;
+/// The x2APIC interrupt-command register — never exposed (a guest that
+/// could send arbitrary IPIs would escape isolation).
+pub const MSR_X2APIC_ICR: u32 = 0x830;
+
+/// A VMX-style MSR write bitmap for the low MSR range `0x0..0x2000`:
+/// a set bit means "exit on guest write".
+///
+/// # Examples
+///
+/// ```
+/// use vrio_hv::{MsrBitmap, MSR_X2APIC_EOI};
+///
+/// // Default: everything traps (the baseline model).
+/// let mut bitmap = MsrBitmap::trap_all();
+/// assert!(bitmap.would_exit(MSR_X2APIC_EOI));
+///
+/// // Configure ELI: EOI writes become exitless.
+/// bitmap.configure_eli();
+/// assert!(!bitmap.would_exit(MSR_X2APIC_EOI));
+/// ```
+#[derive(Clone)]
+pub struct MsrBitmap {
+    /// One bit per MSR in `0x0..0x2000`.
+    bits: [u8; 1024],
+}
+
+impl std::fmt::Debug for MsrBitmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let trapping = (0u32..0x2000).filter(|&m| self.would_exit(m)).count();
+        write!(f, "MsrBitmap {{ trapping: {trapping}/8192 }}")
+    }
+}
+
+impl MsrBitmap {
+    /// A bitmap that traps every MSR write (how a hypervisor starts).
+    pub fn trap_all() -> Self {
+        MsrBitmap { bits: [0xFF; 1024] }
+    }
+
+    /// Whether a guest write to `msr` causes a VM exit. MSRs outside the
+    /// covered range always exit.
+    pub fn would_exit(&self, msr: u32) -> bool {
+        if msr >= 0x2000 {
+            return true;
+        }
+        let byte = (msr / 8) as usize;
+        let bit = msr % 8;
+        self.bits[byte] & (1 << bit) != 0
+    }
+
+    /// Clears the exit bit for one MSR (the guest may now write it
+    /// directly).
+    pub fn expose(&mut self, msr: u32) {
+        assert!(msr < 0x2000, "MSR {msr:#x} outside the bitmap range");
+        let byte = (msr / 8) as usize;
+        let bit = msr % 8;
+        self.bits[byte] &= !(1 << bit);
+    }
+
+    /// Re-arms trapping for one MSR.
+    pub fn protect(&mut self, msr: u32) {
+        assert!(msr < 0x2000, "MSR {msr:#x} outside the bitmap range");
+        let byte = (msr / 8) as usize;
+        let bit = msr % 8;
+        self.bits[byte] |= 1 << bit;
+    }
+
+    /// The ELI configuration: expose exactly the EOI (and TPR) registers,
+    /// leaving everything else — notably the ICR — protected.
+    pub fn configure_eli(&mut self) {
+        self.expose(MSR_X2APIC_EOI);
+        self.expose(MSR_X2APIC_TPR);
+    }
+
+    /// Exits a request-response induces via EOI writes under this bitmap:
+    /// `interrupts_handled` if EOI traps, else 0. This is where Table 3's
+    /// EOI-exit column comes from.
+    pub fn eoi_exits(&self, interrupts_handled: u64) -> u64 {
+        if self.would_exit(MSR_X2APIC_EOI) {
+            interrupts_handled
+        } else {
+            0
+        }
+    }
+}
+
+impl Default for MsrBitmap {
+    fn default() -> Self {
+        MsrBitmap::trap_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::{table3_expected, IoModel};
+
+    #[test]
+    fn trap_all_traps_everything() {
+        let b = MsrBitmap::trap_all();
+        for msr in [0u32, MSR_X2APIC_EOI, MSR_X2APIC_TPR, MSR_X2APIC_ICR, 0x1FFF] {
+            assert!(b.would_exit(msr), "msr {msr:#x}");
+        }
+        assert!(b.would_exit(0xC000_0080)); // outside the range: always
+    }
+
+    #[test]
+    fn eli_exposes_eoi_but_never_icr() {
+        let mut b = MsrBitmap::trap_all();
+        b.configure_eli();
+        assert!(!b.would_exit(MSR_X2APIC_EOI));
+        assert!(!b.would_exit(MSR_X2APIC_TPR));
+        assert!(b.would_exit(MSR_X2APIC_ICR), "IPIs must still trap");
+        assert!(b.would_exit(MSR_X2APIC_EOI + 1));
+    }
+
+    #[test]
+    fn expose_protect_roundtrip() {
+        let mut b = MsrBitmap::trap_all();
+        b.expose(0x123);
+        assert!(!b.would_exit(0x123));
+        b.protect(0x123);
+        assert!(b.would_exit(0x123));
+    }
+
+    #[test]
+    fn table3_eoi_exit_column_derives_from_the_bitmap() {
+        // Every model handles 2 guest interrupts per request-response.
+        // Under the baseline's trap-all bitmap that is 2 EOI exits (plus
+        // the transmit kick = 3 total sync exits); under ELI, 0.
+        let eli = {
+            let mut b = MsrBitmap::trap_all();
+            b.configure_eli();
+            b
+        };
+        let baseline = MsrBitmap::trap_all();
+        assert_eq!(baseline.eoi_exits(2) + 1, table3_expected(IoModel::Baseline).sync_exits);
+        for m in [IoModel::Optimum, IoModel::Vrio, IoModel::Elvis, IoModel::VrioNoPoll] {
+            assert_eq!(eli.eoi_exits(2), table3_expected(m).sync_exits);
+        }
+    }
+
+    #[test]
+    fn debug_formats_compactly() {
+        let mut b = MsrBitmap::trap_all();
+        b.configure_eli();
+        let s = format!("{b:?}");
+        assert!(s.contains("8190/8192"), "{s}");
+    }
+}

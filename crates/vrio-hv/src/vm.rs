@@ -1,0 +1,611 @@
+//! Virtual machines: guest memory with a fixed device layout, a [`GuestCpu`],
+//! and paravirtual net/blk devices whose *both* halves (guest driver and
+//! host device) operate over the shared memory — exactly the structure of
+//! Figure 4 in the paper. The back-end half is what a vhost thread
+//! (baseline), an Elvis sidecore, or the vRIO transport drives.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use vrio_block::{BlockKind, BlockRequest, RequestId};
+use vrio_virtio::{
+    BlkHdr, BlkReqKind, DescChain, DeviceQueue, DriverQueue, GuestAddr, GuestMemory, NetHdr,
+    QueueError, VirtqueueLayout, BLK_HDR_SIZE, BLK_S_OK, NET_HDR_SIZE,
+};
+
+use crate::guest::GuestCpu;
+
+/// Identifies a VM within the testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VmId(pub usize);
+
+impl std::fmt::Display for VmId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vm{}", self.0)
+    }
+}
+
+/// Errors from device front-/back-end operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// The virtqueue rejected the operation.
+    Queue(QueueError),
+    /// No free buffer slots in the pool.
+    NoBuffers,
+    /// The payload exceeds the buffer slot size.
+    PayloadTooLarge {
+        /// Payload length.
+        len: usize,
+        /// Slot capacity.
+        slot: usize,
+    },
+    /// The rx ring has no posted buffers (guest fell behind).
+    RxStarved,
+    /// A completion referenced an unknown request.
+    UnknownHead(u16),
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::Queue(e) => write!(f, "virtqueue error: {e}"),
+            DeviceError::NoBuffers => write!(f, "no free buffer slots"),
+            DeviceError::PayloadTooLarge { len, slot } => {
+                write!(f, "payload of {len} bytes exceeds {slot}-byte slot")
+            }
+            DeviceError::RxStarved => write!(f, "receive ring has no posted buffers"),
+            DeviceError::UnknownHead(h) => write!(f, "completion for unknown head {h}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+impl From<QueueError> for DeviceError {
+    fn from(e: QueueError) -> Self {
+        DeviceError::Queue(e)
+    }
+}
+
+/// A pool of fixed-size buffer slots in guest memory.
+#[derive(Debug, Clone)]
+struct BufferPool {
+    base: u64,
+    slot_size: usize,
+    free: Vec<u16>,
+}
+
+impl BufferPool {
+    fn new(base: u64, slot_size: usize, slots: u16) -> Self {
+        BufferPool { base, slot_size, free: (0..slots).rev().collect() }
+    }
+
+    fn alloc(&mut self) -> Option<u16> {
+        self.free.pop()
+    }
+
+    fn release(&mut self, slot: u16) {
+        debug_assert!(!self.free.contains(&slot), "double free of slot {slot}");
+        self.free.push(slot);
+    }
+
+    fn addr(&self, slot: u16) -> GuestAddr {
+        GuestAddr(self.base + u64::from(slot) * self.slot_size as u64)
+    }
+}
+
+// ---- virtio-net ----------------------------------------------------------
+
+const NET_QSIZE: u16 = 256;
+/// Net buffer slots hold a full TSO message plus the virtio header.
+const NET_SLOT: usize = 65_536 + NET_HDR_SIZE;
+const NET_SLOTS: u16 = 64;
+
+/// A paravirtual network device: guest driver half plus host device half
+/// over shared guest memory.
+///
+/// # Examples
+///
+/// ```
+/// use vrio_hv::Vm;
+/// use bytes::Bytes;
+///
+/// let mut vm = Vm::new(vrio_hv::VmId(0));
+/// vm.net_refill_rx().unwrap();
+///
+/// // Guest transmits; the back-end (vhost/sidecore/transport) fetches.
+/// vm.net_send(b"ping").unwrap();
+/// let (head, _hdr, payload) = vm.net_fetch_tx().unwrap().unwrap();
+/// assert_eq!(&payload[..], b"ping");
+/// vm.net_complete_tx(head).unwrap();
+///
+/// // The back-end delivers a packet; the guest receives it.
+/// vm.net_deliver_rx(b"pong").unwrap();
+/// let rx = vm.net_recv().unwrap().unwrap();
+/// assert_eq!(&rx[..], b"pong");
+/// ```
+#[derive(Debug)]
+pub struct VirtioNetDevice {
+    tx_drv: DriverQueue,
+    tx_dev: DeviceQueue,
+    rx_drv: DriverQueue,
+    rx_dev: DeviceQueue,
+    tx_pool: BufferPool,
+    rx_pool: BufferPool,
+    tx_slot_of_head: HashMap<u16, u16>,
+    rx_slot_of_head: HashMap<u16, u16>,
+    /// Messages transmitted by the guest.
+    pub tx_count: u64,
+    /// Messages delivered to the guest.
+    pub rx_count: u64,
+}
+
+impl VirtioNetDevice {
+    fn new(mem_base: u64) -> (Self, u64) {
+        let tx_layout = VirtqueueLayout::new(NET_QSIZE, GuestAddr(mem_base));
+        let rx_layout =
+            VirtqueueLayout::new(NET_QSIZE, GuestAddr(tx_layout.desc.0 + tx_layout.footprint()));
+        let pool_base = (rx_layout.desc.0 + rx_layout.footprint()).div_ceil(64) * 64;
+        let tx_pool = BufferPool::new(pool_base, NET_SLOT, NET_SLOTS);
+        let rx_base = pool_base + NET_SLOT as u64 * u64::from(NET_SLOTS);
+        let rx_pool = BufferPool::new(rx_base, NET_SLOT, NET_SLOTS);
+        let end = rx_base + NET_SLOT as u64 * u64::from(NET_SLOTS);
+        (
+            VirtioNetDevice {
+                tx_drv: DriverQueue::new(tx_layout),
+                tx_dev: DeviceQueue::new(tx_layout),
+                rx_drv: DriverQueue::new(rx_layout),
+                rx_dev: DeviceQueue::new(rx_layout),
+                tx_pool,
+                rx_pool,
+                tx_slot_of_head: HashMap::new(),
+                rx_slot_of_head: HashMap::new(),
+                tx_count: 0,
+                rx_count: 0,
+            },
+            end,
+        )
+    }
+}
+
+// ---- virtio-blk -----------------------------------------------------------
+
+const BLK_QSIZE: u16 = 128;
+/// Block slots: header + up to 64 KB of data + status byte.
+const BLK_SLOT: usize = BLK_HDR_SIZE + 65_536 + 1;
+const BLK_SLOTS: u16 = 32;
+
+struct PendingBlk {
+    id: RequestId,
+    kind: BlockKind,
+    slot: u16,
+    data_len: u32,
+}
+
+/// A paravirtual block device (driver + device halves).
+pub struct VirtioBlkDevice {
+    drv: DriverQueue,
+    dev: DeviceQueue,
+    pool: BufferPool,
+    pending: HashMap<u16, PendingBlk>,
+    /// Chains popped by the back-end, awaiting completion.
+    inflight_chains: HashMap<u16, DescChain>,
+    /// Requests submitted.
+    pub submitted: u64,
+    /// Requests completed back to the guest.
+    pub completed: u64,
+}
+
+impl VirtioBlkDevice {
+    fn new(mem_base: u64) -> (Self, u64) {
+        let layout = VirtqueueLayout::new(BLK_QSIZE, GuestAddr(mem_base));
+        let pool_base = (layout.desc.0 + layout.footprint()).div_ceil(64) * 64;
+        let pool = BufferPool::new(pool_base, BLK_SLOT, BLK_SLOTS);
+        let end = pool_base + BLK_SLOT as u64 * u64::from(BLK_SLOTS);
+        (
+            VirtioBlkDevice {
+                drv: DriverQueue::new(layout),
+                dev: DeviceQueue::new(layout),
+                pool,
+                pending: HashMap::new(),
+                inflight_chains: HashMap::new(),
+                submitted: 0,
+                completed: 0,
+            },
+            end,
+        )
+    }
+}
+
+/// A completed block request as the guest sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlkCompletion {
+    /// The request's id.
+    pub id: RequestId,
+    /// The virtio status byte.
+    pub status: u8,
+    /// Data read (for reads), empty otherwise.
+    pub data: Bytes,
+}
+
+/// A virtual machine: guest memory, one VCPU, a net device, and a block
+/// device. See [`VirtioNetDevice`] for a front/back-end example.
+pub struct Vm {
+    /// The VM's identity.
+    pub id: VmId,
+    /// Guest-physical memory (rings and buffers live here).
+    pub mem: GuestMemory,
+    /// The VCPU with context-switch accounting.
+    pub cpu: GuestCpu,
+    net: VirtioNetDevice,
+    blk: VirtioBlkDevice,
+}
+
+impl Vm {
+    /// Creates a VM with the standard device layout.
+    pub fn new(id: VmId) -> Self {
+        let (net, net_end) = VirtioNetDevice::new(0x1000);
+        let (blk, blk_end) = VirtioBlkDevice::new(net_end.div_ceil(4096) * 4096);
+        let mem_size = (blk_end.div_ceil(4096) * 4096) as usize;
+        let _ = &blk;
+        Vm { id, mem: GuestMemory::new(mem_size), cpu: GuestCpu::new(), net, blk }
+    }
+
+    /// The net device's transmit/receive counters.
+    pub fn net_counters(&self) -> (u64, u64) {
+        (self.net.tx_count, self.net.rx_count)
+    }
+
+    /// The blk device's submit/complete counters.
+    pub fn blk_counters(&self) -> (u64, u64) {
+        (self.blk.submitted, self.blk.completed)
+    }
+
+    // ---- net front-end (guest side) -------------------------------------
+
+    /// Guest transmits a message: writes header + payload into a tx buffer
+    /// and publishes the chain.
+    pub fn net_send(&mut self, payload: &[u8]) -> Result<u16, DeviceError> {
+        self.net_send_hdr(NetHdr::plain(), payload)
+    }
+
+    /// Guest transmits with an explicit virtio-net header (e.g. GSO).
+    pub fn net_send_hdr(&mut self, hdr: NetHdr, payload: &[u8]) -> Result<u16, DeviceError> {
+        if payload.len() + NET_HDR_SIZE > NET_SLOT {
+            return Err(DeviceError::PayloadTooLarge { len: payload.len(), slot: NET_SLOT });
+        }
+        let slot = self.net.tx_pool.alloc().ok_or(DeviceError::NoBuffers)?;
+        let addr = self.net.tx_pool.addr(slot);
+        self.mem.write(addr, &hdr.encode()).map_err(QueueError::from)?;
+        self.mem.write(addr.offset(NET_HDR_SIZE as u64), payload).map_err(QueueError::from)?;
+        let head = match self.net.tx_drv.add_chain(
+            &mut self.mem,
+            &[(addr, (NET_HDR_SIZE + payload.len()) as u32)],
+            &[],
+        ) {
+            Ok(h) => h,
+            Err(e) => {
+                self.net.tx_pool.release(slot);
+                return Err(e.into());
+            }
+        };
+        self.net.tx_slot_of_head.insert(head, slot);
+        self.net.tx_count += 1;
+        Ok(head)
+    }
+
+    /// Guest reaps transmit completions, freeing buffers. Returns how many.
+    pub fn net_reap_tx(&mut self) -> Result<usize, DeviceError> {
+        let mut n = 0;
+        while let Some(used) = self.net.tx_drv.poll_used(&self.mem)? {
+            let slot = self
+                .net
+                .tx_slot_of_head
+                .remove(&used.head)
+                .ok_or(DeviceError::UnknownHead(used.head))?;
+            self.net.tx_pool.release(slot);
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Guest posts receive buffers until the ring or pool is exhausted.
+    pub fn net_refill_rx(&mut self) -> Result<usize, DeviceError> {
+        let mut n = 0;
+        loop {
+            if self.net.rx_drv.free_descriptors() == 0 {
+                break;
+            }
+            let Some(slot) = self.net.rx_pool.alloc() else { break };
+            let addr = self.net.rx_pool.addr(slot);
+            match self.net.rx_drv.add_chain(&mut self.mem, &[], &[(addr, NET_SLOT as u32)]) {
+                Ok(head) => {
+                    self.net.rx_slot_of_head.insert(head, slot);
+                    n += 1;
+                }
+                Err(_) => {
+                    self.net.rx_pool.release(slot);
+                    break;
+                }
+            }
+        }
+        Ok(n)
+    }
+
+    /// Guest receives one message if available: parses the virtio header
+    /// and returns the payload.
+    pub fn net_recv(&mut self) -> Result<Option<Bytes>, DeviceError> {
+        let Some(used) = self.net.rx_drv.poll_used(&self.mem)? else {
+            return Ok(None);
+        };
+        let slot = self
+            .net
+            .rx_slot_of_head
+            .remove(&used.head)
+            .ok_or(DeviceError::UnknownHead(used.head))?;
+        let addr = self.net.rx_pool.addr(slot);
+        let total = used.written as u64;
+        let bytes = self.mem.read(addr, total).map_err(QueueError::from)?;
+        let payload = Bytes::copy_from_slice(&bytes[NET_HDR_SIZE.min(bytes.len())..]);
+        self.net.rx_pool.release(slot);
+        self.net.rx_count += 1;
+        Ok(Some(payload))
+    }
+
+    // ---- net back-end (host/sidecore/transport side) ---------------------
+
+    /// Whether the guest has published unserved tx chains — the condition
+    /// an Elvis sidecore polls for.
+    pub fn net_tx_pending(&self) -> Result<bool, DeviceError> {
+        Ok(self.net.tx_dev.has_avail(&self.mem)?)
+    }
+
+    /// Back-end fetches one transmitted message: `(head, hdr, payload)`.
+    pub fn net_fetch_tx(&mut self) -> Result<Option<(u16, NetHdr, Bytes)>, DeviceError> {
+        let Some(chain) = self.net.tx_dev.pop_avail(&self.mem)? else {
+            return Ok(None);
+        };
+        let bytes = chain.copy_readable(&self.mem)?;
+        let hdr = NetHdr::decode(&bytes).unwrap_or_default();
+        let payload = Bytes::copy_from_slice(&bytes[NET_HDR_SIZE.min(bytes.len())..]);
+        Ok(Some((chain.head, hdr, payload)))
+    }
+
+    /// Back-end completes a transmitted chain.
+    pub fn net_complete_tx(&mut self, head: u16) -> Result<(), DeviceError> {
+        self.net.tx_dev.push_used(&mut self.mem, head, 0)?;
+        Ok(())
+    }
+
+    /// Back-end delivers a received packet into a posted rx buffer.
+    pub fn net_deliver_rx(&mut self, payload: &[u8]) -> Result<(), DeviceError> {
+        let Some(chain) = self.net.rx_dev.pop_avail(&self.mem)? else {
+            return Err(DeviceError::RxStarved);
+        };
+        let mut buf = Vec::with_capacity(NET_HDR_SIZE + payload.len());
+        buf.extend_from_slice(&NetHdr::plain().encode());
+        buf.extend_from_slice(payload);
+        let written = chain.write_writable(&mut self.mem, &buf)?;
+        self.net.rx_dev.push_used(&mut self.mem, chain.head, written)?;
+        Ok(())
+    }
+
+    // ---- blk front-end ----------------------------------------------------
+
+    /// Guest submits a block request. The data of writes is copied into a
+    /// guest buffer; reads reserve buffer space for the device to fill.
+    pub fn blk_submit(&mut self, req: &BlockRequest) -> Result<u16, DeviceError> {
+        let data_len = match req.kind {
+            BlockKind::Write => req.data.len(),
+            BlockKind::Read => req.len as usize,
+            BlockKind::Flush => 0,
+        };
+        if BLK_HDR_SIZE + data_len + 1 > BLK_SLOT {
+            return Err(DeviceError::PayloadTooLarge { len: data_len, slot: BLK_SLOT });
+        }
+        let slot = self.blk.pool.alloc().ok_or(DeviceError::NoBuffers)?;
+        let base = self.blk.pool.addr(slot);
+        let wire_kind = match req.kind {
+            BlockKind::Read => BlkReqKind::In,
+            BlockKind::Write => BlkReqKind::Out,
+            BlockKind::Flush => BlkReqKind::Flush,
+        };
+        let hdr = BlkHdr::new(wire_kind, req.sector);
+        self.mem.write(base, &hdr.encode()).map_err(QueueError::from)?;
+        let data_addr = base.offset(BLK_HDR_SIZE as u64);
+        let status_addr = data_addr.offset(data_len as u64);
+        let result = match req.kind {
+            BlockKind::Write => {
+                self.mem.write(data_addr, &req.data).map_err(QueueError::from)?;
+                self.blk.drv.add_chain(
+                    &mut self.mem,
+                    &[(base, BLK_HDR_SIZE as u32), (data_addr, data_len as u32)],
+                    &[(status_addr, 1)],
+                )
+            }
+            BlockKind::Read => self.blk.drv.add_chain(
+                &mut self.mem,
+                &[(base, BLK_HDR_SIZE as u32)],
+                &[(data_addr, data_len as u32), (status_addr, 1)],
+            ),
+            BlockKind::Flush => self.blk.drv.add_chain(
+                &mut self.mem,
+                &[(base, BLK_HDR_SIZE as u32)],
+                &[(status_addr, 1)],
+            ),
+        };
+        let head = match result {
+            Ok(h) => h,
+            Err(e) => {
+                self.blk.pool.release(slot);
+                return Err(e.into());
+            }
+        };
+        self.blk.pending.insert(
+            head,
+            PendingBlk { id: req.id, kind: req.kind, slot, data_len: data_len as u32 },
+        );
+        self.blk.submitted += 1;
+        Ok(head)
+    }
+
+    /// Guest reaps block completions.
+    pub fn blk_reap(&mut self) -> Result<Vec<BlkCompletion>, DeviceError> {
+        let mut done = Vec::new();
+        while let Some(used) = self.blk.drv.poll_used(&self.mem)? {
+            let p = self
+                .blk
+                .pending
+                .remove(&used.head)
+                .ok_or(DeviceError::UnknownHead(used.head))?;
+            let base = self.blk.pool.addr(p.slot);
+            let data_addr = base.offset(BLK_HDR_SIZE as u64);
+            let status_addr = data_addr.offset(u64::from(p.data_len));
+            let status =
+                self.mem.read(status_addr, 1).map_err(QueueError::from)?[0];
+            let data = if p.kind == BlockKind::Read && status == BLK_S_OK {
+                Bytes::copy_from_slice(
+                    self.mem.read(data_addr, u64::from(p.data_len)).map_err(QueueError::from)?,
+                )
+            } else {
+                Bytes::new()
+            };
+            self.blk.pool.release(p.slot);
+            self.blk.completed += 1;
+            done.push(BlkCompletion { id: p.id, status, data });
+        }
+        Ok(done)
+    }
+
+    // ---- blk back-end -------------------------------------------------------
+
+    /// Whether the guest has unserved block chains.
+    pub fn blk_pending(&self) -> Result<bool, DeviceError> {
+        Ok(self.blk.dev.has_avail(&self.mem)?)
+    }
+
+    /// Back-end fetches one block request: `(head, hdr, write payload)`.
+    pub fn blk_fetch(&mut self) -> Result<Option<(u16, BlkHdr, Bytes)>, DeviceError> {
+        let Some(chain) = self.blk.dev.pop_avail(&self.mem)? else {
+            return Ok(None);
+        };
+        let readable = chain.copy_readable(&self.mem)?;
+        let hdr = BlkHdr::decode(&readable)
+            .ok_or_else(|| DeviceError::Queue(QueueError::BadChain("bad blk header".into())))?;
+        let payload = Bytes::copy_from_slice(&readable[BLK_HDR_SIZE..]);
+        let head = chain.head;
+        self.blk.inflight_chains.insert(head, chain);
+        Ok(Some((head, hdr, payload)))
+    }
+
+    /// Back-end completes a block request: writes read data (if any) and
+    /// the status byte, then publishes the used element.
+    pub fn blk_complete(
+        &mut self,
+        head: u16,
+        status: u8,
+        read_data: &[u8],
+    ) -> Result<(), DeviceError> {
+        let chain = self
+            .blk
+            .inflight_chains
+            .remove(&head)
+            .ok_or(DeviceError::UnknownHead(head))?;
+        let mut buf = Vec::with_capacity(read_data.len() + 1);
+        buf.extend_from_slice(read_data);
+        buf.push(status);
+        let written = chain.write_writable(&mut self.mem, &buf)?;
+        self.blk.dev.push_used(&mut self.mem, head, written)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_roundtrip_guest_to_backend_and_back() {
+        let mut vm = Vm::new(VmId(1));
+        vm.net_refill_rx().unwrap();
+        vm.net_send(b"hello backend").unwrap();
+        let (head, hdr, payload) = vm.net_fetch_tx().unwrap().unwrap();
+        assert_eq!(hdr, NetHdr::plain());
+        assert_eq!(&payload[..], b"hello backend");
+        vm.net_complete_tx(head).unwrap();
+        assert_eq!(vm.net_reap_tx().unwrap(), 1);
+
+        vm.net_deliver_rx(b"hello guest").unwrap();
+        let rx = vm.net_recv().unwrap().unwrap();
+        assert_eq!(&rx[..], b"hello guest");
+        assert_eq!(vm.net_counters(), (1, 1));
+    }
+
+    #[test]
+    fn net_buffer_exhaustion_and_recovery() {
+        let mut vm = Vm::new(VmId(0));
+        let mut heads = Vec::new();
+        loop {
+            match vm.net_send(b"x") {
+                Ok(h) => heads.push(h),
+                Err(DeviceError::NoBuffers) => break,
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        assert_eq!(heads.len(), usize::from(NET_SLOTS));
+        // Back-end serves everything; buffers recover.
+        while let Some((head, _, _)) = vm.net_fetch_tx().unwrap() {
+            vm.net_complete_tx(head).unwrap();
+        }
+        assert_eq!(vm.net_reap_tx().unwrap(), heads.len());
+        assert!(vm.net_send(b"again").is_ok());
+    }
+
+    #[test]
+    fn rx_starved_without_posted_buffers() {
+        let mut vm = Vm::new(VmId(0));
+        assert_eq!(vm.net_deliver_rx(b"nope").unwrap_err(), DeviceError::RxStarved);
+        vm.net_refill_rx().unwrap();
+        assert!(vm.net_deliver_rx(b"yes").is_ok());
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let mut vm = Vm::new(VmId(0));
+        let big = vec![0u8; NET_SLOT];
+        assert!(matches!(
+            vm.net_send(&big).unwrap_err(),
+            DeviceError::PayloadTooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn blk_write_roundtrip() {
+        let mut vm = Vm::new(VmId(0));
+        let req = BlockRequest::write(RequestId(5), 8, Bytes::from(vec![0xCD; 1024]));
+        vm.blk_submit(&req).unwrap();
+        let (head, hdr, payload) = vm.blk_fetch().unwrap().unwrap();
+        assert_eq!(hdr.sector, 8);
+        assert_eq!(hdr.kind, BlkReqKind::Out);
+        assert_eq!(payload.len(), 1024);
+        assert!(payload.iter().all(|&b| b == 0xCD));
+        vm.blk_complete(head, BLK_S_OK, &[]).unwrap();
+        let done = vm.blk_reap().unwrap();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, RequestId(5));
+        assert_eq!(done[0].status, BLK_S_OK);
+    }
+
+    #[test]
+    fn blk_read_returns_data() {
+        let mut vm = Vm::new(VmId(0));
+        let req = BlockRequest::read(RequestId(9), 0, 512);
+        vm.blk_submit(&req).unwrap();
+        let (head, hdr, _) = vm.blk_fetch().unwrap().unwrap();
+        assert_eq!(hdr.kind, BlkReqKind::In);
+        vm.blk_complete(head, BLK_S_OK, &[0xEE; 512]).unwrap();
+        let done = vm.blk_reap().unwrap();
+        assert_eq!(done[0].data.len(), 512);
+        assert!(done[0].data.iter().all(|&b| b == 0xEE));
+    }
+}

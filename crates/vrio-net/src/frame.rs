@@ -1,0 +1,183 @@
+//! Ethernet frames and MTU constants.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::mac::MacAddr;
+
+/// Bytes of an Ethernet header (dst + src + ethertype).
+pub const ETH_HDR_SIZE: usize = 14;
+/// The standard Ethernet MTU.
+pub const MTU_STANDARD: usize = 1500;
+/// The jumbo MTU vRIO chooses (paper §4.4): 8100 bytes, so that each TSO
+/// fragment plus headers fits in two 4 KB pages and a 64 KB message fits in
+/// the 17 fragments a Linux SKB can map.
+pub const MTU_VRIO_JUMBO: usize = 8100;
+/// The maximal jumbo-frame MTU (which vRIO deliberately does *not* use).
+pub const MTU_JUMBO_MAX: usize = 9000;
+
+/// EtherType values used by the testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum EtherType {
+    /// IPv4 traffic (guest-visible TCP/UDP flows).
+    Ipv4,
+    /// The raw-Ethernet vRIO transport protocol (IOclient <-> IOhost).
+    Vrio,
+    /// Anything else.
+    Other(u16),
+}
+
+impl EtherType {
+    /// Wire encoding.
+    pub fn to_wire(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Vrio => 0x88B5, // IEEE 802 local experimental ethertype
+            EtherType::Other(v) => v,
+        }
+    }
+
+    /// Decodes a wire value.
+    pub fn from_wire(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x88B5 => EtherType::Vrio,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+/// An Ethernet frame: header plus opaque payload.
+///
+/// Payloads are [`Bytes`], so passing a frame between NIC rings, switch
+/// ports and workers never copies the data — mirroring the zero-copy
+/// discipline the paper's implementation follows (§4.4).
+///
+/// # Examples
+///
+/// ```
+/// use vrio_net::{EtherType, Frame, MacAddr};
+/// use bytes::Bytes;
+///
+/// let f = Frame::new(
+///     MacAddr::local(1),
+///     MacAddr::local(2),
+///     EtherType::Vrio,
+///     Bytes::from_static(b"payload"),
+/// );
+/// let wire = f.encode();
+/// let back = Frame::decode(wire).unwrap();
+/// assert_eq!(back.src, MacAddr::local(2));
+/// assert_eq!(&back.payload[..], b"payload");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// Payload protocol.
+    pub ethertype: EtherType,
+    /// Payload bytes (not including the Ethernet header).
+    pub payload: Bytes,
+}
+
+impl Frame {
+    /// Creates a frame.
+    pub fn new(dst: MacAddr, src: MacAddr, ethertype: EtherType, payload: Bytes) -> Self {
+        Frame { dst, src, ethertype, payload }
+    }
+
+    /// Total wire length: header plus payload.
+    pub fn wire_len(&self) -> usize {
+        ETH_HDR_SIZE + self.payload.len()
+    }
+
+    /// Whether the payload fits within `mtu`.
+    pub fn fits_mtu(&self, mtu: usize) -> bool {
+        self.payload.len() <= mtu
+    }
+
+    /// Serializes to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(self.wire_len());
+        b.put_slice(&self.dst.0);
+        b.put_slice(&self.src.0);
+        b.put_u16(self.ethertype.to_wire());
+        b.put_slice(&self.payload);
+        b.freeze()
+    }
+
+    /// Parses from wire bytes. Returns `None` if shorter than a header.
+    /// The payload is a zero-copy slice of the input.
+    pub fn decode(mut wire: Bytes) -> Option<Frame> {
+        if wire.len() < ETH_HDR_SIZE {
+            return None;
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&wire[0..6]);
+        src.copy_from_slice(&wire[6..12]);
+        let et = u16::from_be_bytes([wire[12], wire[13]]);
+        let payload = wire.split_off(ETH_HDR_SIZE);
+        Some(Frame {
+            dst: MacAddr(dst),
+            src: MacAddr(src),
+            ethertype: EtherType::from_wire(et),
+            payload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let f = Frame::new(
+            MacAddr::local(7),
+            MacAddr::BROADCAST,
+            EtherType::Ipv4,
+            Bytes::from(vec![1, 2, 3, 4, 5]),
+        );
+        let d = Frame::decode(f.encode()).unwrap();
+        assert_eq!(d, f);
+        assert_eq!(d.wire_len(), 19);
+    }
+
+    #[test]
+    fn short_wire_is_none() {
+        assert!(Frame::decode(Bytes::from_static(&[0u8; 13])).is_none());
+        // Exactly a header with empty payload is fine.
+        let f = Frame::new(MacAddr::local(0), MacAddr::local(1), EtherType::Vrio, Bytes::new());
+        assert!(Frame::decode(f.encode()).is_some());
+    }
+
+    #[test]
+    fn ethertype_wire_values() {
+        assert_eq!(EtherType::Ipv4.to_wire(), 0x0800);
+        assert_eq!(EtherType::from_wire(0x88B5), EtherType::Vrio);
+        assert_eq!(EtherType::from_wire(0x1234), EtherType::Other(0x1234));
+        assert_eq!(EtherType::Other(0x1234).to_wire(), 0x1234);
+    }
+
+    #[test]
+    fn mtu_check() {
+        let f = Frame::new(
+            MacAddr::local(0),
+            MacAddr::local(1),
+            EtherType::Ipv4,
+            Bytes::from(vec![0u8; 2000]),
+        );
+        assert!(!f.fits_mtu(MTU_STANDARD));
+        assert!(f.fits_mtu(MTU_VRIO_JUMBO));
+    }
+
+    #[test]
+    fn mtu_constants_match_paper() {
+        assert_eq!(MTU_STANDARD, 1500);
+        assert_eq!(MTU_VRIO_JUMBO, 8100);
+        assert_eq!(MTU_JUMBO_MAX, 9000);
+    }
+}

@@ -1,0 +1,62 @@
+//! # vrio-net
+//!
+//! The Ethernet substrate of the vRIO reproduction: frames and MAC
+//! addressing, the SKB model with Linux's 17-fragment/4 KB-page constraints,
+//! TSO segmentation with fake TCP headers and zero-copy reassembly
+//! (paper §4.3–§4.4), NICs with rx/tx rings and SRIOV virtual functions,
+//! links with bandwidth/latency/loss, and a learning L2 switch.
+//!
+//! These are passive data structures plus pure logic: the discrete-event
+//! wiring (who polls what when, what each operation costs) lives in the
+//! `vrio` crate's testbed, which keeps every piece here independently
+//! testable.
+//!
+//! ## The paper's MTU-8100 invariant, executable
+//!
+//! ```
+//! use vrio_net::{segment_message, Reassembler, MTU_VRIO_JUMBO};
+//! use bytes::Bytes;
+//!
+//! // A maximal 64 KB TCP message segments into 9 fragments at MTU 8100...
+//! let msg = Bytes::from(vec![7u8; 65_536]);
+//! let segs = segment_message(msg.clone(), MTU_VRIO_JUMBO, 42).unwrap();
+//! assert_eq!(segs.len(), 9);
+//!
+//! // ...which reassemble zero-copy into exactly 17 SKB page slots.
+//! let mut r = Reassembler::new();
+//! let mut skb = None;
+//! for s in segs {
+//!     if let Some(done) = r.offer(0, s).unwrap() {
+//!         skb = Some(done);
+//!     }
+//! }
+//! let mut skb = skb.unwrap();
+//! assert_eq!(skb.frag_slots(), 17);
+//! assert_eq!(skb.bytes_copied(), 0);
+//! assert_eq!(skb.linearize(), msg);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod frame;
+mod link;
+mod mac;
+mod nic;
+mod skb;
+mod tso;
+
+pub use frame::{
+    EtherType, Frame, ETH_HDR_SIZE, MTU_JUMBO_MAX, MTU_STANDARD, MTU_VRIO_JUMBO,
+};
+pub use link::{Forward, Link, PortId, Switch};
+pub use mac::{MacAddr, ParseMacError};
+pub use nic::{
+    Coalescer, NicMode, NicPort, NicStats, PacketRing, RxOutcome, SriovNic, VfId,
+    RX_RING_DEFAULT, RX_RING_LARGE,
+};
+pub use skb::{Frag, Skb, SkbError, MAX_SKB_FRAGS, PAGE_SIZE};
+pub use tso::{
+    fragment_count, internet_checksum, segment_message, FakeTcpHdr, Reassembler, Segment,
+    TsoError, FAKE_TCP_HDR_SIZE, MAX_TSO_MSG,
+};

@@ -1,0 +1,109 @@
+//! Ethernet MAC addresses.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A 48-bit Ethernet MAC address.
+///
+/// # Examples
+///
+/// ```
+/// use vrio_net::MacAddr;
+///
+/// let m: MacAddr = "52:54:00:00:00:2a".parse().unwrap();
+/// assert_eq!(m.to_string(), "52:54:00:00:00:2a");
+/// assert!(!m.is_broadcast());
+/// assert!(MacAddr::BROADCAST.is_broadcast());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The all-ones broadcast address.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// A locally-administered unicast address derived from an index; used
+    /// by the testbed to hand out unique addresses deterministically.
+    pub fn local(index: u32) -> MacAddr {
+        let b = index.to_be_bytes();
+        // 0x52 has the locally-administered bit set and multicast bit clear.
+        MacAddr([0x52, 0x54, b[0], b[1], b[2], b[3]])
+    }
+
+    /// Whether this is the broadcast address.
+    pub fn is_broadcast(self) -> bool {
+        self == MacAddr::BROADCAST
+    }
+
+    /// Whether the multicast bit is set (includes broadcast).
+    pub fn is_multicast(self) -> bool {
+        self.0[0] & 1 != 0
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(f, "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}", b[0], b[1], b[2], b[3], b[4], b[5])
+    }
+}
+
+/// Error parsing a MAC address from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMacError(String);
+
+impl fmt::Display for ParseMacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid MAC address: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseMacError {}
+
+impl FromStr for MacAddr {
+    type Err = ParseMacError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.split(':').collect();
+        if parts.len() != 6 {
+            return Err(ParseMacError(s.to_string()));
+        }
+        let mut b = [0u8; 6];
+        for (i, p) in parts.iter().enumerate() {
+            b[i] = u8::from_str_radix(p, 16).map_err(|_| ParseMacError(s.to_string()))?;
+        }
+        Ok(MacAddr(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_display_roundtrip() {
+        let m: MacAddr = "00:1b:21:aa:bb:cc".parse().unwrap();
+        assert_eq!(m.to_string(), "00:1b:21:aa:bb:cc");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("00:1b:21:aa:bb".parse::<MacAddr>().is_err());
+        assert!("00:1b:21:aa:bb:zz".parse::<MacAddr>().is_err());
+        assert!("".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn local_addresses_unique_and_unicast() {
+        let a = MacAddr::local(1);
+        let b = MacAddr::local(2);
+        assert_ne!(a, b);
+        assert!(!a.is_multicast());
+        assert!(!a.is_broadcast());
+    }
+
+    #[test]
+    fn broadcast_is_multicast() {
+        assert!(MacAddr::BROADCAST.is_multicast());
+    }
+}

@@ -1,0 +1,326 @@
+//! A socket-buffer (SKB) model with Linux's structural constraints.
+//!
+//! The paper's zero-copy paths (§4.4) lean on two SKB properties:
+//!
+//! 1. headers can be prepended/stripped by moving the *head pointer* within
+//!    pre-reserved headroom, without copying payload — this is how the vRIO
+//!    net front-end adds/removes the fake TCP header;
+//! 2. an SKB can map at most [`MAX_SKB_FRAGS`] (17) payload fragments, each
+//!    contained within one 4 KB page — this is the constraint that forces
+//!    MTU 8100 (each TSO fragment spans ≤ 2 pages; a 64 KB message needs
+//!    8 × 2 + 1 = 17 pages).
+//!
+//! [`Skb`] implements both, along with explicit copy accounting so tests and
+//! benches can assert that a given path is actually zero-copy.
+
+use bytes::{Bytes, BytesMut};
+
+/// Maximum number of page fragments a Linux SKB can map.
+pub const MAX_SKB_FRAGS: usize = 17;
+/// Page size constraining each fragment.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Errors raised by SKB operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SkbError {
+    /// `push` was asked for more headroom than is reserved.
+    NoHeadroom {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// `pull` was asked for more bytes than the linear area holds.
+    ShortLinear {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// Appending a fragment would exceed [`MAX_SKB_FRAGS`].
+    TooManyFrags,
+    /// A fragment does not fit within a single page.
+    FragTooLarge {
+        /// Offending fragment length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for SkbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SkbError::NoHeadroom { requested, available } => {
+                write!(f, "skb_push of {requested} bytes exceeds headroom {available}")
+            }
+            SkbError::ShortLinear { requested, available } => {
+                write!(f, "skb_pull of {requested} bytes exceeds linear data {available}")
+            }
+            SkbError::TooManyFrags => write!(f, "skb already maps {MAX_SKB_FRAGS} fragments"),
+            SkbError::FragTooLarge { len } => {
+                write!(f, "fragment of {len} bytes does not fit in a {PAGE_SIZE}-byte page")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SkbError {}
+
+/// One page-backed payload fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frag {
+    /// The fragment's bytes (zero-copy handle).
+    pub data: Bytes,
+    /// Number of distinct 4 KB pages backing this fragment (1 or 2 in the
+    /// vRIO reassembly path).
+    pub pages: usize,
+}
+
+/// A socket buffer: linear header area with headroom plus page fragments.
+///
+/// # Examples
+///
+/// ```
+/// use vrio_net::Skb;
+/// use bytes::Bytes;
+///
+/// // Front-end path: SKB with payload and reserved headroom.
+/// let mut skb = Skb::with_headroom(64);
+/// skb.append_linear(b"application payload");
+/// let copies_before = skb.bytes_copied();
+///
+/// // Transport prepends the fake TCP header by moving the head pointer --
+/// // no payload copy (paper section 4.4).
+/// skb.push(b"FAKE-TCP-HDR").unwrap();
+/// assert_eq!(&skb.linear()[..12], b"FAKE-TCP-HDR");
+///
+/// // Receive path strips it again.
+/// let hdr = skb.pull(12).unwrap();
+/// assert_eq!(&hdr[..], b"FAKE-TCP-HDR");
+/// assert_eq!(skb.linear(), b"application payload");
+/// assert_eq!(skb.bytes_copied(), copies_before); // header moves copied nothing
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Skb {
+    /// Reserved bytes before the current head pointer.
+    headroom: usize,
+    /// The linear area: `buf[headroom..]` is live data.
+    buf: Vec<u8>,
+    /// Page fragments (the non-linear area).
+    frags: Vec<Frag>,
+    /// Bytes copied (memcpy'd) into or out of this SKB over its lifetime —
+    /// the zero-copy audit counter.
+    bytes_copied: u64,
+}
+
+impl Skb {
+    /// An empty SKB with `headroom` bytes reserved for future `push`es.
+    pub fn with_headroom(headroom: usize) -> Self {
+        Skb { headroom, buf: vec![0; headroom], frags: Vec::new(), bytes_copied: 0 }
+    }
+
+    /// An SKB wrapping existing payload with no copy (the pointer-assignment
+    /// path the block front-end uses when lending its I/O buffer, §4.4).
+    pub fn from_borrowed(payload: Bytes) -> Self {
+        let mut skb = Skb::with_headroom(64);
+        // Mapped as a fragment list without copying.
+        let mut offset = 0;
+        while offset < payload.len() {
+            let take = (payload.len() - offset).min(PAGE_SIZE);
+            skb.frags.push(Frag { data: payload.slice(offset..offset + take), pages: 1 });
+            offset += take;
+        }
+        skb
+    }
+
+    /// Appends bytes to the linear area (a copy; counted).
+    pub fn append_linear(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+        self.bytes_copied += data.len() as u64;
+    }
+
+    /// Prepends `hdr` by moving the head pointer into headroom
+    /// (`skb_push`). Fails if headroom is insufficient. Only the header
+    /// bytes themselves are written; payload is untouched.
+    pub fn push(&mut self, hdr: &[u8]) -> Result<(), SkbError> {
+        if hdr.len() > self.headroom {
+            return Err(SkbError::NoHeadroom { requested: hdr.len(), available: self.headroom });
+        }
+        self.headroom -= hdr.len();
+        self.buf[self.headroom..self.headroom + hdr.len()].copy_from_slice(hdr);
+        Ok(())
+    }
+
+    /// Strips and returns `n` bytes from the front of the linear area
+    /// (`skb_pull`): the head pointer moves forward, no payload copy.
+    pub fn pull(&mut self, n: usize) -> Result<Bytes, SkbError> {
+        let avail = self.buf.len() - self.headroom;
+        if n > avail {
+            return Err(SkbError::ShortLinear { requested: n, available: avail });
+        }
+        let hdr = Bytes::copy_from_slice(&self.buf[self.headroom..self.headroom + n]);
+        self.headroom += n;
+        Ok(hdr)
+    }
+
+    /// Maps a payload fragment without copying. The fragment must fit in a
+    /// page and the SKB must have a fragment slot free.
+    pub fn add_frag(&mut self, data: Bytes) -> Result<(), SkbError> {
+        self.add_frag_spanning(data, 1)
+    }
+
+    /// Maps a fragment that spans `pages` physical pages (the vRIO
+    /// reassembly path stores one 8100-byte TSO fragment across 2 pages).
+    pub fn add_frag_spanning(&mut self, data: Bytes, pages: usize) -> Result<(), SkbError> {
+        if self.frags.len() + pages > MAX_SKB_FRAGS {
+            return Err(SkbError::TooManyFrags);
+        }
+        if data.len() > pages * PAGE_SIZE {
+            return Err(SkbError::FragTooLarge { len: data.len() });
+        }
+        // A fragment spanning k pages consumes k of the 17 slots (Linux maps
+        // one page per slot; a 2-page TSO fragment takes 2 slots).
+        for _ in 0..pages.saturating_sub(1) {
+            self.frags.push(Frag { data: Bytes::new(), pages: 0 });
+        }
+        self.frags.push(Frag { data, pages });
+        Ok(())
+    }
+
+    /// The live linear data.
+    pub fn linear(&self) -> &[u8] {
+        &self.buf[self.headroom..]
+    }
+
+    /// The fragment list (non-empty placeholders excluded).
+    pub fn frags(&self) -> impl Iterator<Item = &Frag> {
+        self.frags.iter().filter(|f| f.pages > 0)
+    }
+
+    /// Number of fragment slots consumed (out of [`MAX_SKB_FRAGS`]).
+    pub fn frag_slots(&self) -> usize {
+        self.frags.len()
+    }
+
+    /// Remaining headroom in bytes.
+    pub fn headroom(&self) -> usize {
+        self.headroom
+    }
+
+    /// Total payload length: linear plus fragments.
+    pub fn len(&self) -> usize {
+        (self.buf.len() - self.headroom) + self.frags.iter().map(|f| f.data.len()).sum::<usize>()
+    }
+
+    /// Whether the SKB carries no data.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes memcpy'd into this SKB over its lifetime (zero-copy audit).
+    pub fn bytes_copied(&self) -> u64 {
+        self.bytes_copied
+    }
+
+    /// Linearizes the whole payload into one contiguous buffer — an
+    /// explicit, counted copy. Zero-copy paths never call this.
+    pub fn linearize(&mut self) -> Bytes {
+        let mut out = BytesMut::with_capacity(self.len());
+        out.extend_from_slice(self.linear());
+        for f in &self.frags {
+            out.extend_from_slice(&f.data);
+        }
+        self.bytes_copied += out.len() as u64;
+        out.freeze()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pull_move_head_pointer() {
+        let mut skb = Skb::with_headroom(32);
+        skb.append_linear(b"data");
+        skb.push(b"H2").unwrap();
+        skb.push(b"H1").unwrap();
+        assert_eq!(skb.linear(), b"H1H2data");
+        assert_eq!(skb.headroom(), 28);
+        assert_eq!(&skb.pull(2).unwrap()[..], b"H1");
+        assert_eq!(&skb.pull(2).unwrap()[..], b"H2");
+        assert_eq!(skb.linear(), b"data");
+    }
+
+    #[test]
+    fn push_beyond_headroom_fails() {
+        let mut skb = Skb::with_headroom(4);
+        let err = skb.push(&[0u8; 5]).unwrap_err();
+        assert_eq!(err, SkbError::NoHeadroom { requested: 5, available: 4 });
+    }
+
+    #[test]
+    fn pull_beyond_linear_fails() {
+        let mut skb = Skb::with_headroom(4);
+        skb.append_linear(b"ab");
+        let err = skb.pull(3).unwrap_err();
+        assert_eq!(err, SkbError::ShortLinear { requested: 3, available: 2 });
+    }
+
+    #[test]
+    fn frag_page_constraint() {
+        let mut skb = Skb::with_headroom(0);
+        assert!(skb.add_frag(Bytes::from(vec![0u8; PAGE_SIZE])).is_ok());
+        let err = skb.add_frag(Bytes::from(vec![0u8; PAGE_SIZE + 1])).unwrap_err();
+        assert_eq!(err, SkbError::FragTooLarge { len: PAGE_SIZE + 1 });
+    }
+
+    #[test]
+    fn frag_slot_limit_is_17() {
+        let mut skb = Skb::with_headroom(0);
+        for _ in 0..MAX_SKB_FRAGS {
+            skb.add_frag(Bytes::from_static(b"x")).unwrap();
+        }
+        assert_eq!(skb.add_frag(Bytes::from_static(b"x")).unwrap_err(), SkbError::TooManyFrags);
+    }
+
+    #[test]
+    fn two_page_fragment_consumes_two_slots() {
+        let mut skb = Skb::with_headroom(0);
+        for _ in 0..8 {
+            skb.add_frag_spanning(Bytes::from(vec![0u8; 8100]), 2).unwrap();
+        }
+        assert_eq!(skb.frag_slots(), 16);
+        // The 9th (736-byte) fragment fits in the final slot: 17 total.
+        skb.add_frag(Bytes::from(vec![0u8; 736])).unwrap();
+        assert_eq!(skb.frag_slots(), MAX_SKB_FRAGS);
+        assert!(skb.add_frag(Bytes::from_static(b"x")).is_err());
+    }
+
+    #[test]
+    fn borrowed_payload_is_zero_copy() {
+        let payload = Bytes::from(vec![7u8; 10_000]);
+        let skb = Skb::from_borrowed(payload.clone());
+        assert_eq!(skb.len(), 10_000);
+        assert_eq!(skb.bytes_copied(), 0);
+        let collected: Vec<u8> =
+            skb.frags().flat_map(|f| f.data.iter().copied()).collect();
+        assert_eq!(collected, payload.to_vec());
+    }
+
+    #[test]
+    fn linearize_counts_the_copy() {
+        let mut skb = Skb::from_borrowed(Bytes::from(vec![1u8; 5000]));
+        let flat = skb.linearize();
+        assert_eq!(flat.len(), 5000);
+        assert_eq!(skb.bytes_copied(), 5000);
+    }
+
+    #[test]
+    fn len_spans_linear_and_frags() {
+        let mut skb = Skb::with_headroom(16);
+        skb.append_linear(b"hdr");
+        skb.add_frag(Bytes::from_static(b"payload")).unwrap();
+        assert_eq!(skb.len(), 10);
+        assert!(!skb.is_empty());
+    }
+}

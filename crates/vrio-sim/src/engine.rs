@@ -1,0 +1,275 @@
+//! The discrete-event simulation engine.
+//!
+//! [`Engine<W>`] owns a priority queue of scheduled events over a
+//! user-supplied world type `W`. Events are `FnOnce(&mut W, &mut Engine<W>)`
+//! closures; firing an event may mutate the world and schedule further
+//! events. Ties in firing time are broken by scheduling order (FIFO), which
+//! together with the deterministic RNG makes every run bit-for-bit
+//! reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A scheduled event callback.
+pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
+
+struct Scheduled<W> {
+    at: SimTime,
+    seq: u64,
+    f: EventFn<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic discrete-event simulator over a world type `W`.
+///
+/// # Examples
+///
+/// ```
+/// use vrio_sim::{Engine, SimDuration, SimTime};
+///
+/// struct World { pings: u32 }
+///
+/// let mut world = World { pings: 0 };
+/// let mut engine = Engine::new();
+/// engine.schedule_in(SimDuration::micros(5), |w: &mut World, eng| {
+///     w.pings += 1;
+///     // Events may schedule further events.
+///     eng.schedule_in(SimDuration::micros(5), |w: &mut World, _| w.pings += 1);
+/// });
+/// engine.run(&mut world);
+/// assert_eq!(world.pings, 2);
+/// assert_eq!(engine.now(), SimTime::from_nanos(10_000));
+/// ```
+pub struct Engine<W> {
+    now: SimTime,
+    seq: u64,
+    fired: u64,
+    queue: BinaryHeap<Scheduled<W>>,
+}
+
+impl<W> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Engine<W> {
+    /// Creates an empty engine at `t = 0`.
+    pub fn new() -> Self {
+        Engine { now: SimTime::ZERO, seq: 0, fired: 0, queue: BinaryHeap::new() }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events fired so far.
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Number of events currently pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `f` to fire at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error; the event is clamped to fire
+    /// at the current time (still after all already-pending events at that
+    /// time), and a debug assertion trips in test builds.
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F)
+    where
+        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+    {
+        debug_assert!(at >= self.now, "scheduled event in the past: {at} < {}", self.now);
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, f: Box::new(f) });
+    }
+
+    /// Schedules `f` to fire `delay` after the current time.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, f: F)
+    where
+        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+    {
+        self.schedule_at(self.now + delay, f);
+    }
+
+    /// Schedules `f` to fire immediately after all events already pending at
+    /// the current time.
+    pub fn schedule_now<F>(&mut self, f: F)
+    where
+        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+    {
+        self.schedule_at(self.now, f);
+    }
+
+    /// Fires the next pending event, advancing time to its deadline.
+    ///
+    /// Returns `false` if the queue was empty.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        match self.queue.pop() {
+            Some(ev) => {
+                debug_assert!(ev.at >= self.now);
+                self.now = ev.at;
+                self.fired += 1;
+                (ev.f)(world, self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until no events remain.
+    pub fn run(&mut self, world: &mut W) {
+        while self.step(world) {}
+    }
+
+    /// Runs until the queue is empty or the next event would fire after
+    /// `deadline`. Time is left at the last fired event (it does not jump to
+    /// the deadline).
+    pub fn run_until(&mut self, world: &mut W, deadline: SimTime) {
+        while let Some(ev) = self.queue.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            self.step(world);
+        }
+    }
+
+    /// Runs for `span` of simulated time from the current instant.
+    pub fn run_for(&mut self, world: &mut W, span: SimDuration) {
+        let deadline = self.now + span;
+        self.run_until(world, deadline);
+    }
+
+    /// Runs while `cond` holds (checked before each event) and events remain.
+    pub fn run_while<F>(&mut self, world: &mut W, mut cond: F)
+    where
+        F: FnMut(&W) -> bool,
+    {
+        while cond(world) && self.step(world) {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut order: Vec<u32> = Vec::new();
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        eng.schedule_at(SimTime::from_nanos(300), |w, _| w.push(3));
+        eng.schedule_at(SimTime::from_nanos(100), |w, _| w.push(1));
+        eng.schedule_at(SimTime::from_nanos(200), |w, _| w.push(2));
+        eng.run(&mut order);
+        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(eng.events_fired(), 3);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut order: Vec<u32> = Vec::new();
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        for i in 0..10 {
+            eng.schedule_at(SimTime::from_nanos(50), move |w, _| w.push(i));
+        }
+        eng.run(&mut order);
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_until_stops_before_later_events() {
+        let mut hits = 0u32;
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule_at(SimTime::from_nanos(100), |w, _| *w += 1);
+        eng.schedule_at(SimTime::from_nanos(200), |w, _| *w += 1);
+        eng.schedule_at(SimTime::from_nanos(300), |w, _| *w += 1);
+        eng.run_until(&mut hits, SimTime::from_nanos(200));
+        assert_eq!(hits, 2);
+        assert_eq!(eng.now(), SimTime::from_nanos(200));
+        assert_eq!(eng.pending(), 1);
+        eng.run(&mut hits);
+        assert_eq!(hits, 3);
+    }
+
+    #[test]
+    fn chained_scheduling() {
+        // An event chain: each fires 10ns later, 100 links.
+        struct W {
+            n: u32,
+        }
+        fn link(w: &mut W, eng: &mut Engine<W>) {
+            w.n += 1;
+            if w.n < 100 {
+                eng.schedule_in(SimDuration::nanos(10), link);
+            }
+        }
+        let mut w = W { n: 0 };
+        let mut eng = Engine::new();
+        eng.schedule_now(link);
+        eng.run(&mut w);
+        assert_eq!(w.n, 100);
+        assert_eq!(eng.now(), SimTime::from_nanos(990));
+    }
+
+    #[test]
+    fn run_while_condition() {
+        let mut n = 0u32;
+        let mut eng: Engine<u32> = Engine::new();
+        for i in 0..100u64 {
+            eng.schedule_at(SimTime::from_nanos(i), |w, _| *w += 1);
+        }
+        eng.run_while(&mut n, |w| *w < 10);
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn schedule_now_runs_after_pending_same_time_events() {
+        let mut order: Vec<u32> = Vec::new();
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        eng.schedule_at(SimTime::ZERO, |w, eng| {
+            w.push(1);
+            eng.schedule_now(|w: &mut Vec<u32>, _| w.push(3));
+        });
+        eng.schedule_at(SimTime::ZERO, |w, _| w.push(2));
+        eng.run(&mut order);
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn run_for_is_relative() {
+        let mut n = 0u32;
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule_at(SimTime::from_nanos(100), |w, _| *w += 1);
+        eng.schedule_at(SimTime::from_nanos(250), |w, _| *w += 1);
+        eng.run_for(&mut n, SimDuration::nanos(150));
+        assert_eq!(n, 1);
+        eng.run_for(&mut n, SimDuration::nanos(300));
+        assert_eq!(n, 2);
+    }
+}

@@ -1,0 +1,200 @@
+//! Deterministic random number generation for simulations.
+//!
+//! Every stochastic element of the testbed (service-time jitter, packet-loss
+//! injection, workload think times, file-size distributions) draws from a
+//! [`SimRng`] seeded explicitly by the experiment, so runs are reproducible
+//! bit-for-bit. There is deliberately no way to seed from the wall clock.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// A seedable, deterministic RNG with the distributions the testbed needs.
+///
+/// # Examples
+///
+/// ```
+/// use vrio_sim::SimRng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.uniform_u64(100), b.uniform_u64(100)); // same seed, same draw
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates an RNG from an explicit 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng { inner: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Derives an independent child RNG; useful for giving each entity its
+    /// own stream so adding an entity does not perturb the draws of others.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        // splitmix-style decorrelation of the child seed.
+        let mut z = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        SimRng::seed_from(z ^ (z >> 31))
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A uniform integer in `[0, bound)`. `bound` must be nonzero.
+    pub fn uniform_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "uniform_u64 bound must be nonzero");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// A uniform usize in `[0, bound)`. `bound` must be nonzero.
+    pub fn uniform_usize(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "uniform_usize bound must be nonzero");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.uniform() < p
+        }
+    }
+
+    /// An exponentially distributed float with the given mean.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean >= 0.0);
+        let u = 1.0 - self.uniform(); // in (0, 1]
+        -mean * u.ln()
+    }
+
+    /// A standard normal draw (Box–Muller).
+    pub fn std_normal(&mut self) -> f64 {
+        let u1 = 1.0 - self.uniform(); // (0, 1]
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// A log-normal draw with the given median (`exp(mu)`) and shape sigma.
+    ///
+    /// Used for service-time jitter: most draws land near the median with a
+    /// right tail, matching measured OS/network latency distributions.
+    pub fn lognormal(&mut self, median: f64, sigma: f64) -> f64 {
+        debug_assert!(median > 0.0 && sigma >= 0.0);
+        median * (sigma * self.std_normal()).exp()
+    }
+
+    /// A Pareto draw with minimum `xmin` and tail index `alpha` (> 0).
+    ///
+    /// Heavy-tailed; used for rare latency outliers (interrupt storms,
+    /// scheduler hiccups) behind Table 4's 99.99%+ percentiles.
+    pub fn pareto(&mut self, xmin: f64, alpha: f64) -> f64 {
+        debug_assert!(xmin > 0.0 && alpha > 0.0);
+        let u = 1.0 - self.uniform(); // (0, 1]
+        xmin / u.powf(1.0 / alpha)
+    }
+
+    /// An exponentially distributed duration with the given mean.
+    pub fn exp_duration(&mut self, mean: SimDuration) -> SimDuration {
+        SimDuration::from_secs_f64(self.exp(mean.as_secs_f64()))
+    }
+
+    /// A log-normally jittered duration around `median` with shape `sigma`.
+    pub fn lognormal_duration(&mut self, median: SimDuration, sigma: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.lognormal(median.as_secs_f64().max(1e-12), sigma))
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from empty slice");
+        &items[self.uniform_usize(items.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_same_seed() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.inner.gen::<u64>(), b.inner.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn forked_streams_differ() {
+        let mut root = SimRng::seed_from(1);
+        let mut c1 = root.fork(1);
+        let mut c2 = root.fork(2);
+        let s1: Vec<u64> = (0..8).map(|_| c1.uniform_u64(1 << 60)).collect();
+        let s2: Vec<u64> = (0..8).map(|_| c2.uniform_u64(1 << 60)).collect();
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn exp_mean_is_close() {
+        let mut rng = SimRng::seed_from(99);
+        let n = 20_000;
+        let mean = 5.0;
+        let sum: f64 = (0..n).map(|_| rng.exp(mean)).sum();
+        let observed = sum / n as f64;
+        assert!((observed - mean).abs() < 0.15, "observed mean {observed}");
+    }
+
+    #[test]
+    fn lognormal_median_is_close() {
+        let mut rng = SimRng::seed_from(5);
+        let mut draws: Vec<f64> = (0..10_001).map(|_| rng.lognormal(10.0, 0.5)).collect();
+        draws.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = draws[draws.len() / 2];
+        assert!((median - 10.0).abs() < 0.5, "observed median {median}");
+    }
+
+    #[test]
+    fn pareto_respects_min() {
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..1_000 {
+            assert!(rng.pareto(2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(1);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.03);
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut rng = SimRng::seed_from(11);
+        for _ in 0..1_000 {
+            assert!(rng.uniform_u64(10) < 10);
+            let v = rng.uniform();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn pick_returns_member() {
+        let mut rng = SimRng::seed_from(2);
+        let items = [1, 2, 3];
+        for _ in 0..50 {
+            assert!(items.contains(rng.pick(&items)));
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! The virtio-blk device protocol: request header, status byte, and sector
+//! arithmetic.
+//!
+//! A virtio-blk request is a descriptor chain of
+//! `[16-byte header][data buffers...][1-byte status]`; the header and data
+//! of a write are device-readable, the data of a read and the status byte
+//! are device-writable.
+
+/// The virtio sector size; all block requests address 512-byte sectors.
+pub const SECTOR_SIZE: u64 = 512;
+/// Size of the encoded request header in bytes.
+pub const BLK_HDR_SIZE: usize = 16;
+
+/// Request type: read from the device.
+pub const BLK_T_IN: u32 = 0;
+/// Request type: write to the device.
+pub const BLK_T_OUT: u32 = 1;
+/// Request type: flush volatile caches.
+pub const BLK_T_FLUSH: u32 = 4;
+
+/// Completion status: success.
+pub const BLK_S_OK: u8 = 0;
+/// Completion status: I/O error.
+pub const BLK_S_IOERR: u8 = 1;
+/// Completion status: request type unsupported.
+pub const BLK_S_UNSUPP: u8 = 2;
+
+/// Kind of block request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlkReqKind {
+    /// Read sectors from the device.
+    In,
+    /// Write sectors to the device.
+    Out,
+    /// Flush the device's volatile write cache.
+    Flush,
+}
+
+impl BlkReqKind {
+    /// The wire encoding of this kind.
+    pub fn to_wire(self) -> u32 {
+        match self {
+            BlkReqKind::In => BLK_T_IN,
+            BlkReqKind::Out => BLK_T_OUT,
+            BlkReqKind::Flush => BLK_T_FLUSH,
+        }
+    }
+
+    /// Parses a wire value; unknown values yield `None`.
+    pub fn from_wire(v: u32) -> Option<Self> {
+        match v {
+            BLK_T_IN => Some(BlkReqKind::In),
+            BLK_T_OUT => Some(BlkReqKind::Out),
+            BLK_T_FLUSH => Some(BlkReqKind::Flush),
+            _ => None,
+        }
+    }
+
+    /// Whether this request carries device-readable payload (a write).
+    pub fn is_write(self) -> bool {
+        matches!(self, BlkReqKind::Out)
+    }
+}
+
+/// The 16-byte `virtio_blk_req` header.
+///
+/// # Examples
+///
+/// ```
+/// use vrio_virtio::{BlkHdr, BlkReqKind};
+///
+/// let hdr = BlkHdr::new(BlkReqKind::Out, 2048);
+/// let bytes = hdr.encode();
+/// assert_eq!(BlkHdr::decode(&bytes).unwrap(), hdr);
+/// assert_eq!(hdr.byte_offset(), 2048 * 512);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlkHdr {
+    /// Request kind.
+    pub kind: BlkReqKind,
+    /// I/O priority (unused; kept for layout fidelity).
+    pub ioprio: u32,
+    /// Starting sector (512-byte units).
+    pub sector: u64,
+}
+
+impl BlkHdr {
+    /// Creates a header for `kind` starting at `sector`.
+    pub fn new(kind: BlkReqKind, sector: u64) -> Self {
+        BlkHdr { kind, ioprio: 0, sector }
+    }
+
+    /// The byte offset of the first addressed sector.
+    pub fn byte_offset(&self) -> u64 {
+        self.sector * SECTOR_SIZE
+    }
+
+    /// Encodes to the on-ring byte layout.
+    pub fn encode(&self) -> [u8; BLK_HDR_SIZE] {
+        let mut b = [0u8; BLK_HDR_SIZE];
+        b[0..4].copy_from_slice(&self.kind.to_wire().to_le_bytes());
+        b[4..8].copy_from_slice(&self.ioprio.to_le_bytes());
+        b[8..16].copy_from_slice(&self.sector.to_le_bytes());
+        b
+    }
+
+    /// Decodes from the on-ring byte layout. Returns `None` on a short
+    /// buffer or unknown request type.
+    pub fn decode(b: &[u8]) -> Option<Self> {
+        if b.len() < BLK_HDR_SIZE {
+            return None;
+        }
+        let kind = BlkReqKind::from_wire(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))?;
+        Some(BlkHdr {
+            kind,
+            ioprio: u32::from_le_bytes([b[4], b[5], b[6], b[7]]),
+            sector: u64::from_le_bytes(b[8..16].try_into().expect("length checked")),
+        })
+    }
+}
+
+/// Returns `true` if `offset` and `len` are both sector-aligned, as required
+/// for direct block writes (paper §4.4: unaligned edges must be copied).
+pub fn is_sector_aligned(offset: u64, len: u64) -> bool {
+    offset.is_multiple_of(SECTOR_SIZE) && len.is_multiple_of(SECTOR_SIZE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip_all_kinds() {
+        for kind in [BlkReqKind::In, BlkReqKind::Out, BlkReqKind::Flush] {
+            let hdr = BlkHdr::new(kind, 0x1234_5678_9abc);
+            assert_eq!(BlkHdr::decode(&hdr.encode()).unwrap(), hdr);
+        }
+    }
+
+    #[test]
+    fn unknown_type_is_none() {
+        let mut b = BlkHdr::new(BlkReqKind::In, 0).encode();
+        b[0] = 99;
+        assert!(BlkHdr::decode(&b).is_none());
+    }
+
+    #[test]
+    fn short_buffer_is_none() {
+        assert!(BlkHdr::decode(&[0u8; 15]).is_none());
+    }
+
+    #[test]
+    fn sector_alignment() {
+        assert!(is_sector_aligned(0, 512));
+        assert!(is_sector_aligned(1024, 4096));
+        assert!(!is_sector_aligned(100, 512));
+        assert!(!is_sector_aligned(512, 100));
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(BlkReqKind::Out.is_write());
+        assert!(!BlkReqKind::In.is_write());
+        assert!(!BlkReqKind::Flush.is_write());
+    }
+}

@@ -1,0 +1,131 @@
+//! Virtio feature negotiation.
+//!
+//! A device offers a feature set; a driver acknowledges the subset it
+//! understands. The negotiated set is the intersection. vRIO's transport
+//! negotiates the same bits as local virtio, so front-ends are oblivious to
+//! whether their back-end is local (baseline/Elvis) or remote (vRIO).
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr};
+
+/// Device/driver feature bits (a subset sufficient for the testbed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u64)]
+#[non_exhaustive]
+pub enum Feature {
+    /// virtio-net: driver can merge receive buffers.
+    NetMrgRxbuf = 1 << 15,
+    /// virtio-net: host can handle TSO (TCPv4 GSO) packets.
+    NetHostTso4 = 1 << 11,
+    /// virtio-blk: device has a volatile write cache (flush supported).
+    BlkFlush = 1 << 9,
+    /// ring: used_event / avail_event notification suppression.
+    RingEventIdx = 1 << 29,
+    /// virtio 1.0 compliance bit.
+    Version1 = 1 << 32,
+}
+
+/// A set of feature bits.
+///
+/// # Examples
+///
+/// ```
+/// use vrio_virtio::{Feature, FeatureSet};
+///
+/// let offered = FeatureSet::new() | Feature::NetHostTso4 | Feature::Version1;
+/// let wanted = FeatureSet::new() | Feature::NetHostTso4 | Feature::NetMrgRxbuf;
+/// let negotiated = offered.negotiate(wanted);
+/// assert!(negotiated.contains(Feature::NetHostTso4));
+/// assert!(!negotiated.contains(Feature::NetMrgRxbuf)); // not offered
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct FeatureSet(u64);
+
+impl FeatureSet {
+    /// The empty feature set.
+    pub fn new() -> Self {
+        FeatureSet(0)
+    }
+
+    /// Constructs from raw bits.
+    pub fn from_bits(bits: u64) -> Self {
+        FeatureSet(bits)
+    }
+
+    /// The raw bits.
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Whether `f` is in the set.
+    pub fn contains(self, f: Feature) -> bool {
+        self.0 & (f as u64) != 0
+    }
+
+    /// The intersection of offered (self) and driver-acknowledged features.
+    pub fn negotiate(self, acked: FeatureSet) -> FeatureSet {
+        FeatureSet(self.0 & acked.0)
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl BitOr<Feature> for FeatureSet {
+    type Output = FeatureSet;
+    fn bitor(self, rhs: Feature) -> FeatureSet {
+        FeatureSet(self.0 | rhs as u64)
+    }
+}
+
+impl BitOr for FeatureSet {
+    type Output = FeatureSet;
+    fn bitor(self, rhs: FeatureSet) -> FeatureSet {
+        FeatureSet(self.0 | rhs.0)
+    }
+}
+
+impl BitAnd for FeatureSet {
+    type Output = FeatureSet;
+    fn bitand(self, rhs: FeatureSet) -> FeatureSet {
+        FeatureSet(self.0 & rhs.0)
+    }
+}
+
+impl fmt::Display for FeatureSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "features({:#x})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negotiation_is_intersection() {
+        let dev = FeatureSet::new() | Feature::NetHostTso4 | Feature::BlkFlush;
+        let drv = FeatureSet::new() | Feature::BlkFlush | Feature::RingEventIdx;
+        let n = dev.negotiate(drv);
+        assert!(n.contains(Feature::BlkFlush));
+        assert!(!n.contains(Feature::NetHostTso4));
+        assert!(!n.contains(Feature::RingEventIdx));
+    }
+
+    #[test]
+    fn empty_set() {
+        assert!(FeatureSet::new().is_empty());
+        assert!(!(FeatureSet::new() | Feature::Version1).is_empty());
+    }
+
+    #[test]
+    fn bit_ops() {
+        let a = FeatureSet::new() | Feature::Version1;
+        let b = FeatureSet::new() | Feature::Version1 | Feature::BlkFlush;
+        assert_eq!((a | b).bits(), b.bits());
+        assert_eq!((a & b).bits(), a.bits());
+        assert_eq!(FeatureSet::from_bits(a.bits()), a);
+    }
+}

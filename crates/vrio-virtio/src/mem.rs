@@ -1,0 +1,190 @@
+//! A byte-addressed guest-physical memory space.
+//!
+//! Virtqueues are laid out in guest memory exactly as the virtio 1.0 split
+//! ring specifies; both the guest driver and the (IO)host device side
+//! operate over the same [`GuestMemory`], just as the real guest and the
+//! real host touch the same physical pages.
+
+use std::fmt;
+
+/// A guest-physical address.
+///
+/// # Examples
+///
+/// ```
+/// use vrio_virtio::GuestAddr;
+///
+/// let a = GuestAddr(0x1000);
+/// assert_eq!(a.offset(16), GuestAddr(0x1010));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GuestAddr(pub u64);
+
+impl GuestAddr {
+    /// Returns the address `bytes` past this one.
+    pub const fn offset(self, bytes: u64) -> GuestAddr {
+        GuestAddr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for GuestAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// Errors raised by guest-memory accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// The access `[addr, addr+len)` falls outside the memory space.
+    OutOfBounds {
+        /// Start of the faulting access.
+        addr: GuestAddr,
+        /// Length of the faulting access.
+        len: u64,
+        /// Size of the memory space.
+        size: u64,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfBounds { addr, len, size } => {
+                write!(f, "guest access [{addr}, +{len}) out of bounds (size {size:#x})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// A flat guest-physical memory space.
+///
+/// # Examples
+///
+/// ```
+/// use vrio_virtio::{GuestAddr, GuestMemory};
+///
+/// let mut mem = GuestMemory::new(4096);
+/// mem.write(GuestAddr(0x10), &[1, 2, 3]).unwrap();
+/// assert_eq!(mem.read(GuestAddr(0x10), 3).unwrap(), &[1, 2, 3]);
+/// mem.write_u32_le(GuestAddr(0x20), 0xdead_beef).unwrap();
+/// assert_eq!(mem.read_u32_le(GuestAddr(0x20)).unwrap(), 0xdead_beef);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GuestMemory {
+    bytes: Vec<u8>,
+}
+
+impl GuestMemory {
+    /// Allocates a zeroed memory space of `size` bytes.
+    pub fn new(size: usize) -> Self {
+        GuestMemory { bytes: vec![0; size] }
+    }
+
+    /// Size of the memory space in bytes.
+    pub fn size(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    fn check(&self, addr: GuestAddr, len: u64) -> Result<usize, MemError> {
+        let end = addr.0.checked_add(len);
+        match end {
+            Some(end) if end <= self.size() => Ok(addr.0 as usize),
+            _ => Err(MemError::OutOfBounds { addr, len, size: self.size() }),
+        }
+    }
+
+    /// Reads `len` bytes at `addr`.
+    pub fn read(&self, addr: GuestAddr, len: u64) -> Result<&[u8], MemError> {
+        let start = self.check(addr, len)?;
+        Ok(&self.bytes[start..start + len as usize])
+    }
+
+    /// Writes `data` at `addr`.
+    pub fn write(&mut self, addr: GuestAddr, data: &[u8]) -> Result<(), MemError> {
+        let start = self.check(addr, data.len() as u64)?;
+        self.bytes[start..start + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn read_u16_le(&self, addr: GuestAddr) -> Result<u16, MemError> {
+        let b = self.read(addr, 2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn write_u16_le(&mut self, addr: GuestAddr, v: u16) -> Result<(), MemError> {
+        self.write(addr, &v.to_le_bytes())
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32_le(&self, addr: GuestAddr) -> Result<u32, MemError> {
+        let b = self.read(addr, 4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32_le(&mut self, addr: GuestAddr, v: u32) -> Result<(), MemError> {
+        self.write(addr, &v.to_le_bytes())
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64_le(&self, addr: GuestAddr) -> Result<u64, MemError> {
+        let b = self.read(addr, 8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("read returned 8 bytes")))
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64_le(&mut self, addr: GuestAddr, v: u64) -> Result<(), MemError> {
+        self.write(addr, &v.to_le_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut mem = GuestMemory::new(256);
+        mem.write(GuestAddr(10), b"hello").unwrap();
+        assert_eq!(mem.read(GuestAddr(10), 5).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn scalar_roundtrips() {
+        let mut mem = GuestMemory::new(64);
+        mem.write_u16_le(GuestAddr(0), 0x1234).unwrap();
+        mem.write_u32_le(GuestAddr(2), 0x5678_9abc).unwrap();
+        mem.write_u64_le(GuestAddr(6), 0xdead_beef_cafe_f00d).unwrap();
+        assert_eq!(mem.read_u16_le(GuestAddr(0)).unwrap(), 0x1234);
+        assert_eq!(mem.read_u32_le(GuestAddr(2)).unwrap(), 0x5678_9abc);
+        assert_eq!(mem.read_u64_le(GuestAddr(6)).unwrap(), 0xdead_beef_cafe_f00d);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut mem = GuestMemory::new(8);
+        mem.write_u32_le(GuestAddr(0), 0x0102_0304).unwrap();
+        assert_eq!(mem.read(GuestAddr(0), 4).unwrap(), &[0x04, 0x03, 0x02, 0x01]);
+    }
+
+    #[test]
+    fn out_of_bounds_is_an_error() {
+        let mut mem = GuestMemory::new(16);
+        assert!(mem.read(GuestAddr(15), 2).is_err());
+        assert!(mem.write(GuestAddr(16), &[0]).is_err());
+        assert!(mem.read(GuestAddr(u64::MAX), 2).is_err()); // overflow-safe
+        assert!(mem.read(GuestAddr(0), 16).is_ok());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = MemError::OutOfBounds { addr: GuestAddr(0x20), len: 4, size: 16 };
+        let s = e.to_string();
+        assert!(s.contains("0x20"), "{s}");
+    }
+}

@@ -1,0 +1,111 @@
+//! The virtio-net device protocol: the per-packet header that precedes
+//! every frame on a virtio-net virtqueue.
+//!
+//! The vRIO transport reuses this header verbatim ("we directly reuse the
+//! virtio protocol", paper §4.1): the front-end's virtio metadata travels
+//! inside the encapsulated Ethernet frame to the IOhost.
+
+/// GSO type: no segmentation offload requested.
+pub const GSO_NONE: u8 = 0;
+/// GSO type: TCPv4 segmentation offload (what vRIO's fake-TCP TSO uses).
+pub const GSO_TCPV4: u8 = 1;
+
+/// Size of the encoded header in bytes (legacy layout, no `num_buffers`).
+pub const NET_HDR_SIZE: usize = 10;
+
+/// The `virtio_net_hdr` carried in front of every packet.
+///
+/// # Examples
+///
+/// ```
+/// use vrio_virtio::NetHdr;
+///
+/// let hdr = NetHdr::gso_tcpv4(1448);
+/// let bytes = hdr.encode();
+/// assert_eq!(NetHdr::decode(&bytes).unwrap(), hdr);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetHdr {
+    /// Header flags (checksum offload bits; unused here).
+    pub flags: u8,
+    /// Generic segmentation offload type ([`GSO_NONE`] or [`GSO_TCPV4`]).
+    pub gso_type: u8,
+    /// Length of the headers to replicate on each segment.
+    pub hdr_len: u16,
+    /// Maximum segment payload when GSO is in effect.
+    pub gso_size: u16,
+    /// Checksum start offset (unused here).
+    pub csum_start: u16,
+    /// Checksum offset (unused here).
+    pub csum_offset: u16,
+}
+
+impl NetHdr {
+    /// A header requesting no offloads.
+    pub fn plain() -> Self {
+        NetHdr::default()
+    }
+
+    /// A header requesting TCPv4 segmentation with `gso_size`-byte segments.
+    pub fn gso_tcpv4(gso_size: u16) -> Self {
+        NetHdr { gso_type: GSO_TCPV4, gso_size, ..NetHdr::default() }
+    }
+
+    /// Encodes to the on-ring byte layout.
+    pub fn encode(&self) -> [u8; NET_HDR_SIZE] {
+        let mut b = [0u8; NET_HDR_SIZE];
+        b[0] = self.flags;
+        b[1] = self.gso_type;
+        b[2..4].copy_from_slice(&self.hdr_len.to_le_bytes());
+        b[4..6].copy_from_slice(&self.gso_size.to_le_bytes());
+        b[6..8].copy_from_slice(&self.csum_start.to_le_bytes());
+        b[8..10].copy_from_slice(&self.csum_offset.to_le_bytes());
+        b
+    }
+
+    /// Decodes from the on-ring byte layout. Returns `None` if `b` is too
+    /// short.
+    pub fn decode(b: &[u8]) -> Option<Self> {
+        if b.len() < NET_HDR_SIZE {
+            return None;
+        }
+        Some(NetHdr {
+            flags: b[0],
+            gso_type: b[1],
+            hdr_len: u16::from_le_bytes([b[2], b[3]]),
+            gso_size: u16::from_le_bytes([b[4], b[5]]),
+            csum_start: u16::from_le_bytes([b[6], b[7]]),
+            csum_offset: u16::from_le_bytes([b[8], b[9]]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let hdr = NetHdr {
+            flags: 1,
+            gso_type: GSO_TCPV4,
+            hdr_len: 54,
+            gso_size: 1448,
+            csum_start: 34,
+            csum_offset: 16,
+        };
+        assert_eq!(NetHdr::decode(&hdr.encode()).unwrap(), hdr);
+    }
+
+    #[test]
+    fn decode_short_buffer_is_none() {
+        assert!(NetHdr::decode(&[0u8; 9]).is_none());
+    }
+
+    #[test]
+    fn plain_header_has_no_gso() {
+        let h = NetHdr::plain();
+        assert_eq!(h.gso_type, GSO_NONE);
+        assert_eq!(h.encode(), [0u8; NET_HDR_SIZE]);
+    }
+}

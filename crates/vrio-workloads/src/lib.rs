@@ -1,0 +1,29 @@
+//! # vrio-workloads
+//!
+//! The benchmark workloads of the vRIO paper's evaluation (§5), driving
+//! the `vrio::Testbed`:
+//!
+//! * [`netperf_rr`] — UDP request-response latency (Figures 7, 8, 13a,
+//!   Table 4);
+//! * [`netperf_stream`] — TCP stream throughput with 64-byte messages
+//!   (Figures 9, 10, 11, 13b);
+//! * [`run_txn_bench`] with [`TxnProfile::apache`] /
+//!   [`TxnProfile::memcached`] — the ApacheBench and memslap
+//!   macrobenchmarks (Figures 5 and 12);
+//! * [`run_filebench`] — Filebench personalities over the block path:
+//!   random readers/writers on a ramdisk (Figure 14) and the bursty
+//!   `Webserver` personality (Figures 15 and 16).
+//!
+//! Every workload is a closed-loop generator over the testbed's flows, so
+//! saturation and queueing emerge from the testbed's FIFO resources.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod filebench;
+mod macrobench;
+mod netperf;
+
+pub use filebench::{run_filebench, run_filebench_with, FilebenchResult, Personality};
+pub use macrobench::{run_txn_bench, MacroResult, TxnProfile};
+pub use netperf::{netperf_rr, netperf_stream, tail_percentiles, RrResult, StreamResult};

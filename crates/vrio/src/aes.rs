@@ -1,0 +1,241 @@
+//! AES-256 in CTR mode, implemented from scratch (FIPS-197).
+//!
+//! The paper's load-imbalance experiment (§5, Figure 16b) interposes
+//! seamless AES-256 encryption on the I/O stream at the IOhost. This module
+//! provides that cipher as real executable work: a straightforward
+//! table-based AES-256 block encryptor plus a CTR keystream, verified
+//! against the FIPS-197 appendix vectors. Only encryption is required —
+//! CTR decryption is the same operation.
+
+/// The AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+const RCON: [u8; 15] = [
+    0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36, 0x6c, 0xd8, 0xab, 0x4d, 0x9a,
+];
+
+fn xtime(x: u8) -> u8 {
+    (x << 1) ^ (if x & 0x80 != 0 { 0x1b } else { 0 })
+}
+
+/// An AES-256 key schedule (encryption direction).
+///
+/// # Examples
+///
+/// ```
+/// use vrio::Aes256;
+///
+/// // FIPS-197 appendix C.3 vector.
+/// let key: Vec<u8> = (0u8..32).collect();
+/// let aes = Aes256::new(key[..].try_into().unwrap());
+/// let pt: Vec<u8> = (0u8..16).map(|i| i * 0x11).collect();
+/// let ct = aes.encrypt_block(pt[..].try_into().unwrap());
+/// assert_eq!(ct[..4], [0x8e, 0xa2, 0xb7, 0xca]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Aes256 {
+    /// 15 round keys of 16 bytes each.
+    round_keys: [[u8; 16]; 15],
+}
+
+impl Aes256 {
+    /// Expands a 256-bit key.
+    pub fn new(key: &[u8; 32]) -> Self {
+        // 60 words total for AES-256.
+        let mut w = [[0u8; 4]; 60];
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            w[i].copy_from_slice(chunk);
+        }
+        for i in 8..60 {
+            let mut t = w[i - 1];
+            if i % 8 == 0 {
+                t.rotate_left(1);
+                for b in &mut t {
+                    *b = SBOX[*b as usize];
+                }
+                t[0] ^= RCON[i / 8 - 1];
+            } else if i % 8 == 4 {
+                for b in &mut t {
+                    *b = SBOX[*b as usize];
+                }
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 8][j] ^ t[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 15];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
+            }
+        }
+        Aes256 { round_keys }
+    }
+
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for i in 0..16 {
+            state[i] ^= rk[i];
+        }
+    }
+
+    fn sub_bytes(state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = SBOX[*b as usize];
+        }
+    }
+
+    fn shift_rows(state: &mut [u8; 16]) {
+        // State is column-major: byte (row r, col c) at index c*4 + r.
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[c * 4 + r] = s[((c + r) % 4) * 4 + r];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [state[c * 4], state[c * 4 + 1], state[c * 4 + 2], state[c * 4 + 3]];
+            let t = col[0] ^ col[1] ^ col[2] ^ col[3];
+            for r in 0..4 {
+                state[c * 4 + r] = col[r] ^ t ^ xtime(col[r] ^ col[(r + 1) % 4]);
+            }
+        }
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut state = *block;
+        Self::add_round_key(&mut state, &self.round_keys[0]);
+        for round in 1..14 {
+            Self::sub_bytes(&mut state);
+            Self::shift_rows(&mut state);
+            Self::mix_columns(&mut state);
+            Self::add_round_key(&mut state, &self.round_keys[round]);
+        }
+        Self::sub_bytes(&mut state);
+        Self::shift_rows(&mut state);
+        Self::add_round_key(&mut state, &self.round_keys[14]);
+        state
+    }
+}
+
+/// AES-256-CTR: a stream cipher over the block cipher. Encryption and
+/// decryption are the same operation.
+///
+/// # Examples
+///
+/// ```
+/// use vrio::AesCtr;
+///
+/// let key = [7u8; 32];
+/// let nonce = 0xDEAD_BEEF;
+/// let plain = b"interposable I/O at rack scale".to_vec();
+/// let cipher = AesCtr::new(&key, nonce).process(&plain);
+/// assert_ne!(cipher, plain);
+/// let back = AesCtr::new(&key, nonce).process(&cipher);
+/// assert_eq!(back, plain);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AesCtr {
+    aes: Aes256,
+    nonce: u64,
+    counter: u64,
+}
+
+impl AesCtr {
+    /// Creates a CTR stream for `key` and `nonce` starting at counter 0.
+    pub fn new(key: &[u8; 32], nonce: u64) -> Self {
+        AesCtr { aes: Aes256::new(key), nonce, counter: 0 }
+    }
+
+    /// Encrypts/decrypts `data`, advancing the counter.
+    pub fn process(&mut self, data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(data.len());
+        for chunk in data.chunks(16) {
+            let mut ctr_block = [0u8; 16];
+            ctr_block[..8].copy_from_slice(&self.nonce.to_be_bytes());
+            ctr_block[8..].copy_from_slice(&self.counter.to_be_bytes());
+            self.counter = self.counter.wrapping_add(1);
+            let ks = self.aes.encrypt_block(&ctr_block);
+            for (i, &b) in chunk.iter().enumerate() {
+                out.push(b ^ ks[i]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FIPS-197 Appendix C.3: AES-256 with key 00..1f, plaintext
+    /// 00112233445566778899aabbccddeeff.
+    #[test]
+    fn fips197_appendix_c3_vector() {
+        let key: Vec<u8> = (0u8..32).collect();
+        let aes = Aes256::new(key[..].try_into().unwrap());
+        let pt: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let expected: [u8; 16] = [
+            0x8e, 0xa2, 0xb7, 0xca, 0x51, 0x67, 0x45, 0xbf, 0xea, 0xfc, 0x49, 0x90, 0x4b, 0x49,
+            0x60, 0x89,
+        ];
+        assert_eq!(aes.encrypt_block(&pt), expected);
+    }
+
+    #[test]
+    fn ctr_roundtrip_various_lengths() {
+        let key = [0x42u8; 32];
+        for len in [0usize, 1, 15, 16, 17, 100, 4096] {
+            let data: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let ct = AesCtr::new(&key, 9).process(&data);
+            assert_eq!(ct.len(), len);
+            let pt = AesCtr::new(&key, 9).process(&ct);
+            assert_eq!(pt, data, "len={len}");
+        }
+    }
+
+    #[test]
+    fn different_nonces_differ() {
+        let key = [1u8; 32];
+        let data = vec![0u8; 64];
+        let a = AesCtr::new(&key, 1).process(&data);
+        let b = AesCtr::new(&key, 2).process(&data);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let key = [9u8; 32];
+        let data: Vec<u8> = (0..128u32).map(|i| i as u8).collect();
+        let one_shot = AesCtr::new(&key, 5).process(&data);
+        let mut streaming = AesCtr::new(&key, 5);
+        let mut out = streaming.process(&data[..64]);
+        out.extend(streaming.process(&data[64..]));
+        assert_eq!(one_shot, out);
+    }
+}

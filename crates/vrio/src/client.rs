@@ -1,0 +1,226 @@
+//! IOclients: the software entities served by the I/O hypervisor.
+//!
+//! vRIO bypasses the local hypervisor, so a client can be a KVM guest, a
+//! VMware ESXi guest, a bare-metal x86 OS, or a bare-metal POWER host — the
+//! I/O hypervisor neither knows nor cares (paper §4.6 "Friendliness to
+//! Heterogeneity", §5 "Heterogeneity"). This module also implements the
+//! live-migration choreography of §4.6: the front-end identity `F` stays
+//! fixed while the transport `T` switches between its SRIOV VF and a
+//! migratable virtio channel.
+
+use vrio_net::MacAddr;
+
+use crate::transport::TransportMode;
+
+/// The local environment hosting an IOclient — irrelevant to the I/O
+/// hypervisor by design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClientFlavor {
+    /// A VM on KVM/QEMU (x86).
+    KvmGuest,
+    /// A VM on VMware ESXi (x86).
+    EsxiGuest,
+    /// A bare-metal x86 OS with the vRIO driver installed.
+    BareMetal,
+    /// A bare-metal IBM POWER host (the paper's 710 experiment).
+    PowerBareMetal,
+}
+
+impl ClientFlavor {
+    /// Whether this client runs under a local hypervisor at all.
+    pub fn is_virtualized(self) -> bool {
+        matches!(self, ClientFlavor::KvmGuest | ClientFlavor::EsxiGuest)
+    }
+
+    /// The processor architecture, for the platform-agnosticism checks.
+    pub fn arch(self) -> &'static str {
+        match self {
+            ClientFlavor::PowerBareMetal => "power",
+            _ => "x86_64",
+        }
+    }
+}
+
+/// Errors from the migration choreography.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MigrationError {
+    /// Live migration cannot commence while `T` rides the SRIOV VF.
+    SriovAttached,
+    /// Bare-metal clients do not live-migrate.
+    NotVirtualized,
+}
+
+impl std::fmt::Display for MigrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MigrationError::SriovAttached => {
+                write!(f, "transport must switch off the SRIOV VF before migration")
+            }
+            MigrationError::NotVirtualized => write!(f, "bare-metal clients cannot live-migrate"),
+        }
+    }
+}
+
+impl std::error::Error for MigrationError {}
+
+/// An IOclient: identity, flavor, and transport state.
+///
+/// The client owns two MAC addresses (paper §4.6): `F` — the front-end's
+/// outward identity, the only address the world sees — and `T` — the
+/// transport's private address, known only to the IOhost.
+///
+/// # Examples
+///
+/// ```
+/// use vrio::{ClientFlavor, IoClient, TransportMode};
+///
+/// let mut client = IoClient::new(0, ClientFlavor::KvmGuest);
+/// assert_eq!(client.transport_mode(), TransportMode::Sriov);
+///
+/// // Live migration: F switches T from the VF to virtio, migrates, and
+/// // switches back (the paper's dynamic-switch design).
+/// assert!(client.begin_migration().is_err()); // still on SRIOV
+/// client.set_transport_mode(TransportMode::Virtio);
+/// client.begin_migration().unwrap();
+/// client.complete_migration(1);
+/// client.set_transport_mode(TransportMode::Sriov);
+/// assert_eq!(client.vmhost(), 1);
+/// assert_eq!(client.migrations(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IoClient {
+    id: u32,
+    flavor: ClientFlavor,
+    vmhost: usize,
+    mode: TransportMode,
+    migrating: bool,
+    migrations: u64,
+    f_mac: MacAddr,
+    t_mac: MacAddr,
+}
+
+impl IoClient {
+    /// Creates a client on VMhost 0 with the SRIOV transport.
+    pub fn new(id: u32, flavor: ClientFlavor) -> Self {
+        IoClient {
+            id,
+            flavor,
+            vmhost: 0,
+            mode: TransportMode::Sriov,
+            migrating: false,
+            migrations: 0,
+            // F and T get distinct addresses from disjoint ranges.
+            f_mac: MacAddr::local(id),
+            t_mac: MacAddr::local(0x8000_0000 | id),
+        }
+    }
+
+    /// The client id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The client's environment flavor.
+    pub fn flavor(&self) -> ClientFlavor {
+        self.flavor
+    }
+
+    /// The VMhost currently hosting the client.
+    pub fn vmhost(&self) -> usize {
+        self.vmhost
+    }
+
+    /// The front-end's public MAC (`F`).
+    pub fn front_end_mac(&self) -> MacAddr {
+        self.f_mac
+    }
+
+    /// The transport's private MAC (`T`), unknown outside the IOhost.
+    pub fn transport_mac(&self) -> MacAddr {
+        self.t_mac
+    }
+
+    /// The current transport mode.
+    pub fn transport_mode(&self) -> TransportMode {
+        self.mode
+    }
+
+    /// Completed migrations.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Switches the channel `T` rides on. `F` — and therefore every open
+    /// connection — is unaffected.
+    pub fn set_transport_mode(&mut self, mode: TransportMode) {
+        self.mode = mode;
+    }
+
+    /// Starts live migration. Fails unless the transport has been switched
+    /// off the SRIOV VF (which cannot be decoupled while in use).
+    pub fn begin_migration(&mut self) -> Result<(), MigrationError> {
+        if !self.flavor.is_virtualized() {
+            return Err(MigrationError::NotVirtualized);
+        }
+        if !self.mode.migratable() {
+            return Err(MigrationError::SriovAttached);
+        }
+        self.migrating = true;
+        Ok(())
+    }
+
+    /// Completes migration onto `target` VMhost.
+    pub fn complete_migration(&mut self, target: usize) {
+        assert!(self.migrating, "complete_migration without begin_migration");
+        self.migrating = false;
+        self.vmhost = target;
+        self.migrations += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flavors() {
+        assert!(ClientFlavor::KvmGuest.is_virtualized());
+        assert!(ClientFlavor::EsxiGuest.is_virtualized());
+        assert!(!ClientFlavor::BareMetal.is_virtualized());
+        assert_eq!(ClientFlavor::PowerBareMetal.arch(), "power");
+        assert_eq!(ClientFlavor::KvmGuest.arch(), "x86_64");
+    }
+
+    #[test]
+    fn f_and_t_macs_are_distinct() {
+        let c = IoClient::new(5, ClientFlavor::KvmGuest);
+        assert_ne!(c.front_end_mac(), c.transport_mac());
+        let d = IoClient::new(6, ClientFlavor::KvmGuest);
+        assert_ne!(c.front_end_mac(), d.front_end_mac());
+        assert_ne!(c.transport_mac(), d.transport_mac());
+    }
+
+    #[test]
+    fn migration_requires_leaving_sriov() {
+        let mut c = IoClient::new(1, ClientFlavor::KvmGuest);
+        assert_eq!(c.begin_migration(), Err(MigrationError::SriovAttached));
+        c.set_transport_mode(TransportMode::Virtio);
+        c.begin_migration().unwrap();
+        c.complete_migration(2);
+        assert_eq!(c.vmhost(), 2);
+    }
+
+    #[test]
+    fn bare_metal_cannot_migrate() {
+        let mut c = IoClient::new(1, ClientFlavor::BareMetal);
+        c.set_transport_mode(TransportMode::Virtio);
+        assert_eq!(c.begin_migration(), Err(MigrationError::NotVirtualized));
+    }
+
+    #[test]
+    fn local_fallback_is_migratable() {
+        let mut c = IoClient::new(1, ClientFlavor::EsxiGuest);
+        c.set_transport_mode(TransportMode::LocalFallback);
+        assert!(c.begin_migration().is_ok());
+    }
+}

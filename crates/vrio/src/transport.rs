@@ -1,0 +1,320 @@
+//! The IOclient transport driver: reliability for block traffic over
+//! unreliable Ethernet (paper §4.5) and the switchable SRIOV/virtio
+//! channel that enables live migration (§4.6).
+//!
+//! Net traffic needs no reliability (TCP retransmits, UDP may lose anyway),
+//! but block requests must never be lost. The transport associates a
+//! timeout and a *unique wire identifier* with every block request; on
+//! expiry the request is presumed lost and retransmitted under a fresh
+//! identifier with a doubled timeout, and responses carrying a superseded
+//! ("stale") identifier are ignored. After too many attempts the device
+//! raises an error. The guest-side [`vrio_block::BlockGate`] guarantees no
+//! competing request for the same blocks can race a retransmission.
+
+use std::collections::HashMap;
+
+use vrio_block::RequestId;
+use vrio_sim::SimDuration;
+
+/// Retransmission parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetxConfig {
+    /// Timeout for the first attempt. The paper uses 10 ms.
+    pub initial_timeout: SimDuration,
+    /// Attempts (including the first transmission) before a device error.
+    pub max_attempts: u32,
+}
+
+impl Default for RetxConfig {
+    fn default() -> Self {
+        RetxConfig { initial_timeout: SimDuration::millis(10), max_attempts: 8 }
+    }
+}
+
+/// Counters the transport maintains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetxStats {
+    /// Requests sent (first transmissions).
+    pub sent: u64,
+    /// Retransmissions performed.
+    pub retransmissions: u64,
+    /// Responses ignored because their wire id was superseded.
+    pub stale_responses: u64,
+    /// Requests that exhausted all attempts.
+    pub device_errors: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Outstanding {
+    guest_req: RequestId,
+    attempt: u32,
+    timeout: SimDuration,
+}
+
+/// What to do when a retransmission timer fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeoutAction {
+    /// Resend under `new_wire_id`, arming a timer for `timeout`.
+    Retransmit {
+        /// Fresh wire identifier for the retransmission.
+        new_wire_id: u64,
+        /// The (doubled) timeout to arm.
+        timeout: SimDuration,
+    },
+    /// Attempts exhausted: surface a device error to the guest.
+    DeviceError {
+        /// The guest request that failed.
+        guest_req: RequestId,
+    },
+    /// The timer is stale (request already completed or superseded): no-op.
+    Stale,
+}
+
+/// What to do when a response arrives from the IOhost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseAction {
+    /// Deliver the completion for `guest_req` to the front-end.
+    Accept {
+        /// The guest request this response completes.
+        guest_req: RequestId,
+    },
+    /// The response's wire id was superseded or unknown: drop it.
+    Stale,
+}
+
+/// The block-retransmission state machine.
+///
+/// # Examples
+///
+/// ```
+/// use vrio::{BlockRetx, ResponseAction, RetxConfig, TimeoutAction};
+/// use vrio_block::RequestId;
+/// use vrio_sim::SimDuration;
+///
+/// let mut retx = BlockRetx::new(RetxConfig::default());
+/// let (wire1, t1) = retx.send(RequestId(7));
+/// assert_eq!(t1, SimDuration::millis(10));
+///
+/// // The request is lost; the timer fires: retransmit with doubled timeout.
+/// let TimeoutAction::Retransmit { new_wire_id, timeout } = retx.on_timeout(wire1)
+///     else { panic!("expected retransmit") };
+/// assert_eq!(timeout, SimDuration::millis(20));
+///
+/// // A late response for the ORIGINAL id is stale and ignored...
+/// assert_eq!(retx.on_response(wire1), ResponseAction::Stale);
+/// // ...but the retransmission's response completes the request.
+/// assert_eq!(retx.on_response(new_wire_id), ResponseAction::Accept { guest_req: RequestId(7) });
+/// ```
+#[derive(Debug, Default)]
+pub struct BlockRetx {
+    config: RetxConfig,
+    next_wire_id: u64,
+    outstanding: HashMap<u64, Outstanding>,
+    current_wire: HashMap<RequestId, u64>,
+    /// Counters.
+    pub stats: RetxStats,
+}
+
+impl BlockRetx {
+    /// Creates a state machine with the given configuration.
+    pub fn new(config: RetxConfig) -> Self {
+        BlockRetx { config, next_wire_id: 1, ..BlockRetx::default() }
+    }
+
+    /// Number of requests currently awaiting a response.
+    pub fn outstanding(&self) -> usize {
+        self.current_wire.len()
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_wire_id;
+        self.next_wire_id += 1;
+        id
+    }
+
+    /// Registers a new request. Returns its wire id and the timeout to arm.
+    pub fn send(&mut self, guest_req: RequestId) -> (u64, SimDuration) {
+        assert!(
+            !self.current_wire.contains_key(&guest_req),
+            "request {guest_req:?} already in flight"
+        );
+        let wire = self.fresh_id();
+        let timeout = self.config.initial_timeout;
+        self.outstanding.insert(wire, Outstanding { guest_req, attempt: 1, timeout });
+        self.current_wire.insert(guest_req, wire);
+        self.stats.sent += 1;
+        (wire, timeout)
+    }
+
+    /// Handles a timer expiry for `wire_id`.
+    pub fn on_timeout(&mut self, wire_id: u64) -> TimeoutAction {
+        // Stale timer: the id is no longer outstanding (completed) or was
+        // already superseded by a newer retransmission.
+        let Some(out) = self.outstanding.get(&wire_id).copied() else {
+            return TimeoutAction::Stale;
+        };
+        if self.current_wire.get(&out.guest_req) != Some(&wire_id) {
+            return TimeoutAction::Stale;
+        }
+        self.outstanding.remove(&wire_id);
+        if out.attempt >= self.config.max_attempts {
+            self.current_wire.remove(&out.guest_req);
+            self.stats.device_errors += 1;
+            return TimeoutAction::DeviceError { guest_req: out.guest_req };
+        }
+        let new_wire_id = self.fresh_id();
+        let timeout = out.timeout * 2u64; // exponential backoff (§4.5)
+        self.outstanding.insert(
+            new_wire_id,
+            Outstanding { guest_req: out.guest_req, attempt: out.attempt + 1, timeout },
+        );
+        self.current_wire.insert(out.guest_req, new_wire_id);
+        self.stats.retransmissions += 1;
+        TimeoutAction::Retransmit { new_wire_id, timeout }
+    }
+
+    /// Handles a response carrying `wire_id`.
+    pub fn on_response(&mut self, wire_id: u64) -> ResponseAction {
+        let Some(out) = self.outstanding.get(&wire_id).copied() else {
+            self.stats.stale_responses += 1;
+            return ResponseAction::Stale;
+        };
+        if self.current_wire.get(&out.guest_req) != Some(&wire_id) {
+            self.stats.stale_responses += 1;
+            return ResponseAction::Stale;
+        }
+        self.outstanding.remove(&wire_id);
+        self.current_wire.remove(&out.guest_req);
+        self.stats.completed += 1;
+        ResponseAction::Accept { guest_req: out.guest_req }
+    }
+}
+
+/// Which NIC carries the transport channel (paper §4.6 "Live Migration").
+///
+/// `F` (the front-end's outward identity) stays fixed while `T` (the
+/// transport) can switch between an SRIOV VF (fast path) and a traditional
+/// virtio NIC (migratable path) — the underlying traffic is the same virtio
+/// protocol either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportMode {
+    /// `T` rides a dedicated SRIOV VF with ELI (the performance path).
+    Sriov,
+    /// `T` rides a paravirtual NIC via the local hypervisor — slower, but
+    /// the VM can live-migrate while using it.
+    Virtio,
+    /// `T` rides shared memory to the *local* hypervisor with traditional
+    /// virtio headers (the migrate-away-from-vRIO escape hatch).
+    LocalFallback,
+}
+
+impl TransportMode {
+    /// Whether live migration can commence in this mode.
+    pub fn migratable(self) -> bool {
+        !matches!(self, TransportMode::Sriov)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(ms: u64, attempts: u32) -> RetxConfig {
+        RetxConfig { initial_timeout: SimDuration::millis(ms), max_attempts: attempts }
+    }
+
+    #[test]
+    fn clean_completion() {
+        let mut rx = BlockRetx::new(RetxConfig::default());
+        let (w, _) = rx.send(RequestId(1));
+        assert_eq!(rx.outstanding(), 1);
+        assert_eq!(rx.on_response(w), ResponseAction::Accept { guest_req: RequestId(1) });
+        assert_eq!(rx.outstanding(), 0);
+        assert_eq!(rx.stats.completed, 1);
+        // The original timer later fires: stale, no-op.
+        assert_eq!(rx.on_timeout(w), TimeoutAction::Stale);
+    }
+
+    #[test]
+    fn timeout_doubles_each_attempt() {
+        let mut rx = BlockRetx::new(cfg(10, 5));
+        let (mut w, mut t) = rx.send(RequestId(1));
+        let mut expected = 10u64;
+        for _ in 0..4 {
+            assert_eq!(t, SimDuration::millis(expected));
+            match rx.on_timeout(w) {
+                TimeoutAction::Retransmit { new_wire_id, timeout } => {
+                    w = new_wire_id;
+                    t = timeout;
+                    expected *= 2;
+                }
+                other => panic!("expected retransmit, got {other:?}"),
+            }
+        }
+        assert_eq!(t, SimDuration::millis(160));
+        assert_eq!(rx.stats.retransmissions, 4);
+    }
+
+    #[test]
+    fn attempts_exhausted_raises_device_error() {
+        let mut rx = BlockRetx::new(cfg(1, 3));
+        let (mut w, _) = rx.send(RequestId(9));
+        for _ in 0..2 {
+            match rx.on_timeout(w) {
+                TimeoutAction::Retransmit { new_wire_id, .. } => w = new_wire_id,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(rx.on_timeout(w), TimeoutAction::DeviceError { guest_req: RequestId(9) });
+        assert_eq!(rx.stats.device_errors, 1);
+        assert_eq!(rx.outstanding(), 0);
+    }
+
+    #[test]
+    fn stale_response_after_retransmission_is_ignored() {
+        let mut rx = BlockRetx::new(cfg(10, 8));
+        let (w1, _) = rx.send(RequestId(3));
+        let TimeoutAction::Retransmit { new_wire_id: w2, .. } = rx.on_timeout(w1) else {
+            panic!()
+        };
+        // The ORIGINAL response arrives late (it was delayed, not lost).
+        assert_eq!(rx.on_response(w1), ResponseAction::Stale);
+        assert_eq!(rx.stats.stale_responses, 1);
+        // The request still completes via the retransmission.
+        assert_eq!(rx.on_response(w2), ResponseAction::Accept { guest_req: RequestId(3) });
+        // A duplicate of the accepted response is also stale.
+        assert_eq!(rx.on_response(w2), ResponseAction::Stale);
+        assert_eq!(rx.stats.completed, 1);
+    }
+
+    #[test]
+    fn many_concurrent_requests_do_not_cross() {
+        let mut rx = BlockRetx::new(RetxConfig::default());
+        let wires: Vec<u64> = (0..100).map(|i| rx.send(RequestId(i)).0).collect();
+        // Complete in reverse order; each maps to its own request.
+        for (i, &w) in wires.iter().enumerate().rev() {
+            assert_eq!(
+                rx.on_response(w),
+                ResponseAction::Accept { guest_req: RequestId(i as u64) }
+            );
+        }
+        assert_eq!(rx.outstanding(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already in flight")]
+    fn double_send_of_same_request_panics() {
+        let mut rx = BlockRetx::new(RetxConfig::default());
+        rx.send(RequestId(1));
+        rx.send(RequestId(1));
+    }
+
+    #[test]
+    fn transport_mode_migratability() {
+        assert!(!TransportMode::Sriov.migratable());
+        assert!(TransportMode::Virtio.migratable());
+        assert!(TransportMode::LocalFallback.migratable());
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the I/O hypervisor's steering policy (§4.1): the
+//! per-device ordering invariant and load-accounting consistency under
+//! arbitrary assign/complete schedules.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use vrio::{DeviceId, Steering, WorkerId};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Assign(u32),
+    CompleteOldest(u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => (0u32..12).prop_map(Op::Assign),
+        1 => (0u32..12).prop_map(Op::CompleteOldest),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn affinity_and_accounting_invariants(
+        ops in proptest::collection::vec(op_strategy(), 1..300),
+        workers in 1usize..6,
+    ) {
+        let mut s = Steering::new(workers);
+        // Shadow state: per-device queue of (worker) for in-flight packets.
+        let mut inflight: HashMap<u32, Vec<WorkerId>> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Assign(c) => {
+                    let dev = DeviceId { client: c, device: 0 };
+                    let w = s.assign(dev);
+                    prop_assert!(w.0 < workers);
+                    let q = inflight.entry(c).or_default();
+                    // INVARIANT: while a device has unprocessed packets,
+                    // every new packet goes to the same worker.
+                    if let Some(&prev) = q.last() {
+                        prop_assert_eq!(w, prev, "device {} moved mid-flight", c);
+                    }
+                    q.push(w);
+                }
+                Op::CompleteOldest(c) => {
+                    let dev = DeviceId { client: c, device: 0 };
+                    if let Some(q) = inflight.get_mut(&c) {
+                        if !q.is_empty() {
+                            q.remove(0);
+                            s.complete(dev);
+                        }
+                    }
+                }
+            }
+            // Accounting: per-worker load equals the shadow totals.
+            let mut shadow_load = vec![0u64; workers];
+            for q in inflight.values() {
+                for w in q {
+                    shadow_load[w.0] += 1;
+                }
+            }
+            for (i, &expect) in shadow_load.iter().enumerate() {
+                prop_assert_eq!(s.load_of(WorkerId(i)), expect, "worker {} load", i);
+            }
+            for (&c, q) in &inflight {
+                prop_assert_eq!(
+                    s.inflight_of(DeviceId { client: c, device: 0 }),
+                    q.len() as u64
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_split_covers_every_packet_once(
+        devices in proptest::collection::vec(0u32..8, 1..120),
+        workers in 1usize..5,
+    ) {
+        let mut s = Steering::new(workers);
+        let batch: Vec<(DeviceId, usize)> = devices
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (DeviceId { client: c, device: 0 }, i))
+            .collect();
+        let subs = s.split_batch(batch);
+        prop_assert_eq!(subs.len(), workers);
+        let mut seen: Vec<usize> = subs.iter().flatten().map(|&(_, i)| i).collect();
+        seen.sort_unstable();
+        let expect: Vec<usize> = (0..devices.len()).collect();
+        prop_assert_eq!(seen, expect, "every packet exactly once");
+    }
+}

@@ -1,0 +1,85 @@
+//! Rack cost planner: the paper's §3 analysis as a tool. Given a rack
+//! size, prints the Elvis configuration, its vRIO transform, and the SSD
+//! consolidation options with their savings (Tables 1–2, Figures 1–3).
+//!
+//! ```text
+//! cargo run --example cost_planner [servers]
+//! ```
+
+use vrio_cost::{
+    consolidation_ratio, cpu_catalog, cpu_upgrade_points, elvis_with_ssds, nic_catalog,
+    nic_upgrade_points, required_gbps, RackSetup, ServerConfig, SsdModel, Table2Row,
+    vrio_with_ssds,
+};
+
+fn main() {
+    let servers: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(6);
+    if servers % 3 != 0 {
+        eprintln!("server count must be a multiple of 3 (the paper's transform unit)");
+        std::process::exit(2);
+    }
+
+    println!("== Price trends (Figure 1) ==");
+    let cpu_pts = cpu_upgrade_points(&cpu_catalog());
+    let nic_pts = nic_upgrade_points(&nic_catalog());
+    let avg = |pts: &[vrio_cost::UpgradePoint]| {
+        pts.iter().map(|p| p.hardware_ratio / p.cost_ratio).sum::<f64>() / pts.len() as f64
+    };
+    println!("CPU upgrades return {:.2}x hardware per dollar (a premium)", avg(&cpu_pts));
+    println!("NIC upgrades return {:.2}x hardware per dollar (a discount)", avg(&nic_pts));
+
+    println!("\n== Server bill of materials (Table 1) ==");
+    for cfg in [
+        ServerConfig::elvis(),
+        ServerConfig::vmhost(),
+        ServerConfig::light_iohost(),
+        ServerConfig::heavy_iohost(),
+    ] {
+        println!(
+            "{:13} ${:>7.1}K  {} CPUs, {:>3} GB, {:>3.0}/{:>6.2} Gbps provisioned/required",
+            cfg.name,
+            cfg.price() / 1000.0,
+            cfg.cpus,
+            cfg.memory_gb(),
+            cfg.total_gbps(),
+            required_gbps(&cfg),
+        );
+    }
+
+    println!("\n== Rack transform (Table 2) ==");
+    let row = Table2Row::for_servers(servers);
+    println!("elvis: {} servers, ${:.1}K", row.elvis.server_count(), row.elvis.price() / 1000.0);
+    println!(
+        "vrio:  {} ({}), ${:.1}K  => {:+.1}%",
+        row.vrio.server_count(),
+        row.vrio.name,
+        row.vrio.price() / 1000.0,
+        row.price_diff() * 100.0
+    );
+    assert_eq!(
+        RackSetup::elvis(servers).vm_cores(),
+        RackSetup::vrio(servers).vm_cores(),
+        "the transform preserves VM capacity"
+    );
+
+    println!("\n== SSD consolidation (Figure 3) ==");
+    for model in [SsdModel::Small, SsdModel::Large] {
+        let name = match model {
+            SsdModel::Small => "3.2TB SX300",
+            SsdModel::Large => "6.4TB SX300",
+        };
+        println!("{name} (elvis with {servers} drives: ${:.0}K):", elvis_with_ssds(servers, model) / 1000.0);
+        for v in (1..=servers).rev() {
+            let ratio = consolidation_ratio(servers, v, model);
+            println!(
+                "  {servers} => {v}: ${:>6.0}K  ({:.1}% of elvis, save {:.1}%)",
+                vrio_with_ssds(servers, v, model) / 1000.0,
+                ratio * 100.0,
+                (1.0 - ratio) * 100.0
+            );
+        }
+    }
+}

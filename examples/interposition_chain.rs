@@ -1,0 +1,62 @@
+//! Programmable I/O interposition at the I/O hypervisor (paper §1, §4.6):
+//! a packet travels the firewall -> IDS -> metering -> encryption chain
+//! that a rack operator would deploy once, at the IOhost, for every
+//! hypervisor flavor in the rack at once.
+//!
+//! ```text
+//! cargo run --example interposition_chain
+//! ```
+
+use bytes::Bytes;
+use vrio::{
+    Direction, EncryptionService, FirewallService, InterpositionChain,
+    IntrusionDetectionService, MeteringService, Verdict,
+};
+use vrio_hv::CostModel;
+
+fn main() {
+    let costs = CostModel::calibrated();
+    let key = [0x11u8; 32];
+
+    let mut chain = InterpositionChain::new();
+    chain.push(Box::new(FirewallService::new(vec![b"BLOCKED".to_vec()])));
+    chain.push(Box::new(IntrusionDetectionService::new(vec![b"exploit-kit".to_vec()])));
+    chain.push(Box::new(MeteringService::new()));
+    chain.push(Box::new(EncryptionService::new(key)));
+    println!("interposition chain with {} services installed at the IOhost\n", chain.len());
+
+    let traffic: &[&[u8]] = &[
+        b"GET /index.html HTTP/1.1",
+        b"BLOCKED: traffic from a denied prefix",
+        b"payload carrying exploit-kit signature",
+        b"POST /api/v1/data with a perfectly normal body",
+    ];
+
+    for (i, payload) in traffic.iter().enumerate() {
+        let (verdict, cpu) = chain.apply(&costs, Direction::Outbound, Bytes::copy_from_slice(payload));
+        match verdict {
+            Verdict::Pass(out) => {
+                // The encryption stage really transformed the bytes.
+                assert_ne!(&out[..], &payload[..]);
+                println!(
+                    "packet {i}: PASS ({} bytes, {} of worker CPU, ciphertext {:02x?}...)",
+                    out.len(),
+                    cpu,
+                    &out[..4.min(out.len())]
+                );
+            }
+            Verdict::Drop { reason } => println!("packet {i}: DROP ({reason})"),
+        }
+    }
+
+    println!("\nper-service traffic counts: {:?}", {
+        let mut v: Vec<_> = chain.processed.iter().collect();
+        v.sort();
+        v
+    });
+    println!(
+        "\nBecause interposition runs at the remote I/O hypervisor, none of these\n\
+         services consumed IOclient cycles, none can be disabled by a guest, and\n\
+         the same chain serves KVM, ESXi and bare-metal clients alike (section 4.6)."
+    );
+}

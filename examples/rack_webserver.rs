@@ -1,0 +1,55 @@
+//! The paper's "Improving Utilization" scenario (§5, Figures 15–16a):
+//! two VMhosts each running five steadily loaded webserver VMs, comparing Elvis (one
+//! sidecore per host) against vRIO (one consolidated sidecore at the
+//! IOhost) and the vhost baseline.
+//!
+//! ```text
+//! cargo run --release --example rack_webserver
+//! ```
+
+use vrio::TestbedConfig;
+use vrio_hv::IoModel;
+use vrio_sim::SimDuration;
+use vrio_workloads::{run_filebench, Personality};
+
+fn main() {
+    let duration = SimDuration::millis(200);
+    println!("Webserver consolidation tradeoff: 2 VMhosts x 5 VMs, steady load\n");
+
+    let mut elvis_mbps = 0.0;
+    for model in [IoModel::Elvis, IoModel::Vrio, IoModel::Baseline] {
+        let mut config = TestbedConfig::simple(model, 10);
+        config.num_vmhosts = 2;
+        // Elvis/baseline: one backend core per host (2 total).
+        // vRIO: a single consolidated worker serving both hosts.
+        config.backend_cores = 1;
+        let r = run_filebench(config, Personality::Webserver { bursty: false }, duration);
+        if model == IoModel::Elvis {
+            elvis_mbps = r.mbps;
+        }
+
+        println!("{model}:");
+        println!("  throughput      {:.0} Mbps ({:+.0}% vs elvis)", r.mbps, (r.mbps / elvis_mbps - 1.0) * 100.0);
+        println!("  ops/sec         {:.0}", r.ops_per_sec);
+        println!(
+            "  backend cores   {} @ {}",
+            r.backend_utilization.len(),
+            r.backend_utilization
+                .iter()
+                .map(|u| format!("{:.0}%", u * 100.0))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        println!(
+            "  ctx switches    {} involuntary / {} voluntary\n",
+            r.involuntary_switches, r.voluntary_switches
+        );
+    }
+
+    println!(
+        "The tradeoff of the paper's Figure 16a: vRIO delivers comparable\n\
+         throughput (-8-10%) with HALF the sidecores -- one consolidated\n\
+         sidecore runs near saturation where Elvis keeps two half-idle local\n\
+         ones polling (Figure 15)."
+    );
+}

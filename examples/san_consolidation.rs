@@ -1,0 +1,51 @@
+//! The paper's §3 "Device Consolidation" argument, executable: if storage
+//! must remain *interposable* (metered, encrypted, snapshotted...), a SAN
+//! can only be reached through a paravirtual device — and then the choice
+//! of I/O model decides what that interposition costs. vRIO exposes the
+//! same consolidated device at sidecore speed.
+//!
+//! ```text
+//! cargo run --release --example san_consolidation
+//! ```
+
+use vrio::TestbedConfig;
+use vrio_block::DeviceProfile;
+use vrio_hv::IoModel;
+use vrio_sim::SimDuration;
+use vrio_workloads::{run_filebench, Personality};
+
+fn main() {
+    // A consolidated flash array reached over the rack network: FusionIO
+    // speeds plus a fabric round trip.
+    let san = DeviceProfile {
+        read_latency: SimDuration::micros(35),
+        write_latency: SimDuration::micros(30),
+        gbytes_per_sec: 2.7,
+        name: "san-flash-array",
+    };
+    let duration = SimDuration::millis(150);
+    println!(
+        "Consolidated interposable storage ({}), 4 VMs, 2 readers + 2 writers each\n",
+        san.name
+    );
+
+    let mut results = Vec::new();
+    for model in [IoModel::Vrio, IoModel::Elvis, IoModel::Baseline] {
+        let mut cfg = TestbedConfig::simple(model, 4);
+        cfg.block_profile = san;
+        let r = run_filebench(cfg, Personality::RandomIo { readers: 2, writers: 2 }, duration);
+        println!("{model:<10} {:>8.1}K ops/s", r.ops_per_sec / 1000.0);
+        results.push((model, r.ops_per_sec));
+    }
+
+    let vrio = results[0].1;
+    let baseline = results[2].1;
+    println!(
+        "\nExposing the SAN through traditional paravirtualization costs {:.0}% of\n\
+         the throughput; vRIO keeps the device consolidated AND interposable at\n\
+         sidecore speed — the niche the paper stakes out between raw SAN access\n\
+         (no interposition) and baseline virtio (all the overheads).",
+        (1.0 - baseline / vrio) * 100.0
+    );
+    assert!(vrio > baseline, "vRIO must beat baseline paravirtual SAN access");
+}

@@ -1,0 +1,3 @@
+//! Workspace root for the vRIO reproduction: integration tests live in
+//! `tests/`, runnable examples in `examples/`. See the `vrio` crate for
+//! the library itself.

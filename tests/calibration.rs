@@ -1,0 +1,166 @@
+//! Calibration tests: the paper's headline quantitative claims, asserted
+//! against the testbed with tolerance bands. These are the guardrails that
+//! keep the cost model honest — if a refactor shifts a constant, the
+//! corresponding paper claim fails here.
+
+use vrio::TestbedConfig;
+use vrio_hv::IoModel;
+use vrio_sim::SimDuration;
+use vrio_workloads::{netperf_rr, netperf_stream, run_filebench, Personality};
+
+const DUR: SimDuration = SimDuration::millis(60);
+
+fn rr_mean(model: IoModel, vms: usize) -> f64 {
+    let mut c = TestbedConfig::simple(model, vms);
+    c.service_jitter = 0.02;
+    netperf_rr(c, DUR).mean_latency_us
+}
+
+/// Paper Fig 7: the optimum achieves ~30-32us per request-response.
+#[test]
+fn optimum_rr_latency_is_30_to_33us() {
+    let l = rr_mean(IoModel::Optimum, 1);
+    assert!((29.0..33.5).contains(&l), "optimum latency {l}");
+}
+
+/// Paper §1/Fig 7/8: vRIO adds ~12-13us over the optimum — the extra hop.
+#[test]
+fn vrio_gap_over_optimum_is_11_to_14us() {
+    for n in [1usize, 4, 7] {
+        let gap = rr_mean(IoModel::Vrio, n) - rr_mean(IoModel::Optimum, n);
+        assert!((10.5..14.5).contains(&gap), "gap at N={n}: {gap}");
+    }
+}
+
+/// Paper §1: vRIO's network latency is at most 1.18x Elvis's (N=1 is the
+/// worst case).
+#[test]
+fn vrio_is_at_most_about_1_18x_elvis() {
+    let ratio = rr_mean(IoModel::Vrio, 1) / rr_mean(IoModel::Elvis, 1);
+    assert!((1.10..1.25).contains(&ratio), "vrio/elvis at N=1: {ratio}");
+}
+
+/// Paper Fig 7: Elvis's latency crosses above vRIO's at N ~= 6.
+#[test]
+fn elvis_crosses_vrio_around_n6() {
+    assert!(
+        rr_mean(IoModel::Elvis, 4) < rr_mean(IoModel::Vrio, 4),
+        "elvis should still win at N=4"
+    );
+    assert!(
+        rr_mean(IoModel::Elvis, 7) > rr_mean(IoModel::Vrio, 7),
+        "vrio should win at N=7"
+    );
+}
+
+/// Paper Fig 7: the baseline is the slowest interposable model and grows
+/// steeply with N.
+#[test]
+fn baseline_is_worst_and_grows() {
+    let b1 = rr_mean(IoModel::Baseline, 1);
+    let b7 = rr_mean(IoModel::Baseline, 7);
+    assert!((38.0..47.0).contains(&b1), "baseline at N=1: {b1}");
+    assert!(b7 > b1 * 1.4, "baseline must degrade: {b1} -> {b7}");
+    assert!(b7 > rr_mean(IoModel::Vrio, 7), "baseline worst at N=7");
+}
+
+/// Paper Fig 10: per-packet cycles are +0% / ~+1% / ~+9% / ~+40% for
+/// optimum / Elvis / vRIO / baseline.
+#[test]
+fn stream_cycles_per_packet_ratios() {
+    let c = |m| netperf_stream(TestbedConfig::simple(m, 1), DUR).cycles_per_msg;
+    let opt = c(IoModel::Optimum);
+    let elvis = c(IoModel::Elvis) / opt;
+    let vrio = c(IoModel::Vrio) / opt;
+    let base = c(IoModel::Baseline) / opt;
+    assert!((1.00..1.04).contains(&elvis), "elvis ratio {elvis}");
+    assert!((1.06..1.12).contains(&vrio), "vrio ratio {vrio}");
+    assert!((1.30..1.55).contains(&base), "baseline ratio {base}");
+}
+
+/// Paper Fig 9: vRIO's stream throughput is 5-8% below the optimum.
+#[test]
+fn vrio_stream_5_to_9_percent_below_optimum() {
+    let opt = netperf_stream(TestbedConfig::simple(IoModel::Optimum, 3), DUR).gbps;
+    let vrio = netperf_stream(TestbedConfig::simple(IoModel::Vrio, 3), DUR).gbps;
+    let deficit = 1.0 - vrio / opt;
+    assert!((0.04..0.10).contains(&deficit), "vrio stream deficit {deficit}");
+}
+
+/// Paper Fig 13b: a vRIO sidecore saturates at ~13 Gbps of stream traffic.
+#[test]
+fn one_sidecore_saturates_around_13gbps() {
+    let mut c = TestbedConfig::simple(IoModel::Vrio, 24);
+    c.num_vmhosts = 4;
+    c.backend_cores = 1;
+    c.link_gbps = 40.0;
+    let g = netperf_stream(c, DUR).gbps;
+    assert!((12.0..14.5).contains(&g), "1-sidecore saturation at {g} Gbps");
+}
+
+/// Paper §1: block I/O through the remote IOhost is at most ~2.2x the
+/// latency of Elvis's local path (measured as single-reader inverse
+/// throughput, as in Fig 14a).
+#[test]
+fn remote_block_latency_at_most_2_2x() {
+    let one_reader = Personality::RandomIo { readers: 1, writers: 0 };
+    let elvis = run_filebench(TestbedConfig::simple(IoModel::Elvis, 1), one_reader, DUR);
+    let vrio = run_filebench(TestbedConfig::simple(IoModel::Vrio, 1), one_reader, DUR);
+    let ratio = elvis.ops_per_sec / vrio.ops_per_sec;
+    assert!((1.1..2.3).contains(&ratio), "elvis/vrio single-reader ratio {ratio}");
+}
+
+/// Paper §1: with half the sidecores, vRIO delivers ~0.92x the throughput
+/// (Fig 16a's tradeoff). We accept 0.85-1.05.
+#[test]
+fn consolidation_tradeoff_half_sidecores() {
+    let mut ce = TestbedConfig::simple(IoModel::Elvis, 10);
+    ce.num_vmhosts = 2;
+    ce.backend_cores = 1; // one per host = 2 sidecores
+    let elvis = run_filebench(ce, Personality::Webserver { bursty: false }, DUR * 2u64);
+
+    let mut cv = TestbedConfig::simple(IoModel::Vrio, 10);
+    cv.num_vmhosts = 2;
+    cv.backend_cores = 1; // one consolidated worker
+    let vrio = run_filebench(cv, Personality::Webserver { bursty: false }, DUR * 2u64);
+
+    let ratio = vrio.mbps / elvis.mbps;
+    assert!((0.85..0.97).contains(&ratio), "vrio/elvis with half the sidecores: {ratio}");
+}
+
+/// Paper Fig 16b: under load imbalance with AES-256 interposition, vRIO's
+/// consolidated sidecores deliver ~1.82x Elvis. We accept 1.5-2.1x.
+#[test]
+fn imbalance_with_encryption() {
+    use vrio::EncryptionService;
+    use vrio_workloads::run_filebench_with;
+    let key = [9u8; 32];
+    let mut ce = TestbedConfig::simple(IoModel::Elvis, 5);
+    ce.backend_cores = 1;
+    let elvis =
+        run_filebench_with(ce, Personality::Webserver { bursty: false }, DUR * 2u64, |tb| {
+            tb.chain.push(Box::new(EncryptionService::new(key)));
+        });
+    let mut cv = TestbedConfig::simple(IoModel::Vrio, 5);
+    cv.backend_cores = 2;
+    let vrio =
+        run_filebench_with(cv, Personality::Webserver { bursty: false }, DUR * 2u64, |tb| {
+            tb.chain.push(Box::new(EncryptionService::new(key)));
+        });
+    let ratio = vrio.mbps / elvis.mbps;
+    assert!((1.5..2.15).contains(&ratio), "imbalance boost {ratio}");
+}
+
+/// Paper Fig 8: contention at the shared vRIO sidecore grows with N while
+/// the latency gap stays nearly flat.
+#[test]
+fn contention_grows_with_vms() {
+    let mut c1 = TestbedConfig::simple(IoModel::Vrio, 1);
+    c1.service_jitter = 0.02;
+    let mut c7 = TestbedConfig::simple(IoModel::Vrio, 7);
+    c7.service_jitter = 0.02;
+    let r1 = netperf_rr(c1, DUR);
+    let r7 = netperf_rr(c7, DUR);
+    assert!(r7.contention > r1.contention + 0.05, "{} -> {}", r1.contention, r7.contention);
+    assert!(r7.contention > 0.08 && r7.contention < 0.35, "contention at 7: {}", r7.contention);
+}

@@ -1,0 +1,112 @@
+//! Integration tests for the paper's §4.6 features: live migration via the
+//! switchable transport, hypervisor/architecture agnosticism, and the
+//! control plane that manages devices from the I/O hypervisor side.
+
+use vrio::{
+    ClientFlavor, DeviceId, DeviceKind, DeviceRegistry, DeviceSpec, IoClient, MigrationError,
+    TestbedConfig, TransportMode, VrioMsg, VrioMsgKind,
+};
+use vrio_hv::IoModel;
+use vrio_sim::SimDuration;
+use vrio_workloads::{netperf_rr, netperf_stream};
+
+#[test]
+fn migration_choreography_full_cycle() {
+    let mut c = IoClient::new(3, ClientFlavor::KvmGuest);
+    let f_before = c.front_end_mac();
+
+    // SRIOV blocks migration; switching T to virtio unblocks it.
+    assert_eq!(c.begin_migration(), Err(MigrationError::SriovAttached));
+    c.set_transport_mode(TransportMode::Virtio);
+    c.begin_migration().unwrap();
+    c.complete_migration(2);
+    c.set_transport_mode(TransportMode::Sriov);
+
+    // F's identity survives: open connections are unaffected.
+    assert_eq!(c.front_end_mac(), f_before);
+    assert_eq!(c.vmhost(), 2);
+    assert_eq!(c.migrations(), 1);
+
+    // Migrating away from vRIO entirely uses the local fallback.
+    c.set_transport_mode(TransportMode::LocalFallback);
+    c.begin_migration().unwrap();
+    c.complete_migration(0);
+    assert_eq!(c.migrations(), 2);
+}
+
+#[test]
+fn control_plane_creates_and_tears_down_client_devices() {
+    let mut reg = DeviceRegistry::new();
+    // The I/O hypervisor provisions a net + blk device for client 5.
+    for (i, kind) in [DeviceKind::Net, DeviceKind::Blk].into_iter().enumerate() {
+        reg.create(DeviceId { client: 5, device: i as u16 }, DeviceSpec { kind, backing: i })
+            .unwrap();
+    }
+    assert_eq!(reg.len(), 2);
+
+    // The create command travels to the IOclient as a real control message.
+    let msg = VrioMsg::new(
+        VrioMsgKind::CtrlCreateDevice,
+        DeviceId { client: 5, device: 0 },
+        0,
+        bytes::Bytes::from_static(b"net"),
+    );
+    let decoded = VrioMsg::decode(msg.encode()).unwrap();
+    assert_eq!(decoded.hdr.kind, VrioMsgKind::CtrlCreateDevice);
+
+    // Migration away from the IOhost tears all of the client's devices down.
+    for d in reg.devices_of(5) {
+        reg.destroy(d).unwrap();
+    }
+    assert!(reg.is_empty());
+}
+
+#[test]
+fn identical_service_for_every_client_flavor() {
+    // The vRIO data path is flavor-oblivious: same testbed, same numbers.
+    // (This is the paper's §5 heterogeneity claim: the I/O hypervisor
+    // neither knows nor cares what runs at the client.)
+    let baseline_gbps =
+        netperf_stream(TestbedConfig::simple(IoModel::Vrio, 1), SimDuration::millis(20)).gbps;
+    for flavor in [
+        ClientFlavor::KvmGuest,
+        ClientFlavor::EsxiGuest,
+        ClientFlavor::BareMetal,
+        ClientFlavor::PowerBareMetal,
+    ] {
+        let client = IoClient::new(0, flavor);
+        // Flavor influences migration capability but never the data path.
+        let gbps =
+            netperf_stream(TestbedConfig::simple(IoModel::Vrio, 1), SimDuration::millis(20)).gbps;
+        assert!(
+            (gbps - baseline_gbps).abs() < 1e-9,
+            "flavor {flavor:?} changed the data path"
+        );
+        assert_eq!(client.flavor().is_virtualized(), matches!(
+            flavor,
+            ClientFlavor::KvmGuest | ClientFlavor::EsxiGuest
+        ));
+    }
+}
+
+#[test]
+fn bare_metal_clients_get_vrio_but_not_migration() {
+    let mut c = IoClient::new(9, ClientFlavor::PowerBareMetal);
+    c.set_transport_mode(TransportMode::Virtio);
+    assert_eq!(c.begin_migration(), Err(MigrationError::NotVirtualized));
+    assert_eq!(c.flavor().arch(), "power");
+}
+
+#[test]
+fn multi_vmhost_rack_serves_all_hosts_equally() {
+    // One IOhost serving four VMhosts (Fig 13's setup): per-VM latency is
+    // host-agnostic — "only the number of VMs is significant, regardless
+    // of where the VMs are hosted" (§5).
+    let mut one_host = TestbedConfig::simple(IoModel::Vrio, 4);
+    one_host.num_vmhosts = 1;
+    let mut four_hosts = TestbedConfig::simple(IoModel::Vrio, 4);
+    four_hosts.num_vmhosts = 4;
+    let a = netperf_rr(one_host, SimDuration::millis(30)).mean_latency_us;
+    let b = netperf_rr(four_hosts, SimDuration::millis(30)).mean_latency_us;
+    assert!((a - b).abs() / a < 0.03, "1-host {a} vs 4-host {b}");
+}

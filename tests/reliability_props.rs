@@ -1,0 +1,155 @@
+//! Property tests spanning the transport and block substrates: the §4.5
+//! reliability protocol delivers exactly-once completion under arbitrary
+//! loss/delay/duplication patterns, on top of the block gate's
+//! one-request-per-block invariant.
+
+use proptest::prelude::*;
+use vrio::{BlockRetx, ResponseAction, RetxConfig, TimeoutAction};
+use vrio_block::RequestId;
+use vrio_sim::SimDuration;
+
+/// What the adversarial channel does to each (re)transmission.
+#[derive(Debug, Clone, Copy)]
+enum Fate {
+    /// Response arrives before the timer.
+    Deliver,
+    /// Request or response lost: only the timer fires.
+    Lose,
+    /// Response arrives late: the timer fires first, then the response.
+    DeliverLate,
+    /// Response is duplicated.
+    DeliverTwice,
+}
+
+fn fate_strategy() -> impl Strategy<Value = Fate> {
+    prop_oneof![
+        3 => Just(Fate::Deliver),
+        2 => Just(Fate::Lose),
+        1 => Just(Fate::DeliverLate),
+        1 => Just(Fate::DeliverTwice),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Whatever the channel does, each request completes exactly once
+    /// (as an Accept) or fails exactly once (DeviceError) — never both,
+    /// never twice, and stale responses never resurrect a request.
+    #[test]
+    fn exactly_once_completion_under_adversarial_channel(
+        fates in proptest::collection::vec(fate_strategy(), 1..40),
+    ) {
+        let cfg = RetxConfig {
+            initial_timeout: SimDuration::millis(10),
+            max_attempts: 4,
+        };
+        let mut retx = BlockRetx::new(cfg);
+        let mut outcomes = 0u32;
+
+        for (i, seq) in fates.chunks(4).enumerate() {
+            let req = RequestId(i as u64);
+            let (mut wire, _) = retx.send(req);
+            let mut done = false;
+            // Play at most 4 channel decisions for this request.
+            for &fate in seq {
+                prop_assert!(!done);
+                match fate {
+                    Fate::Deliver => {
+                        prop_assert_eq!(
+                            retx.on_response(wire),
+                            ResponseAction::Accept { guest_req: req }
+                        );
+                        outcomes += 1;
+                        done = true;
+                    }
+                    Fate::DeliverTwice => {
+                        prop_assert_eq!(
+                            retx.on_response(wire),
+                            ResponseAction::Accept { guest_req: req }
+                        );
+                        // The duplicate must be filtered.
+                        prop_assert_eq!(retx.on_response(wire), ResponseAction::Stale);
+                        outcomes += 1;
+                        done = true;
+                    }
+                    Fate::Lose | Fate::DeliverLate => {
+                        let old_wire = wire;
+                        match retx.on_timeout(wire) {
+                            TimeoutAction::Retransmit { new_wire_id, .. } => {
+                                wire = new_wire_id;
+                            }
+                            TimeoutAction::DeviceError { guest_req } => {
+                                prop_assert_eq!(guest_req, req);
+                                outcomes += 1;
+                                done = true;
+                            }
+                            TimeoutAction::Stale => prop_assert!(false, "live timer was stale"),
+                        }
+                        if matches!(fate, Fate::DeliverLate) && !done {
+                            // The superseded response straggles in: stale.
+                            prop_assert_eq!(retx.on_response(old_wire), ResponseAction::Stale);
+                        }
+                    }
+                }
+                if done {
+                    break;
+                }
+            }
+            // If the channel never delivered and attempts remain, drain via
+            // timeouts until the protocol settles.
+            while !done {
+                match retx.on_timeout(wire) {
+                    TimeoutAction::Retransmit { new_wire_id, .. } => wire = new_wire_id,
+                    TimeoutAction::DeviceError { .. } => {
+                        outcomes += 1;
+                        done = true;
+                    }
+                    TimeoutAction::Stale => prop_assert!(false, "live timer was stale"),
+                }
+            }
+        }
+
+        let requests = fates.chunks(4).count() as u32;
+        prop_assert_eq!(outcomes, requests, "exactly one outcome per request");
+        prop_assert_eq!(retx.outstanding(), 0);
+        prop_assert_eq!(
+            retx.stats.completed + retx.stats.device_errors,
+            u64::from(requests)
+        );
+    }
+
+    /// Timeouts always double, regardless of interleaving with other
+    /// requests.
+    #[test]
+    fn backoff_doubles_per_request(attempts in 2u32..7, others in 0usize..5) {
+        let cfg = RetxConfig { initial_timeout: SimDuration::millis(10), max_attempts: attempts };
+        let mut retx = BlockRetx::new(cfg);
+        // Interleave unrelated requests to perturb wire-id allocation.
+        let noise: Vec<(u64, RequestId)> = (0..others)
+            .map(|i| {
+                let req = RequestId(1000 + i as u64);
+                (retx.send(req).0, req)
+            })
+            .collect();
+        let (mut wire, mut t) = retx.send(RequestId(1));
+        let mut expect = 10u64;
+        loop {
+            prop_assert_eq!(t, SimDuration::millis(expect));
+            match retx.on_timeout(wire) {
+                TimeoutAction::Retransmit { new_wire_id, timeout } => {
+                    wire = new_wire_id;
+                    t = timeout;
+                    expect *= 2;
+                }
+                TimeoutAction::DeviceError { .. } => break,
+                TimeoutAction::Stale => prop_assert!(false),
+            }
+        }
+        prop_assert_eq!(expect, 10 * (1 << (attempts - 1)));
+        // The unrelated requests were untouched by the backoff storm.
+        for (w, req) in noise {
+            prop_assert_eq!(retx.on_response(w), ResponseAction::Accept { guest_req: req });
+        }
+    }
+}
