@@ -31,12 +31,22 @@ fn ablate_iohost_polling(c: &mut Criterion) {
 fn ablate_rx_ring(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablate_rx_ring");
     g.sample_size(10);
-    for ring in [vrio_net::RX_RING_DEFAULT as u64, vrio_net::RX_RING_LARGE as u64] {
+    for ring in [
+        vrio_net::RX_RING_DEFAULT as u64,
+        vrio_net::RX_RING_LARGE as u64,
+    ] {
         g.bench_function(format!("rx_{ring}"), |b| {
             b.iter(|| {
                 let mut cfg = TestbedConfig::simple(IoModel::Vrio, 6);
                 cfg.iohost_rx_ring = ring;
-                run_filebench(cfg, Personality::RandomIo { readers: 2, writers: 2 }, DUR)
+                run_filebench(
+                    cfg,
+                    Personality::RandomIo {
+                        readers: 2,
+                        writers: 2,
+                    },
+                    DUR,
+                )
             });
         });
     }
@@ -48,7 +58,10 @@ fn ablate_rx_ring(c: &mut Criterion) {
 fn ablate_mwait(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablate_mwait");
     g.sample_size(10);
-    for (name, wake) in [("busy_poll", None), ("mwait_2us", Some(SimDuration::micros(2)))] {
+    for (name, wake) in [
+        ("busy_poll", None),
+        ("mwait_2us", Some(SimDuration::micros(2))),
+    ] {
         g.bench_function(name, |b| {
             b.iter(|| {
                 let mut cfg = TestbedConfig::simple(IoModel::Vrio, 2);
@@ -88,7 +101,14 @@ fn ablate_channel_loss(c: &mut Criterion) {
                 let mut cfg = TestbedConfig::simple(IoModel::Vrio, 2);
                 cfg.channel_loss = loss;
                 cfg.retx.initial_timeout = SimDuration::micros(500);
-                run_filebench(cfg, Personality::RandomIo { readers: 2, writers: 0 }, DUR)
+                run_filebench(
+                    cfg,
+                    Personality::RandomIo {
+                        readers: 2,
+                        writers: 0,
+                    },
+                    DUR,
+                )
             });
         });
     }

@@ -60,10 +60,22 @@ fn fig12_macro(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig12_macro");
     g.sample_size(10);
     g.bench_function("memcached_vrio", |b| {
-        b.iter(|| run_txn_bench(TestbedConfig::simple(IoModel::Vrio, 4), TxnProfile::memcached(), DUR));
+        b.iter(|| {
+            run_txn_bench(
+                TestbedConfig::simple(IoModel::Vrio, 4),
+                TxnProfile::memcached(),
+                DUR,
+            )
+        });
     });
     g.bench_function("apache_vrio", |b| {
-        b.iter(|| run_txn_bench(TestbedConfig::simple(IoModel::Vrio, 4), TxnProfile::apache(), DUR));
+        b.iter(|| {
+            run_txn_bench(
+                TestbedConfig::simple(IoModel::Vrio, 4),
+                TxnProfile::apache(),
+                DUR,
+            )
+        });
     });
     g.finish();
 }
@@ -88,9 +100,11 @@ fn fig13_scalability(c: &mut Criterion) {
 fn fig14_filebench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig14_filebench");
     g.sample_size(10);
-    for (name, readers, writers) in
-        [("1reader", 1usize, 0usize), ("1pair", 1, 1), ("2pairs", 2, 2)]
-    {
+    for (name, readers, writers) in [
+        ("1reader", 1usize, 0usize),
+        ("1pair", 1, 1),
+        ("2pairs", 2, 2),
+    ] {
         g.bench_function(format!("elvis_{name}"), |b| {
             b.iter(|| {
                 run_filebench(

@@ -7,6 +7,7 @@ use bytes::Bytes;
 use vrio::{AesCtr, BlockRetx, DeviceId, RetxConfig, Steering, VrioMsg, VrioMsgKind};
 use vrio_block::{split_sector_aligned, BlockRequest, Elevator, Ramdisk, RequestId};
 use vrio_net::{segment_message, EtherType, Frame, MacAddr, Reassembler, MTU_VRIO_JUMBO};
+use vrio_sim::{SimDuration, SimTime};
 use vrio_virtio::{DeviceQueue, DriverQueue, GuestAddr, GuestMemory, VirtqueueLayout};
 
 fn bench_virtqueue(c: &mut Criterion) {
@@ -18,7 +19,11 @@ fn bench_virtqueue(c: &mut Criterion) {
         let mut dev = DeviceQueue::new(layout);
         b.iter(|| {
             let head = drv
-                .add_chain(&mut mem, &[(GuestAddr(0x4000), 64)], &[(GuestAddr(0x5000), 64)])
+                .add_chain(
+                    &mut mem,
+                    &[(GuestAddr(0x4000), 64)],
+                    &[(GuestAddr(0x5000), 64)],
+                )
                 .unwrap();
             let chain = dev.pop_avail(&mem).unwrap().unwrap();
             dev.push_used(&mut mem, chain.head, 64).unwrap();
@@ -69,7 +74,10 @@ fn bench_proto(c: &mut Criterion) {
     let mut g = c.benchmark_group("proto");
     let msg = VrioMsg::new(
         VrioMsgKind::BlkReq,
-        DeviceId { client: 3, device: 1 },
+        DeviceId {
+            client: 3,
+            device: 1,
+        },
         42,
         Bytes::from(vec![0u8; 4096]),
     );
@@ -97,7 +105,10 @@ fn bench_iohost(c: &mut Criterion) {
         let mut s = Steering::new(4);
         let mut i = 0u32;
         b.iter(|| {
-            let d = DeviceId { client: i % 64, device: 0 };
+            let d = DeviceId {
+                client: i % 64,
+                device: 0,
+            };
             i = i.wrapping_add(1);
             let w = s.assign(d);
             s.complete(d);
@@ -108,9 +119,10 @@ fn bench_iohost(c: &mut Criterion) {
         let mut rx = BlockRetx::new(RetxConfig::default());
         let mut i = 0u64;
         b.iter(|| {
-            let (wire, _) = rx.send(RequestId(i));
+            let now = SimTime::ZERO + SimDuration::micros(i);
+            let (wire, _) = rx.send(RequestId(i), now);
             i += 1;
-            rx.on_response(wire)
+            rx.on_response(wire, now + SimDuration::micros(44))
         });
     });
     g.finish();
@@ -151,5 +163,13 @@ fn bench_block(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(micro, bench_virtqueue, bench_tso, bench_aes, bench_proto, bench_iohost, bench_block);
+criterion_group!(
+    micro,
+    bench_virtqueue,
+    bench_tso,
+    bench_aes,
+    bench_proto,
+    bench_iohost,
+    bench_block
+);
 criterion_main!(micro);

@@ -12,26 +12,26 @@ use vrio_bench::*;
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let rc = if quick { ReproConfig::quick() } else { ReproConfig::full() };
+    let rc = if quick {
+        ReproConfig::quick()
+    } else {
+        ReproConfig::full()
+    };
 
     // --out DIR: additionally write each report to DIR/<experiment>.txt.
-    let out_dir = args
-        .iter()
-        .position(|a| a == "--out")
-        .map(|i| {
-            let dir = args.get(i + 1).cloned().unwrap_or_else(|| {
-                eprintln!("--out requires a directory argument");
-                std::process::exit(2);
-            });
-            args.drain(i..=i + 1);
-            dir
+    let out_dir = args.iter().position(|a| a == "--out").map(|i| {
+        let dir = args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--out requires a directory argument");
+            std::process::exit(2);
         });
+        args.drain(i..=i + 1);
+        dir
+    });
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir).expect("create output directory");
     }
 
-    let all = args.iter().any(|a| a == "--all")
-        || args.iter().all(|a| a == "--quick");
+    let all = args.iter().any(|a| a == "--all") || args.iter().all(|a| a == "--quick");
 
     let want = |flag: &str| all || args.iter().any(|a| a == flag);
 
@@ -76,8 +76,7 @@ fn main() {
             println!("{report}");
             if let Some(dir) = &out_dir {
                 let name = flag.trim_start_matches("--");
-                std::fs::write(format!("{dir}/{name}.txt"), &report)
-                    .expect("write report file");
+                std::fs::write(format!("{dir}/{name}.txt"), &report).expect("write report file");
             }
             ran += 1;
         }

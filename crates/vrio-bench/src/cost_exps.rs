@@ -2,9 +2,8 @@
 //! (Figure 1, Figure 2, Table 1, Table 2, Figure 3).
 
 use vrio_cost::{
-    cpu_catalog, cpu_upgrade_points, elvis_wiring, figure3_series, nic_catalog,
-    nic_upgrade_points, required_gbps, vrio_wiring, IohostAttachment, RackSetup, ServerConfig,
-    SsdModel, Table2Row,
+    cpu_catalog, cpu_upgrade_points, elvis_wiring, figure3_series, nic_catalog, nic_upgrade_points,
+    required_gbps, vrio_wiring, IohostAttachment, RackSetup, ServerConfig, SsdModel, Table2Row,
 };
 
 use crate::report::{f, render_table};
@@ -23,7 +22,11 @@ pub fn fig1() -> String {
             "CPU".into(),
             f(p.cost_ratio),
             f(p.hardware_ratio),
-            if p.above_break_even() { "above".into() } else { "below".into() },
+            if p.above_break_even() {
+                "above".into()
+            } else {
+                "below".into()
+            },
         ]);
     }
     for p in &nics {
@@ -31,10 +34,17 @@ pub fn fig1() -> String {
             "NIC".into(),
             f(p.cost_ratio),
             f(p.hardware_ratio),
-            if p.above_break_even() { "above".into() } else { "below".into() },
+            if p.above_break_even() {
+                "above".into()
+            } else {
+                "below".into()
+            },
         ]);
     }
-    out.push_str(&render_table(&["kind", "cost ratio (x)", "hw ratio (y)", "vs diagonal"], &rows));
+    out.push_str(&render_table(
+        &["kind", "cost ratio (x)", "hw ratio (y)", "vs diagonal"],
+        &rows,
+    ));
     out.push_str(&format!(
         "\npaper: all CPU points below the diagonal, all NIC points above\n\
          measured: {}/{} CPU below, {}/{} NIC above\n",
@@ -112,7 +122,15 @@ pub fn tab1() -> String {
         .collect();
     let mut out = String::from("Table 1 — Dell R930 per-server price, components, throughput\n\n");
     out.push_str(&render_table(
-        &["server", "CPUs", "mem GB", "NICs (dual-port)", "price", "total Gbps", "required Gbps"],
+        &[
+            "server",
+            "CPUs",
+            "mem GB",
+            "NICs (dual-port)",
+            "price",
+            "total Gbps",
+            "required Gbps",
+        ],
         &rows,
     ));
     out.push_str(
@@ -129,7 +147,12 @@ pub fn tab2() -> String {
         rows.push(vec![
             format!("R930 x {n}"),
             row.elvis.server_count().to_string(),
-            row.vrio.name.split(' ').next_back().unwrap_or("?").to_string(),
+            row.vrio
+                .name
+                .split(' ')
+                .next_back()
+                .unwrap_or("?")
+                .to_string(),
             format!("${:.1}K", row.elvis.price() / 1000.0),
             format!("${:.1}K", row.vrio.price() / 1000.0),
             format!("{:+.0}%", row.price_diff() * 100.0),
@@ -137,7 +160,14 @@ pub fn tab2() -> String {
     }
     let mut out = String::from("Table 2 — overall price of the Elvis and vRIO setups\n\n");
     out.push_str(&render_table(
-        &["setup", "elvis servers", "vrio (k+j)", "elvis price", "vrio price", "diff"],
+        &[
+            "setup",
+            "elvis servers",
+            "vrio (k+j)",
+            "elvis price",
+            "vrio price",
+            "diff",
+        ],
         &rows,
     ));
     out.push_str("\npaper: $133.4K vs $120.0K (-10%); $266.9K vs $232.3K (-13%)\n");
@@ -146,9 +176,8 @@ pub fn tab2() -> String {
 
 /// Figure 3: SSD-consolidation relative prices.
 pub fn fig3() -> String {
-    let mut out = String::from(
-        "Figure 3 — vRIO price relative to Elvis for SSD consolidation e => v\n\n",
-    );
+    let mut out =
+        String::from("Figure 3 — vRIO price relative to Elvis for SSD consolidation e => v\n\n");
     for servers in [3usize, 6] {
         let mut rows = Vec::new();
         for (v, small, large) in figure3_series(servers) {
@@ -159,7 +188,10 @@ pub fn fig3() -> String {
             ]);
         }
         out.push_str(&format!("R930 x {servers}:\n"));
-        out.push_str(&render_table(&["ratio", "smaller SSD (3.2TB)", "bigger SSD (6.4TB)"], &rows));
+        out.push_str(&render_table(
+            &["ratio", "smaller SSD (3.2TB)", "bigger SSD (6.4TB)"],
+            &rows,
+        ));
         out.push('\n');
     }
     let worst = 1.0 - vrio_cost::consolidation_ratio(6, 1, SsdModel::Large);

@@ -25,7 +25,11 @@ pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
         }
     }
     let mut out = String::new();
-    let sep: String = widths.iter().map(|w| format!("+{}", "-".repeat(w + 2))).collect::<String>() + "+\n";
+    let sep: String = widths
+        .iter()
+        .map(|w| format!("+{}", "-".repeat(w + 2)))
+        .collect::<String>()
+        + "+\n";
     out.push_str(&sep);
     let fmt_row = |cells: &[String]| -> String {
         let mut line = String::new();
@@ -35,7 +39,9 @@ pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
         line.push_str("|\n");
         line
     };
-    out.push_str(&fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    out.push_str(&fmt_row(
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    ));
     out.push_str(&sep);
     for row in rows {
         out.push_str(&fmt_row(row));
@@ -72,7 +78,70 @@ pub fn downsample(series: &[f64], n: usize) -> Vec<f64> {
         return series.to_vec();
     }
     let chunk = series.len().div_ceil(n);
-    series.chunks(chunk).map(|c| c.iter().sum::<f64>() / c.len() as f64).collect()
+    series
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect()
+}
+
+/// Renders a run's reliability accounting (retransmission machinery,
+/// health/failover lifecycle, injected faults) as an aligned table,
+/// omitting the fault-injection rows when no injector was armed.
+///
+/// # Examples
+///
+/// ```
+/// use vrio_bench::render_reliability;
+/// use vrio_hv::ReliabilityCounters;
+///
+/// let r = render_reliability(&ReliabilityCounters {
+///     block_sent: 10,
+///     block_completed: 10,
+///     retransmissions: 2,
+///     ..Default::default()
+/// });
+/// assert!(r.contains("retransmissions"));
+/// assert!(!r.contains("injected"), "quiet injector rows are omitted");
+/// ```
+pub fn render_reliability(c: &vrio_hv::ReliabilityCounters) -> String {
+    let mut rows = vec![
+        vec![
+            "block sent / completed".to_string(),
+            format!("{} / {}", c.block_sent, c.block_completed),
+        ],
+        vec!["retransmissions".to_string(), c.retransmissions.to_string()],
+        vec![
+            "stale responses filtered".to_string(),
+            c.stale_responses.to_string(),
+        ],
+        vec!["device errors".to_string(), c.device_errors.to_string()],
+        vec!["rtt samples".to_string(), c.rtt_samples.to_string()],
+        vec![
+            "heartbeats sent / acked".to_string(),
+            format!("{} / {}", c.heartbeats_sent, c.heartbeat_acks),
+        ],
+        vec!["probes missed".to_string(), c.probes_missed.to_string()],
+        vec![
+            "failovers / failbacks".to_string(),
+            format!("{} / {}", c.failovers, c.failbacks),
+        ],
+        vec!["channel drops".to_string(), c.channel_drops.to_string()],
+    ];
+    if c.injected_losses + c.injected_delay_spikes + c.injected_duplicates > 0 {
+        rows.push(vec![
+            "injected losses (GE)".to_string(),
+            c.injected_losses.to_string(),
+        ]);
+        rows.push(vec![
+            "injected delay spikes".to_string(),
+            c.injected_delay_spikes.to_string(),
+        ]);
+        rows.push(vec![
+            "injected duplicates".to_string(),
+            c.injected_duplicates.to_string(),
+        ]);
+    }
+    render_table(&["reliability counter", "value"], &rows)
 }
 
 /// Formats a float with engineering-friendly precision.

@@ -8,8 +8,8 @@ use vrio::{EncryptionService, Testbed, TestbedConfig};
 use vrio_hv::{table3_expected, IoModel};
 use vrio_sim::SimDuration;
 use vrio_workloads::{
-    netperf_rr, netperf_stream, run_filebench, run_filebench_with, run_txn_bench,
-    tail_percentiles, Personality, TxnProfile,
+    netperf_rr, netperf_stream, run_filebench, run_filebench_with, run_txn_bench, tail_percentiles,
+    Personality, TxnProfile,
 };
 
 use crate::report::{downsample, f, render_table, sparkline};
@@ -26,12 +26,18 @@ pub struct ReproConfig {
 impl ReproConfig {
     /// Fast preset (~seconds of wall time per experiment), for CI.
     pub fn quick() -> Self {
-        ReproConfig { duration: SimDuration::millis(60), tail_duration: SimDuration::millis(800) }
+        ReproConfig {
+            duration: SimDuration::millis(60),
+            tail_duration: SimDuration::millis(800),
+        }
     }
 
     /// Full preset matching the paper's precision better.
     pub fn full() -> Self {
-        ReproConfig { duration: SimDuration::millis(300), tail_duration: SimDuration::secs(5) }
+        ReproConfig {
+            duration: SimDuration::millis(300),
+            tail_duration: SimDuration::secs(5),
+        }
     }
 }
 
@@ -67,7 +73,15 @@ pub fn tab3(rc: ReproConfig) -> String {
     let mut out =
         String::from("Table 3 — virtualization events per request-response (measured)\n\n");
     out.push_str(&render_table(
-        &["I/O model", "sync exits", "guest intrpts", "injections", "host intrpts", "IOhost intrpts", "sum"],
+        &[
+            "I/O model",
+            "sync exits",
+            "guest intrpts",
+            "injections",
+            "host intrpts",
+            "IOhost intrpts",
+            "sum",
+        ],
         &rows,
     ));
     out
@@ -78,7 +92,12 @@ pub fn fig7(rc: ReproConfig) -> String {
     let mut rows = Vec::new();
     for n in 1..=7usize {
         let mut row = vec![n.to_string()];
-        for model in [IoModel::Baseline, IoModel::Vrio, IoModel::Elvis, IoModel::Optimum] {
+        for model in [
+            IoModel::Baseline,
+            IoModel::Vrio,
+            IoModel::Elvis,
+            IoModel::Optimum,
+        ] {
             let mut c = cfg(model, n);
             c.service_jitter = 0.02; // break the closed-loop phase lock
             let r = netperf_rr(c, rc.duration);
@@ -87,7 +106,10 @@ pub fn fig7(rc: ReproConfig) -> String {
         rows.push(row);
     }
     let mut out = String::from("Figure 7 — Netperf RR latency [usec] vs number of VMs\n\n");
-    out.push_str(&render_table(&["VMs", "baseline", "vrio", "elvis", "optimum"], &rows));
+    out.push_str(&render_table(
+        &["VMs", "baseline", "vrio", "elvis", "optimum"],
+        &rows,
+    ));
     out.push_str(
         "\npaper shape: optimum ~30-32us flat; vrio ~= optimum + 12-13us; vrio is\n\
          ~1.18x elvis at N=1; elvis crosses above vrio at N~=6; baseline worst\n",
@@ -112,7 +134,10 @@ pub fn fig8(rc: ReproConfig) -> String {
         ]);
     }
     let mut out = String::from("Figure 8 — Netperf RR vRIO latency gap and contention\n\n");
-    out.push_str(&render_table(&["VMs", "latency gap [usec]", "contention"], &rows));
+    out.push_str(&render_table(
+        &["VMs", "latency gap [usec]", "contention"],
+        &rows,
+    ));
     out.push_str("\npaper shape: gap grows ~12 -> ~13us as contention grows to ~20%\n");
     out
 }
@@ -134,7 +159,10 @@ pub fn tab4(rc: ReproConfig) -> String {
         }
     }
     let mut out = String::from("Table 4 — tail latency [usec], one VM\n\n");
-    out.push_str(&render_table(&["percentile", "optimum", "elvis", "vrio"], &rows));
+    out.push_str(&render_table(
+        &["percentile", "optimum", "elvis", "vrio"],
+        &rows,
+    ));
     out.push_str(
         "\npaper: optimum 35/42/214/227; elvis 53/71/466/480; vrio 60/156/258/274\n\
          (shape: elvis better at 99.9/99.99, vrio better at 99.999/max)\n",
@@ -154,7 +182,10 @@ pub fn fig9(rc: ReproConfig) -> String {
         rows.push(row);
     }
     let mut out = String::from("Figure 9 — Netperf stream throughput [Gbps] vs number of VMs\n\n");
-    out.push_str(&render_table(&["VMs", "optimum", "vrio", "elvis", "baseline"], &rows));
+    out.push_str(&render_table(
+        &["VMs", "optimum", "vrio", "elvis", "baseline"],
+        &rows,
+    ));
     out.push_str("\npaper shape: elvis ~= optimum; vrio 5-8% lower; baseline ~half\n");
     out
 }
@@ -172,7 +203,10 @@ pub fn fig10(rc: ReproConfig) -> String {
         ]);
     }
     let mut out = String::from("Figure 10 — Netperf stream cycles per packet (N=1)\n\n");
-    out.push_str(&render_table(&["I/O model", "cycles/packet", "vs optimum"], &rows));
+    out.push_str(&render_table(
+        &["I/O model", "cycles/packet", "vs optimum"],
+        &rows,
+    ));
     out.push_str("\npaper: optimum +0%, elvis +1%, vrio +9%, baseline +40%\n");
     out
 }
@@ -212,7 +246,14 @@ pub fn fig5(rc: ReproConfig) -> String {
     }
     let mut out = String::from("Figure 5 — ApacheBench aggregate requests/sec [K] vs VMs\n\n");
     out.push_str(&render_table(
-        &["VMs", "optimum", "vrio", "elvis", "vrio w/o poll", "baseline"],
+        &[
+            "VMs",
+            "optimum",
+            "vrio",
+            "elvis",
+            "vrio w/o poll",
+            "baseline",
+        ],
         &rows,
     ));
     out.push_str("\npaper shape: throughput ordering is the inverse of Table 3's sums\n");
@@ -222,9 +263,10 @@ pub fn fig5(rc: ReproConfig) -> String {
 /// Figure 12: Memcached and Apache transactions vs number of VMs.
 pub fn fig12(rc: ReproConfig) -> String {
     let mut out = String::new();
-    for (label, profile) in
-        [("a. memcached", TxnProfile::memcached()), ("b. apache", TxnProfile::apache())]
-    {
+    for (label, profile) in [
+        ("a. memcached", TxnProfile::memcached()),
+        ("b. apache", TxnProfile::apache()),
+    ] {
         let mut rows = Vec::new();
         for n in 1..=7usize {
             let mut row = vec![n.to_string()];
@@ -237,7 +279,10 @@ pub fn fig12(rc: ReproConfig) -> String {
             rows.push(row);
         }
         let _ = writeln!(out, "Figure 12{label} [Ktps] vs VMs\n");
-        out.push_str(&render_table(&["VMs", "optimum", "vrio", "elvis", "baseline"], &rows));
+        out.push_str(&render_table(
+            &["VMs", "optimum", "vrio", "elvis", "baseline"],
+            &rows,
+        ));
         out.push('\n');
     }
     out.push_str("paper shape: vrio approaches the optimum; elvis falls behind at high N\n");
@@ -265,7 +310,10 @@ pub fn fig13(rc: ReproConfig) -> String {
         }
         rows.push(row);
     }
-    out.push_str(&render_table(&["VMs", "1 sidecore", "2 sidecores", "4 sidecores"], &rows));
+    out.push_str(&render_table(
+        &["VMs", "1 sidecore", "2 sidecores", "4 sidecores"],
+        &rows,
+    ));
 
     out.push_str("\nb. Netperf stream throughput [Gbps]\n\n");
     let mut rows = Vec::new();
@@ -282,7 +330,10 @@ pub fn fig13(rc: ReproConfig) -> String {
         }
         rows.push(row);
     }
-    out.push_str(&render_table(&["VMs", "1 sidecore", "2 sidecores", "4 sidecores"], &rows));
+    out.push_str(&render_table(
+        &["VMs", "1 sidecore", "2 sidecores", "4 sidecores"],
+        &rows,
+    ));
     out.push_str(
         "\npaper shape: latency rises with N (NUMA bump past 16 VMs), more sidecores\n\
          help; stream scales linearly until a sidecore saturates at ~13 Gbps\n",
@@ -293,9 +344,11 @@ pub fn fig13(rc: ReproConfig) -> String {
 /// Figure 14: Filebench on a 1 GB ramdisk per VM.
 pub fn fig14(rc: ReproConfig) -> String {
     let mut out = String::from("Figure 14 — Filebench/ramdisk operations per second\n");
-    for (label, readers, writers) in
-        [("a. 1 reader", 1usize, 0usize), ("b. 1 pair", 1, 1), ("c. 2 pairs", 2, 2)]
-    {
+    for (label, readers, writers) in [
+        ("a. 1 reader", 1usize, 0usize),
+        ("b. 1 pair", 1, 1),
+        ("c. 2 pairs", 2, 2),
+    ] {
         let mut rows = Vec::new();
         for n in 1..=7usize {
             let mut row = vec![n.to_string()];
@@ -336,9 +389,21 @@ pub fn fig15(rc: ReproConfig) -> String {
     let rv = run_filebench(cv, Personality::Webserver { bursty: true }, dur);
 
     for (label, trace, avg) in [
-        ("a. elvis sidecore 1", &re.backend_traces[0], re.backend_utilization[0]),
-        ("b. elvis sidecore 2", &re.backend_traces[1], re.backend_utilization[1]),
-        ("c. vrio sidecore   ", &rv.backend_traces[0], rv.backend_utilization[0]),
+        (
+            "a. elvis sidecore 1",
+            &re.backend_traces[0],
+            re.backend_utilization[0],
+        ),
+        (
+            "b. elvis sidecore 2",
+            &re.backend_traces[1],
+            re.backend_utilization[1],
+        ),
+        (
+            "c. vrio sidecore   ",
+            &rv.backend_traces[0],
+            rv.backend_utilization[0],
+        ),
     ] {
         let ds = downsample(trace, 60);
         let _ = writeln!(out, "{label}  avg {:5.1}%  {}", avg * 100.0, sparkline(&ds));
@@ -360,9 +425,11 @@ pub fn fig16(rc: ReproConfig) -> String {
     // IOhost worker (which runs saturated -- the tradeoff).
     let mut rows = Vec::new();
     let mut elvis_mbps = 0.0;
-    for (model, backends) in
-        [(IoModel::Elvis, 1usize), (IoModel::Vrio, 1), (IoModel::Baseline, 1)]
-    {
+    for (model, backends) in [
+        (IoModel::Elvis, 1usize),
+        (IoModel::Vrio, 1),
+        (IoModel::Baseline, 1),
+    ] {
         let mut c = cfg(model, 10);
         c.num_vmhosts = 2;
         c.backend_cores = backends;
@@ -442,7 +509,10 @@ pub fn hetero(rc: ReproConfig) -> String {
             f(r.gbps),
         ]);
     }
-    out.push_str(&render_table(&["client flavor", "arch", "virtualized", "stream Gbps"], &rows));
+    out.push_str(&render_table(
+        &["client flavor", "arch", "virtualized", "stream Gbps"],
+        &rows,
+    ));
     out.push_str("\npaper: all flavors attain line rate with comparable CPU\n");
     out
 }
@@ -455,22 +525,26 @@ pub fn failover(rc: ReproConfig) -> String {
     use vrio_sim::{Engine, SimTime};
 
     let mut out = String::from(
-        "Section 4.6 fault tolerance — IOhost crash at t=1/3 of the run;
-         net front-ends fall back to local virtio on the VMhost
+        "Section 4.6 fault tolerance — IOhost crash at t=1/3, recovery at
+         t=2/3; net front-ends fall back to local virtio on the VMhost,
+         then fail back to vRIO once the health monitor sees acked probes
 
 ",
     );
     let horizon = rc.duration * 2u64;
     let fail_at = SimTime::ZERO + horizon / 3;
+    let recover_at = SimTime::ZERO + (horizon * 2u64) / 3;
     let mut cfg = cfg(IoModel::Vrio, 2);
     cfg.iohost_fails_at = Some(fail_at);
+    cfg.iohost_recovers_at = Some(recover_at);
     let mut tb = vrio::Testbed::new(cfg);
     let mut eng = Engine::new();
     // Completions per 5ms bucket, plus per-VM last-completion times so the
     // retry only revives loops that were actually blackholed.
     let buckets: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(vec![
         0;
-        (horizon.as_nanos() / SimDuration::millis(5).as_nanos() + 1) as usize
+        (horizon.as_nanos() / SimDuration::millis(5).as_nanos() + 1)
+            as usize
     ]));
     let last_done: Rc<RefCell<Vec<SimTime>>> = Rc::new(RefCell::new(vec![SimTime::ZERO; 2]));
 
@@ -504,20 +578,30 @@ pub fn failover(rc: ReproConfig) -> String {
     }
     let end = SimTime::ZERO + horizon;
     for vm in 0..2 {
-        issue(&mut tb, &mut eng, vm, end, buckets.clone(), last_done.clone());
+        issue(
+            &mut tb,
+            &mut eng,
+            vm,
+            end,
+            buckets.clone(),
+            last_done.clone(),
+        );
     }
     // Generator retry after the blackout: only loops silenced by the crash
     // are restarted.
     let retry_buckets = buckets.clone();
     let retry_done = last_done.clone();
-    eng.schedule_at(fail_at + SimDuration::millis(1), move |tb: &mut vrio::Testbed, eng| {
-        for vm in 0..2 {
-            let stalled = eng.now() - retry_done.borrow()[vm] > SimDuration::micros(500);
-            if stalled {
-                issue(tb, eng, vm, end, retry_buckets.clone(), retry_done.clone());
+    eng.schedule_at(
+        fail_at + SimDuration::millis(1),
+        move |tb: &mut vrio::Testbed, eng| {
+            for vm in 0..2 {
+                let stalled = eng.now() - retry_done.borrow()[vm] > SimDuration::micros(500);
+                if stalled {
+                    issue(tb, eng, vm, end, retry_buckets.clone(), retry_done.clone());
+                }
             }
-        }
-    });
+        },
+    );
     eng.run(&mut tb);
 
     let b = buckets.borrow();
@@ -533,30 +617,59 @@ pub fn failover(rc: ReproConfig) -> String {
     );
     let third = b.len() / 3;
     let before: u64 = b[..third].iter().sum();
-    let after: u64 = b[third + 1..].iter().sum();
+    let during: u64 = b[third + 1..2 * third].iter().sum();
+    let after: u64 = b[2 * third + 1..].iter().sum();
+    let phase_secs = horizon.as_secs_f64() / 3.0;
     let _ = writeln!(
         out,
-        "mean rate before crash: {:.0} req/s; after (local-virtio fallback): {:.0} req/s
+        "mean rate before crash: {:.0} req/s; during outage (local-virtio
+         fallback): {:.0} req/s; after failback (vRIO again): {:.0} req/s
          exits after failover: {} (vRIO itself induces none)",
-        before as f64 / (horizon.as_secs_f64() / 3.0),
-        after as f64 / (horizon.as_secs_f64() * 2.0 / 3.0),
+        before as f64 / phase_secs,
+        during as f64 / phase_secs,
+        after as f64 / phase_secs,
         tb.counters.sync_exits,
     );
-    out.push_str("
-the rack stays reachable through an IOhost failure (paper section 4.6)
-");
+    // The health monitor's view of the lifecycle, with detection lag made
+    // visible: each transition is stamped at the heartbeat that caused it.
+    out.push_str("\nhealth transitions (VMhost 0):\n");
+    for &(at, state) in &tb.health[0].transitions {
+        let _ = writeln!(
+            out,
+            "  t={:>9.3} ms  -> {}",
+            at.as_nanos() as f64 / 1e6,
+            state
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  (crash at {:.3} ms, recovery at {:.3} ms)",
+        fail_at.as_nanos() as f64 / 1e6,
+        recover_at.as_nanos() as f64 / 1e6,
+    );
+    out.push('\n');
+    out.push_str(&crate::report::render_reliability(&tb.reliability_report()));
+    out.push_str(
+        "
+the rack stays reachable through an IOhost failure and returns to vRIO
+performance after recovery (paper section 4.6)
+",
+    );
     out
 }
 
 /// §4.5 validation: loss injection, retransmission recovery, and the
 /// 512-vs-4096 receive-ring ablation.
 pub fn retx_validation(rc: ReproConfig) -> String {
-    let mut out = String::from(
-        "Section 4.5 validation — block retransmission under injected loss\n\n",
-    );
+    let mut out =
+        String::from("Section 4.5 validation — block retransmission under injected loss\n\n");
     let mut rows = Vec::new();
     for (label, loss, ring) in [
-        ("clean channel, Rx=4096", 0.0, vrio_net::RX_RING_LARGE as u64),
+        (
+            "clean channel, Rx=4096",
+            0.0,
+            vrio_net::RX_RING_LARGE as u64,
+        ),
         ("2% loss, Rx=4096", 0.02, vrio_net::RX_RING_LARGE as u64),
         ("2% loss, Rx=512", 0.02, vrio_net::RX_RING_DEFAULT as u64),
     ] {
@@ -565,13 +678,19 @@ pub fn retx_validation(rc: ReproConfig) -> String {
         c.iohost_rx_ring = ring;
         let r = run_filebench(
             c.clone(),
-            Personality::RandomIo { readers: 2, writers: 2 },
+            Personality::RandomIo {
+                readers: 2,
+                writers: 2,
+            },
             rc.duration,
         );
         // Re-run to fetch retx stats from a fresh world is unnecessary —
         // report throughput; correctness (no lost requests) is enforced by
         // the workload completing every op.
-        rows.push(vec![label.into(), format!("{:.1}K", r.ops_per_sec / 1000.0)]);
+        rows.push(vec![
+            label.into(),
+            format!("{:.1}K", r.ops_per_sec / 1000.0),
+        ]);
     }
     out.push_str(&render_table(&["channel condition", "ops/sec"], &rows));
     out.push_str(
@@ -587,7 +706,10 @@ mod tests {
 
     #[test]
     fn quick_reports_render() {
-        let rc = ReproConfig { duration: SimDuration::millis(10), tail_duration: SimDuration::millis(10) };
+        let rc = ReproConfig {
+            duration: SimDuration::millis(10),
+            tail_duration: SimDuration::millis(10),
+        };
         for report in [tab3(rc), fig10(rc), retx_validation(rc)] {
             assert!(report.len() > 80, "{report}");
         }

@@ -31,8 +31,15 @@ pub enum BlockError {
 impl std::fmt::Display for BlockError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BlockError::OutOfRange { offset, len, capacity } => {
-                write!(f, "block access [{offset}, +{len}) beyond capacity {capacity}")
+            BlockError::OutOfRange {
+                offset,
+                len,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "block access [{offset}, +{len}) beyond capacity {capacity}"
+                )
             }
             BlockError::Unaligned { offset, len } => {
                 write!(f, "unaligned O_DIRECT access [{offset}, +{len})")
@@ -64,12 +71,18 @@ pub struct Ramdisk {
 impl Ramdisk {
     /// Creates a zero-filled ramdisk of `capacity` bytes.
     pub fn new(capacity: usize) -> Self {
-        Ramdisk { data: vec![0; capacity], require_aligned: false }
+        Ramdisk {
+            data: vec![0; capacity],
+            require_aligned: false,
+        }
     }
 
     /// Creates a ramdisk that rejects unaligned access (O_DIRECT mode).
     pub fn new_direct(capacity: usize) -> Self {
-        Ramdisk { data: vec![0; capacity], require_aligned: true }
+        Ramdisk {
+            data: vec![0; capacity],
+            require_aligned: true,
+        }
     }
 
     /// Capacity in bytes.
@@ -82,7 +95,11 @@ impl Ramdisk {
             return Err(BlockError::Unaligned { offset, len });
         }
         if offset.checked_add(len).map(|end| end <= self.capacity()) != Some(true) {
-            return Err(BlockError::OutOfRange { offset, len, capacity: self.capacity() });
+            return Err(BlockError::OutOfRange {
+                offset,
+                len,
+                capacity: self.capacity(),
+            });
         }
         Ok(())
     }
@@ -90,7 +107,9 @@ impl Ramdisk {
     /// Reads `len` bytes at byte `offset`.
     pub fn read(&self, offset: u64, len: u64) -> Result<Bytes, BlockError> {
         self.check(offset, len)?;
-        Ok(Bytes::copy_from_slice(&self.data[offset as usize..(offset + len) as usize]))
+        Ok(Bytes::copy_from_slice(
+            &self.data[offset as usize..(offset + len) as usize],
+        ))
     }
 
     /// Writes `data` at byte `offset`.
@@ -186,16 +205,28 @@ mod tests {
     #[test]
     fn ramdisk_bounds() {
         let mut d = Ramdisk::new(1024);
-        assert!(matches!(d.read(1020, 8), Err(BlockError::OutOfRange { .. })));
-        assert!(matches!(d.write(1024, &[1]), Err(BlockError::OutOfRange { .. })));
+        assert!(matches!(
+            d.read(1020, 8),
+            Err(BlockError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            d.write(1024, &[1]),
+            Err(BlockError::OutOfRange { .. })
+        ));
         assert!(d.read(u64::MAX, 1).is_err()); // overflow safe
     }
 
     #[test]
     fn direct_mode_rejects_unaligned() {
         let mut d = Ramdisk::new_direct(8192);
-        assert!(matches!(d.read(100, 512), Err(BlockError::Unaligned { .. })));
-        assert!(matches!(d.write(512, &[0; 100]), Err(BlockError::Unaligned { .. })));
+        assert!(matches!(
+            d.read(100, 512),
+            Err(BlockError::Unaligned { .. })
+        ));
+        assert!(matches!(
+            d.write(512, &[0; 100]),
+            Err(BlockError::Unaligned { .. })
+        ));
         assert!(d.write(512, &[0; 512]).is_ok());
         assert!(d.read(0, 4096).is_ok());
     }

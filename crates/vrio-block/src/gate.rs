@@ -104,7 +104,11 @@ mod tests {
     use bytes::Bytes;
 
     fn write(id: u64, sector: u64, sectors: u64) -> BlockRequest {
-        BlockRequest::write(RequestId(id), sector, Bytes::from(vec![0u8; (sectors * 512) as usize]))
+        BlockRequest::write(
+            RequestId(id),
+            sector,
+            Bytes::from(vec![0u8; (sectors * 512) as usize]),
+        )
     }
 
     #[test]
@@ -137,7 +141,7 @@ mod tests {
         let mut g = BlockGate::new();
         g.submit(write(1, 0, 8));
         g.submit(write(2, 0, 8)); // pending behind 1
-        // A request overlapping 2 but not 1 must still wait for 2.
+                                  // A request overlapping 2 but not 1 must still wait for 2.
         assert!(g.submit(write(3, 7, 2)).is_none());
         let rel = g.complete(RequestId(1));
         // 2 releases; 3 still conflicts with 2.

@@ -36,7 +36,5 @@ mod scheduler;
 
 pub use backing::{BlockError, DeviceProfile, Ramdisk};
 pub use gate::BlockGate;
-pub use request::{
-    split_sector_aligned, AlignedSplit, BlockKind, BlockRequest, RequestId,
-};
+pub use request::{split_sector_aligned, AlignedSplit, BlockKind, BlockRequest, RequestId};
 pub use scheduler::Elevator;

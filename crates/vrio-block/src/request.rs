@@ -39,18 +39,36 @@ pub struct BlockRequest {
 impl BlockRequest {
     /// A read of `len` bytes starting at `sector`.
     pub fn read(id: RequestId, sector: u64, len: u32) -> Self {
-        BlockRequest { id, kind: BlockKind::Read, sector, len, data: Bytes::new() }
+        BlockRequest {
+            id,
+            kind: BlockKind::Read,
+            sector,
+            len,
+            data: Bytes::new(),
+        }
     }
 
     /// A write of `data` starting at `sector`.
     pub fn write(id: RequestId, sector: u64, data: Bytes) -> Self {
         let len = data.len() as u32;
-        BlockRequest { id, kind: BlockKind::Write, sector, len, data }
+        BlockRequest {
+            id,
+            kind: BlockKind::Write,
+            sector,
+            len,
+            data,
+        }
     }
 
     /// A cache flush.
     pub fn flush(id: RequestId) -> Self {
-        BlockRequest { id, kind: BlockKind::Flush, sector: 0, len: 0, data: Bytes::new() }
+        BlockRequest {
+            id,
+            kind: BlockKind::Flush,
+            sector: 0,
+            len: 0,
+            data: Bytes::new(),
+        }
     }
 
     /// Byte offset of the first addressed sector.
@@ -115,7 +133,12 @@ pub fn split_sector_aligned(offset: u64, data: Bytes) -> AlignedSplit {
     let last_aligned = (end / SECTOR_SIZE) * SECTOR_SIZE;
     if first_aligned >= last_aligned {
         // No aligned interior at all: the whole buffer is an edge.
-        return AlignedSplit { head: data, middle: Bytes::new(), tail: Bytes::new(), offset };
+        return AlignedSplit {
+            head: data,
+            middle: Bytes::new(),
+            tail: Bytes::new(),
+            offset,
+        };
     }
     let head_len = (first_aligned - offset) as usize;
     let mid_len = (last_aligned - first_aligned) as usize;

@@ -39,7 +39,11 @@ impl Elevator {
     /// Creates an elevator that force-serves requests after `max_age`
     /// passed-over sweeps.
     pub fn new(max_age: u32) -> Self {
-        Elevator { queue: BTreeMap::new(), seq: 0, max_age }
+        Elevator {
+            queue: BTreeMap::new(),
+            seq: 0,
+            max_age,
+        }
     }
 
     /// Queue length.
@@ -125,7 +129,7 @@ mod tests {
     fn aging_prevents_starvation() {
         let mut e = Elevator::new(2);
         e.push(read(1, 5)); // below head; would starve without aging
-        // Keep feeding requests above the head.
+                            // Keep feeding requests above the head.
         let mut served_low = None;
         for i in 0..10u64 {
             e.push(read(100 + i, 1000 + i));

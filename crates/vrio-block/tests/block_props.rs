@@ -4,9 +4,7 @@
 
 use bytes::Bytes;
 use proptest::prelude::*;
-use vrio_block::{
-    split_sector_aligned, BlockGate, BlockRequest, Elevator, Ramdisk, RequestId,
-};
+use vrio_block::{split_sector_aligned, BlockGate, BlockRequest, Elevator, Ramdisk, RequestId};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]

@@ -47,7 +47,12 @@ pub fn cpus_adjacent(c1: &CpuEntry, c2: &CpuEntry) -> bool {
         && c1.series == c2.series
         && (c1.ghz - c2.ghz).abs() < 1e-9
         && c1.nm == c2.nm
-        && proportional_le(c1.cache_mb, c2.cache_mb, f64::from(c1.cores), f64::from(c2.cores))
+        && proportional_le(
+            c1.cache_mb,
+            c2.cache_mb,
+            f64::from(c1.cores),
+            f64::from(c2.cores),
+        )
         && c1.watts <= c2.watts
         && c1.qpi_gts <= c2.qpi_gts
 }
@@ -131,8 +136,16 @@ mod tests {
     fn figure1_shape_cpus_below_nics_above() {
         let cpu_points = cpu_upgrade_points(&cpu_catalog());
         let nic_points = nic_upgrade_points(&nic_catalog());
-        assert!(cpu_points.len() >= 5, "need a populated scatter: {}", cpu_points.len());
-        assert!(nic_points.len() >= 4, "need a populated scatter: {}", nic_points.len());
+        assert!(
+            cpu_points.len() >= 5,
+            "need a populated scatter: {}",
+            cpu_points.len()
+        );
+        assert!(
+            nic_points.len() >= 4,
+            "need a populated scatter: {}",
+            nic_points.len()
+        );
         for p in &cpu_points {
             assert!(!p.above_break_even(), "CPU point above diagonal: {p:?}");
             assert!(p.cost_ratio > 1.0 && p.hardware_ratio > 1.0);

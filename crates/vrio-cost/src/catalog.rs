@@ -63,49 +63,221 @@ impl NicEntry {
 
 /// One raw CPU catalog row: series, model, price, cores, GHz, nm, cache,
 /// watts, QPI.
-type CpuRow = (&'static str, &'static str, f64, u32, f64, u32, f64, f64, f64);
+type CpuRow = (
+    &'static str,
+    &'static str,
+    f64,
+    u32,
+    f64,
+    u32,
+    f64,
+    f64,
+    f64,
+);
 /// One raw NIC catalog row: vendor, series, model, price, Gbps/port,
 /// ports, PCIe gen, lanes, watts.
-type NicRow = (&'static str, &'static str, &'static str, f64, f64, u32, u32, u32, f64);
+type NicRow = (
+    &'static str,
+    &'static str,
+    &'static str,
+    f64,
+    f64,
+    u32,
+    u32,
+    u32,
+    f64,
+);
 
 /// The CPU catalog (Intel Xeon, June 2015 pricing).
 pub fn cpu_catalog() -> Vec<CpuEntry> {
     let rows: &[CpuRow] = &[
         // The paper's worked example pair.
-        ("E7-8800 v2", "E7-8850 v2", 3_059.0, 12, 2.3, 22, 24.0, 105.0, 7.2),
-        ("E7-8800 v2", "E7-8870 v2", 4_616.0, 15, 2.3, 22, 30.0, 130.0, 8.0),
+        (
+            "E7-8800 v2",
+            "E7-8850 v2",
+            3_059.0,
+            12,
+            2.3,
+            22,
+            24.0,
+            105.0,
+            7.2,
+        ),
+        (
+            "E7-8800 v2",
+            "E7-8870 v2",
+            4_616.0,
+            15,
+            2.3,
+            22,
+            30.0,
+            130.0,
+            8.0,
+        ),
         // E5-2600 v3 ladder (2.3 GHz, 22 nm).
-        ("E5-2600 v3", "E5-2650 v3", 1_166.0, 10, 2.3, 22, 25.0, 105.0, 9.6),
-        ("E5-2600 v3", "E5-2695 v3", 2_424.0, 14, 2.3, 22, 35.0, 120.0, 9.6),
+        (
+            "E5-2600 v3",
+            "E5-2650 v3",
+            1_166.0,
+            10,
+            2.3,
+            22,
+            25.0,
+            105.0,
+            9.6,
+        ),
+        (
+            "E5-2600 v3",
+            "E5-2695 v3",
+            2_424.0,
+            14,
+            2.3,
+            22,
+            35.0,
+            120.0,
+            9.6,
+        ),
         // E5-2600 v3, 2.6 GHz step.
-        ("E5-2600 v3", "E5-2640 v3", 939.0, 8, 2.6, 22, 20.0, 90.0, 8.0),
-        ("E5-2600 v3", "E5-2690 v3", 2_090.0, 12, 2.6, 22, 30.0, 135.0, 9.6),
+        (
+            "E5-2600 v3",
+            "E5-2640 v3",
+            939.0,
+            8,
+            2.6,
+            22,
+            20.0,
+            90.0,
+            8.0,
+        ),
+        (
+            "E5-2600 v3",
+            "E5-2690 v3",
+            2_090.0,
+            12,
+            2.6,
+            22,
+            30.0,
+            135.0,
+            9.6,
+        ),
         // E5-2600 v3, 2.5 GHz step.
-        ("E5-2600 v3", "E5-2680 v3", 1_745.0, 12, 2.5, 22, 30.0, 120.0, 9.6),
-        ("E5-2600 v3", "E5-2698 v3", 3_226.0, 16, 2.5, 22, 40.0, 135.0, 9.6),
+        (
+            "E5-2600 v3",
+            "E5-2680 v3",
+            1_745.0,
+            12,
+            2.5,
+            22,
+            30.0,
+            120.0,
+            9.6,
+        ),
+        (
+            "E5-2600 v3",
+            "E5-2698 v3",
+            3_226.0,
+            16,
+            2.5,
+            22,
+            40.0,
+            135.0,
+            9.6,
+        ),
         // E7-4800 v2 ladder.
-        ("E7-4800 v2", "E7-4820 v2", 1_446.0, 8, 2.0, 22, 16.0, 105.0, 7.2),
-        ("E7-4800 v2", "E7-4850 v2", 2_837.0, 12, 2.0, 22, 24.0, 105.0, 7.2),
+        (
+            "E7-4800 v2",
+            "E7-4820 v2",
+            1_446.0,
+            8,
+            2.0,
+            22,
+            16.0,
+            105.0,
+            7.2,
+        ),
+        (
+            "E7-4800 v2",
+            "E7-4850 v2",
+            2_837.0,
+            12,
+            2.0,
+            22,
+            24.0,
+            105.0,
+            7.2,
+        ),
         // E7-8800 v3 ladder (the R930's CPU family).
-        ("E7-8800 v3", "E7-8860 v3", 4_061.0, 16, 2.2, 22, 40.0, 140.0, 9.6),
-        ("E7-8800 v3", "E7-8880 v3", 5_895.0, 18, 2.3, 22, 45.0, 150.0, 9.6),
+        (
+            "E7-8800 v3",
+            "E7-8860 v3",
+            4_061.0,
+            16,
+            2.2,
+            22,
+            40.0,
+            140.0,
+            9.6,
+        ),
+        (
+            "E7-8800 v3",
+            "E7-8880 v3",
+            5_895.0,
+            18,
+            2.3,
+            22,
+            45.0,
+            150.0,
+            9.6,
+        ),
         // E5-4600 v2 ladder.
-        ("E5-4600 v2", "E5-4620 v2", 1_611.0, 8, 2.6, 22, 20.0, 95.0, 7.2),
-        ("E5-4600 v2", "E5-4650 v2", 3_616.0, 10, 2.4, 22, 25.0, 95.0, 8.0),
-        ("E5-4600 v2", "E5-4657L v2", 4_509.0, 12, 2.4, 22, 30.0, 115.0, 8.0),
+        (
+            "E5-4600 v2",
+            "E5-4620 v2",
+            1_611.0,
+            8,
+            2.6,
+            22,
+            20.0,
+            95.0,
+            7.2,
+        ),
+        (
+            "E5-4600 v2",
+            "E5-4650 v2",
+            3_616.0,
+            10,
+            2.4,
+            22,
+            25.0,
+            95.0,
+            8.0,
+        ),
+        (
+            "E5-4600 v2",
+            "E5-4657L v2",
+            4_509.0,
+            12,
+            2.4,
+            22,
+            30.0,
+            115.0,
+            8.0,
+        ),
     ];
     rows.iter()
-        .map(|&(series, model, price, cores, ghz, nm, cache_mb, watts, qpi_gts)| CpuEntry {
-            model,
-            series,
-            price,
-            cores,
-            ghz,
-            nm,
-            cache_mb,
-            watts,
-            qpi_gts,
-        })
+        .map(
+            |&(series, model, price, cores, ghz, nm, cache_mb, watts, qpi_gts)| CpuEntry {
+                model,
+                series,
+                price,
+                cores,
+                ghz,
+                nm,
+                cache_mb,
+                watts,
+                qpi_gts,
+            },
+        )
         .collect()
 }
 
@@ -113,8 +285,28 @@ pub fn cpu_catalog() -> Vec<CpuEntry> {
 pub fn nic_catalog() -> Vec<NicEntry> {
     let rows: &[NicRow] = &[
         // The paper's worked example pair.
-        ("Mellanox", "ConnectX-3", "MCX312B-XCCT", 560.0, 10.0, 2, 3, 8, 8.0),
-        ("Mellanox", "ConnectX-3", "MCX314A-BCCT", 1_121.0, 40.0, 2, 3, 8, 12.0),
+        (
+            "Mellanox",
+            "ConnectX-3",
+            "MCX312B-XCCT",
+            560.0,
+            10.0,
+            2,
+            3,
+            8,
+            8.0,
+        ),
+        (
+            "Mellanox",
+            "ConnectX-3",
+            "MCX314A-BCCT",
+            1_121.0,
+            40.0,
+            2,
+            3,
+            8,
+            12.0,
+        ),
         // Intel ladder.
         ("Intel", "X710", "X710-DA2", 420.0, 10.0, 2, 3, 8, 7.0),
         ("Intel", "X710", "XL710-QDA2", 880.0, 40.0, 2, 3, 8, 10.0),
@@ -122,11 +314,51 @@ pub fn nic_catalog() -> Vec<NicEntry> {
         ("Chelsio", "T5", "T520-CR", 650.0, 10.0, 2, 3, 8, 14.0),
         ("Chelsio", "T5", "T580-CR", 1_400.0, 40.0, 2, 3, 8, 20.0),
         // SolarFlare single-port ladder.
-        ("SolarFlare", "Flareon", "SFN7122F", 490.0, 10.0, 2, 3, 8, 10.0),
-        ("SolarFlare", "Flareon", "SFN7142Q", 1_180.0, 40.0, 2, 3, 8, 16.0),
+        (
+            "SolarFlare",
+            "Flareon",
+            "SFN7122F",
+            490.0,
+            10.0,
+            2,
+            3,
+            8,
+            10.0,
+        ),
+        (
+            "SolarFlare",
+            "Flareon",
+            "SFN7142Q",
+            1_180.0,
+            40.0,
+            2,
+            3,
+            8,
+            16.0,
+        ),
         // Emulex ladder (1G -> 10G).
-        ("Emulex", "OneConnect", "OCe11102", 310.0, 10.0, 2, 2, 8, 12.0),
-        ("Emulex", "OneConnect", "OCe14401", 940.0, 40.0, 1, 3, 8, 14.0),
+        (
+            "Emulex",
+            "OneConnect",
+            "OCe11102",
+            310.0,
+            10.0,
+            2,
+            2,
+            8,
+            12.0,
+        ),
+        (
+            "Emulex",
+            "OneConnect",
+            "OCe14401",
+            940.0,
+            40.0,
+            1,
+            3,
+            8,
+            14.0,
+        ),
         // HotLava multi-port 10G ladder.
         ("HotLava", "Tambora", "6x10G", 1_350.0, 10.0, 6, 3, 8, 20.0),
     ];

@@ -41,7 +41,6 @@ pub use catalog::{cpu_catalog, nic_catalog, CpuEntry, NicEntry};
 pub use rack::{RackSetup, Table2Row};
 pub use server::{prices, required_gbps, ServerConfig, MBPS_PER_CORE};
 pub use ssd::{
-    consolidation_ratio, elvis_with_ssds, extra_nics_for, figure3_series, vrio_with_ssds,
-    SsdModel,
+    consolidation_ratio, elvis_with_ssds, extra_nics_for, figure3_series, vrio_with_ssds, SsdModel,
 };
 pub use wiring::{elvis_wiring, vrio_wiring, IohostAttachment, WiringPlan};

@@ -26,7 +26,10 @@ impl RackSetup {
     /// servers, 2 VMhosts; IOhosts merge pairwise into heavy ones
     /// (Fig 2b/2c). `n` must be a multiple of 3.
     pub fn vrio(n: usize) -> Self {
-        assert!(n.is_multiple_of(3) && n > 0, "vRIO transform applies to multiples of 3 servers");
+        assert!(
+            n.is_multiple_of(3) && n > 0,
+            "vRIO transform applies to multiples of 3 servers"
+        );
         let groups = n / 3;
         let vmhosts = groups * 2;
         let mut servers = vec![ServerConfig::vmhost(); vmhosts];
@@ -78,7 +81,10 @@ pub struct Table2Row {
 impl Table2Row {
     /// Builds the row for an `n`-server rack.
     pub fn for_servers(n: usize) -> Self {
-        Table2Row { elvis: RackSetup::elvis(n), vrio: RackSetup::vrio(n) }
+        Table2Row {
+            elvis: RackSetup::elvis(n),
+            vrio: RackSetup::vrio(n),
+        }
     }
 
     /// Relative price difference (negative: vRIO is cheaper).

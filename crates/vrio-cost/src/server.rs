@@ -46,26 +46,54 @@ impl ServerConfig {
     /// The Elvis server: 4 CPUs (1/3 of cores as sidecores), 288 GB
     /// (18 x 16 GB), two 2x10 G NICs.
     pub fn elvis() -> Self {
-        ServerConfig { name: "elvis", cpus: 4, dimms_8gb: 0, dimms_16gb: 18, nics_10g: 2, nics_40g: 0 }
+        ServerConfig {
+            name: "elvis",
+            cpus: 4,
+            dimms_8gb: 0,
+            dimms_16gb: 18,
+            nics_10g: 2,
+            nics_40g: 0,
+        }
     }
 
     /// The vRIO VMhost: 4 CPUs all running VMs, 432 GB (1.5x the VMs), one
     /// 2x40 G NIC toward the IOhost. The 432 GB uses 2x8 GB + 26x16 GB
     /// because the DIMM count must be even (Table 1's footnote).
     pub fn vmhost() -> Self {
-        ServerConfig { name: "vmhost", cpus: 4, dimms_8gb: 2, dimms_16gb: 26, nics_10g: 0, nics_40g: 1 }
+        ServerConfig {
+            name: "vmhost",
+            cpus: 4,
+            dimms_8gb: 2,
+            dimms_16gb: 26,
+            nics_10g: 0,
+            nics_40g: 1,
+        }
     }
 
     /// The "light" IOhost: 2 CPUs of consolidated sidecores, minimal 64 GB,
     /// two 2x40 G NICs (160 Gbps aggregate).
     pub fn light_iohost() -> Self {
-        ServerConfig { name: "light iohost", cpus: 2, dimms_8gb: 8, dimms_16gb: 0, nics_10g: 0, nics_40g: 2 }
+        ServerConfig {
+            name: "light iohost",
+            cpus: 2,
+            dimms_8gb: 8,
+            dimms_16gb: 0,
+            nics_10g: 0,
+            nics_40g: 2,
+        }
     }
 
     /// The "heavy" IOhost: two light IOhosts merged — 4 CPUs, 64 GB, four
     /// 2x40 G NICs (320 Gbps).
     pub fn heavy_iohost() -> Self {
-        ServerConfig { name: "heavy iohost", cpus: 4, dimms_8gb: 8, dimms_16gb: 0, nics_10g: 0, nics_40g: 4 }
+        ServerConfig {
+            name: "heavy iohost",
+            cpus: 4,
+            dimms_8gb: 8,
+            dimms_16gb: 0,
+            nics_10g: 0,
+            nics_40g: 4,
+        }
     }
 
     /// Total server price in dollars.
@@ -99,9 +127,9 @@ impl ServerConfig {
 pub fn required_gbps(role: &ServerConfig) -> f64 {
     let per_server = f64::from(ServerConfig::elvis().cores()) * MBPS_PER_CORE / 1024.0;
     match role.name {
-        "elvis" => per_server,                  // 26.72
-        "vmhost" => per_server * 1.5,           // 40.08: 1.5x the VMs
-        "light iohost" => per_server * 1.5 * 2.0 * 2.0, // 160.31: 2 VMhosts, rx+tx
+        "elvis" => per_server,                                // 26.72
+        "vmhost" => per_server * 1.5,                         // 40.08: 1.5x the VMs
+        "light iohost" => per_server * 1.5 * 2.0 * 2.0,       // 160.31: 2 VMhosts, rx+tx
         "heavy iohost" => per_server * 1.5 * 2.0 * 2.0 * 2.0, // 320.63
         other => unreachable!("unknown role {other}"),
     }
@@ -147,7 +175,11 @@ mod tests {
         // vs 160.31 required, 320.00 vs 320.63) — the paper accepts the
         // 0.2% shortfall.
         for cfg in [ServerConfig::light_iohost(), ServerConfig::heavy_iohost()] {
-            assert!(required_gbps(&cfg) / cfg.total_gbps() < 1.01, "{}", cfg.name);
+            assert!(
+                required_gbps(&cfg) / cfg.total_gbps() < 1.01,
+                "{}",
+                cfg.name
+            );
         }
     }
 
@@ -157,7 +189,11 @@ mod tests {
         assert_eq!(ServerConfig::vmhost().memory_gb(), 432);
         assert_eq!(ServerConfig::light_iohost().memory_gb(), 64);
         // Even DIMM counts (the R930 constraint the paper notes).
-        for cfg in [ServerConfig::elvis(), ServerConfig::vmhost(), ServerConfig::light_iohost()] {
+        for cfg in [
+            ServerConfig::elvis(),
+            ServerConfig::vmhost(),
+            ServerConfig::light_iohost(),
+        ] {
             assert_eq!((cfg.dimms_8gb + cfg.dimms_16gb) % 2, 0, "{}", cfg.name);
         }
     }

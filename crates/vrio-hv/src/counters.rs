@@ -21,13 +21,22 @@ pub enum IoModel {
 
 impl IoModel {
     /// All models, in the paper's usual presentation order.
-    pub const ALL: [IoModel; 5] =
-        [IoModel::Optimum, IoModel::Vrio, IoModel::Elvis, IoModel::VrioNoPoll, IoModel::Baseline];
+    pub const ALL: [IoModel; 5] = [
+        IoModel::Optimum,
+        IoModel::Vrio,
+        IoModel::Elvis,
+        IoModel::VrioNoPoll,
+        IoModel::Baseline,
+    ];
 
     /// The four models of the main latency/throughput figures (no-poll
     /// variant excluded).
-    pub const MAIN: [IoModel; 4] =
-        [IoModel::Optimum, IoModel::Vrio, IoModel::Elvis, IoModel::Baseline];
+    pub const MAIN: [IoModel; 4] = [
+        IoModel::Optimum,
+        IoModel::Vrio,
+        IoModel::Elvis,
+        IoModel::Baseline,
+    ];
 
     /// Whether the model supports I/O interposition (SRIOV does not — the
     /// paper's central qualitative axis).
@@ -101,6 +110,65 @@ impl EventCounters {
     }
 }
 
+/// Aggregated reliability accounting for one run: the §4.5 retransmission
+/// machinery, the §4.6 health/failover lifecycle, and any injected channel
+/// faults. Collected by the testbed's `reliability_report` and rendered by
+/// the failover experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReliabilityCounters {
+    /// Block requests handed to the transport.
+    pub block_sent: u64,
+    /// Block requests that completed (exactly once each).
+    pub block_completed: u64,
+    /// Retransmission attempts.
+    pub retransmissions: u64,
+    /// Requests surfaced to the guest as device errors.
+    pub device_errors: u64,
+    /// Late/duplicate responses filtered by wire-id staleness.
+    pub stale_responses: u64,
+    /// RTT samples folded into the adaptive-RTO estimator.
+    pub rtt_samples: u64,
+    /// Heartbeat probes sent by the VMhosts.
+    pub heartbeats_sent: u64,
+    /// Heartbeat acks received from the IOhost.
+    pub heartbeat_acks: u64,
+    /// Probes that went unanswered.
+    pub probes_missed: u64,
+    /// Health-monitor transitions into the failed-over state.
+    pub failovers: u64,
+    /// Completed failbacks (probing -> recovered -> healthy).
+    pub failbacks: u64,
+    /// Frames dropped on the channel (loss, ring overflow, crash).
+    pub channel_drops: u64,
+    /// Frames eaten by the Gilbert–Elliott bursty-loss injector.
+    pub injected_losses: u64,
+    /// Injected delay spikes.
+    pub injected_delay_spikes: u64,
+    /// Injected duplicate block responses.
+    pub injected_duplicates: u64,
+}
+
+impl ReliabilityCounters {
+    /// Accumulates another counter set (e.g. across runs).
+    pub fn add(&mut self, other: &ReliabilityCounters) {
+        self.block_sent += other.block_sent;
+        self.block_completed += other.block_completed;
+        self.retransmissions += other.retransmissions;
+        self.device_errors += other.device_errors;
+        self.stale_responses += other.stale_responses;
+        self.rtt_samples += other.rtt_samples;
+        self.heartbeats_sent += other.heartbeats_sent;
+        self.heartbeat_acks += other.heartbeat_acks;
+        self.probes_missed += other.probes_missed;
+        self.failovers += other.failovers;
+        self.failbacks += other.failbacks;
+        self.channel_drops += other.channel_drops;
+        self.injected_losses += other.injected_losses;
+        self.injected_delay_spikes += other.injected_delay_spikes;
+        self.injected_duplicates += other.injected_duplicates;
+    }
+}
+
 /// The paper's Table 3: expected event counts per request-response for each
 /// model. The testbed's measured counters must match these exactly — an
 /// integration test asserts it.
@@ -162,7 +230,12 @@ mod tests {
     #[test]
     fn interposability() {
         assert!(!IoModel::Optimum.is_interposable());
-        for m in [IoModel::Baseline, IoModel::Elvis, IoModel::Vrio, IoModel::VrioNoPoll] {
+        for m in [
+            IoModel::Baseline,
+            IoModel::Elvis,
+            IoModel::Vrio,
+            IoModel::VrioNoPoll,
+        ] {
             assert!(m.is_interposable());
         }
     }

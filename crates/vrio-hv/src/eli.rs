@@ -148,8 +148,16 @@ mod tests {
             b
         };
         let baseline = MsrBitmap::trap_all();
-        assert_eq!(baseline.eoi_exits(2) + 1, table3_expected(IoModel::Baseline).sync_exits);
-        for m in [IoModel::Optimum, IoModel::Vrio, IoModel::Elvis, IoModel::VrioNoPoll] {
+        assert_eq!(
+            baseline.eoi_exits(2) + 1,
+            table3_expected(IoModel::Baseline).sync_exits
+        );
+        for m in [
+            IoModel::Optimum,
+            IoModel::Vrio,
+            IoModel::Elvis,
+            IoModel::VrioNoPoll,
+        ] {
             assert_eq!(eli.eoi_exits(2), table3_expected(m).sync_exits);
         }
     }

@@ -134,7 +134,10 @@ mod tests {
         let (ready, inv) = cpu.wake(SimTime::from_nanos(50_000), &costs);
         assert!(!inv);
         assert_eq!(cpu.voluntary_switches(), 1);
-        assert_eq!(ready, SimTime::from_nanos(50_000) + costs.context_switch_voluntary);
+        assert_eq!(
+            ready,
+            SimTime::from_nanos(50_000) + costs.context_switch_voluntary
+        );
     }
 
     #[test]
@@ -172,7 +175,10 @@ mod tests {
         };
         let fast_device = run_experiment(15); // Elvis-like local ramdisk
         let slow_device = run_experiment(45); // vRIO-like remote ramdisk
-        assert!(fast_device > 90, "fast device should preempt: {fast_device}");
+        assert!(
+            fast_device > 90,
+            "fast device should preempt: {fast_device}"
+        );
         assert_eq!(slow_device, 0, "slow device should never preempt");
     }
 }

@@ -30,7 +30,7 @@ mod guest;
 mod vm;
 
 pub use costs::CostModel;
+pub use counters::{table3_expected, EventCounters, IoModel, ReliabilityCounters};
 pub use eli::{MsrBitmap, MSR_X2APIC_EOI, MSR_X2APIC_ICR, MSR_X2APIC_TPR};
-pub use counters::{table3_expected, EventCounters, IoModel};
 pub use guest::GuestCpu;
-pub use vm::{BlkCompletion, DeviceError, Vm, VirtioBlkDevice, VirtioNetDevice, VmId};
+pub use vm::{BlkCompletion, DeviceError, VirtioBlkDevice, VirtioNetDevice, Vm, VmId};

@@ -77,7 +77,11 @@ struct BufferPool {
 
 impl BufferPool {
     fn new(base: u64, slot_size: usize, slots: u16) -> Self {
-        BufferPool { base, slot_size, free: (0..slots).rev().collect() }
+        BufferPool {
+            base,
+            slot_size,
+            free: (0..slots).rev().collect(),
+        }
     }
 
     fn alloc(&mut self) -> Option<u16> {
@@ -143,8 +147,10 @@ pub struct VirtioNetDevice {
 impl VirtioNetDevice {
     fn new(mem_base: u64) -> (Self, u64) {
         let tx_layout = VirtqueueLayout::new(NET_QSIZE, GuestAddr(mem_base));
-        let rx_layout =
-            VirtqueueLayout::new(NET_QSIZE, GuestAddr(tx_layout.desc.0 + tx_layout.footprint()));
+        let rx_layout = VirtqueueLayout::new(
+            NET_QSIZE,
+            GuestAddr(tx_layout.desc.0 + tx_layout.footprint()),
+        );
         let pool_base = (rx_layout.desc.0 + rx_layout.footprint()).div_ceil(64) * 64;
         let tx_pool = BufferPool::new(pool_base, NET_SLOT, NET_SLOTS);
         let rx_base = pool_base + NET_SLOT as u64 * u64::from(NET_SLOTS);
@@ -248,7 +254,13 @@ impl Vm {
         let (blk, blk_end) = VirtioBlkDevice::new(net_end.div_ceil(4096) * 4096);
         let mem_size = (blk_end.div_ceil(4096) * 4096) as usize;
         let _ = &blk;
-        Vm { id, mem: GuestMemory::new(mem_size), cpu: GuestCpu::new(), net, blk }
+        Vm {
+            id,
+            mem: GuestMemory::new(mem_size),
+            cpu: GuestCpu::new(),
+            net,
+            blk,
+        }
     }
 
     /// The net device's transmit/receive counters.
@@ -272,12 +284,19 @@ impl Vm {
     /// Guest transmits with an explicit virtio-net header (e.g. GSO).
     pub fn net_send_hdr(&mut self, hdr: NetHdr, payload: &[u8]) -> Result<u16, DeviceError> {
         if payload.len() + NET_HDR_SIZE > NET_SLOT {
-            return Err(DeviceError::PayloadTooLarge { len: payload.len(), slot: NET_SLOT });
+            return Err(DeviceError::PayloadTooLarge {
+                len: payload.len(),
+                slot: NET_SLOT,
+            });
         }
         let slot = self.net.tx_pool.alloc().ok_or(DeviceError::NoBuffers)?;
         let addr = self.net.tx_pool.addr(slot);
-        self.mem.write(addr, &hdr.encode()).map_err(QueueError::from)?;
-        self.mem.write(addr.offset(NET_HDR_SIZE as u64), payload).map_err(QueueError::from)?;
+        self.mem
+            .write(addr, &hdr.encode())
+            .map_err(QueueError::from)?;
+        self.mem
+            .write(addr.offset(NET_HDR_SIZE as u64), payload)
+            .map_err(QueueError::from)?;
         let head = match self.net.tx_drv.add_chain(
             &mut self.mem,
             &[(addr, (NET_HDR_SIZE + payload.len()) as u32)],
@@ -316,9 +335,15 @@ impl Vm {
             if self.net.rx_drv.free_descriptors() == 0 {
                 break;
             }
-            let Some(slot) = self.net.rx_pool.alloc() else { break };
+            let Some(slot) = self.net.rx_pool.alloc() else {
+                break;
+            };
             let addr = self.net.rx_pool.addr(slot);
-            match self.net.rx_drv.add_chain(&mut self.mem, &[], &[(addr, NET_SLOT as u32)]) {
+            match self
+                .net
+                .rx_drv
+                .add_chain(&mut self.mem, &[], &[(addr, NET_SLOT as u32)])
+            {
                 Ok(head) => {
                     self.net.rx_slot_of_head.insert(head, slot);
                     n += 1;
@@ -386,7 +411,9 @@ impl Vm {
         buf.extend_from_slice(&NetHdr::plain().encode());
         buf.extend_from_slice(payload);
         let written = chain.write_writable(&mut self.mem, &buf)?;
-        self.net.rx_dev.push_used(&mut self.mem, chain.head, written)?;
+        self.net
+            .rx_dev
+            .push_used(&mut self.mem, chain.head, written)?;
         Ok(())
     }
 
@@ -401,7 +428,10 @@ impl Vm {
             BlockKind::Flush => 0,
         };
         if BLK_HDR_SIZE + data_len + 1 > BLK_SLOT {
-            return Err(DeviceError::PayloadTooLarge { len: data_len, slot: BLK_SLOT });
+            return Err(DeviceError::PayloadTooLarge {
+                len: data_len,
+                slot: BLK_SLOT,
+            });
         }
         let slot = self.blk.pool.alloc().ok_or(DeviceError::NoBuffers)?;
         let base = self.blk.pool.addr(slot);
@@ -411,12 +441,16 @@ impl Vm {
             BlockKind::Flush => BlkReqKind::Flush,
         };
         let hdr = BlkHdr::new(wire_kind, req.sector);
-        self.mem.write(base, &hdr.encode()).map_err(QueueError::from)?;
+        self.mem
+            .write(base, &hdr.encode())
+            .map_err(QueueError::from)?;
         let data_addr = base.offset(BLK_HDR_SIZE as u64);
         let status_addr = data_addr.offset(data_len as u64);
         let result = match req.kind {
             BlockKind::Write => {
-                self.mem.write(data_addr, &req.data).map_err(QueueError::from)?;
+                self.mem
+                    .write(data_addr, &req.data)
+                    .map_err(QueueError::from)?;
                 self.blk.drv.add_chain(
                     &mut self.mem,
                     &[(base, BLK_HDR_SIZE as u32), (data_addr, data_len as u32)],
@@ -443,7 +477,12 @@ impl Vm {
         };
         self.blk.pending.insert(
             head,
-            PendingBlk { id: req.id, kind: req.kind, slot, data_len: data_len as u32 },
+            PendingBlk {
+                id: req.id,
+                kind: req.kind,
+                slot,
+                data_len: data_len as u32,
+            },
         );
         self.blk.submitted += 1;
         Ok(head)
@@ -461,18 +500,23 @@ impl Vm {
             let base = self.blk.pool.addr(p.slot);
             let data_addr = base.offset(BLK_HDR_SIZE as u64);
             let status_addr = data_addr.offset(u64::from(p.data_len));
-            let status =
-                self.mem.read(status_addr, 1).map_err(QueueError::from)?[0];
+            let status = self.mem.read(status_addr, 1).map_err(QueueError::from)?[0];
             let data = if p.kind == BlockKind::Read && status == BLK_S_OK {
                 Bytes::copy_from_slice(
-                    self.mem.read(data_addr, u64::from(p.data_len)).map_err(QueueError::from)?,
+                    self.mem
+                        .read(data_addr, u64::from(p.data_len))
+                        .map_err(QueueError::from)?,
                 )
             } else {
                 Bytes::new()
             };
             self.blk.pool.release(p.slot);
             self.blk.completed += 1;
-            done.push(BlkCompletion { id: p.id, status, data });
+            done.push(BlkCompletion {
+                id: p.id,
+                status,
+                data,
+            });
         }
         Ok(done)
     }
@@ -564,7 +608,10 @@ mod tests {
     #[test]
     fn rx_starved_without_posted_buffers() {
         let mut vm = Vm::new(VmId(0));
-        assert_eq!(vm.net_deliver_rx(b"nope").unwrap_err(), DeviceError::RxStarved);
+        assert_eq!(
+            vm.net_deliver_rx(b"nope").unwrap_err(),
+            DeviceError::RxStarved
+        );
         vm.net_refill_rx().unwrap();
         assert!(vm.net_deliver_rx(b"yes").is_ok());
     }

@@ -85,7 +85,12 @@ pub struct Frame {
 impl Frame {
     /// Creates a frame.
     pub fn new(dst: MacAddr, src: MacAddr, ethertype: EtherType, payload: Bytes) -> Self {
-        Frame { dst, src, ethertype, payload }
+        Frame {
+            dst,
+            src,
+            ethertype,
+            payload,
+        }
     }
 
     /// Total wire length: header plus payload.
@@ -150,7 +155,12 @@ mod tests {
     fn short_wire_is_none() {
         assert!(Frame::decode(Bytes::from_static(&[0u8; 13])).is_none());
         // Exactly a header with empty payload is fine.
-        let f = Frame::new(MacAddr::local(0), MacAddr::local(1), EtherType::Vrio, Bytes::new());
+        let f = Frame::new(
+            MacAddr::local(0),
+            MacAddr::local(1),
+            EtherType::Vrio,
+            Bytes::new(),
+        );
         assert!(Frame::decode(f.encode()).is_some());
     }
 

@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fault;
 mod frame;
 mod link;
 mod mac;
@@ -46,17 +47,18 @@ mod nic;
 mod skb;
 mod tso;
 
-pub use frame::{
-    EtherType, Frame, ETH_HDR_SIZE, MTU_JUMBO_MAX, MTU_STANDARD, MTU_VRIO_JUMBO,
+pub use fault::{
+    FaultConfig, FaultConfigError, FaultInjector, FaultStats, GeConfig, GilbertElliott,
 };
+pub use frame::{EtherType, Frame, ETH_HDR_SIZE, MTU_JUMBO_MAX, MTU_STANDARD, MTU_VRIO_JUMBO};
 pub use link::{Forward, Link, PortId, Switch};
 pub use mac::{MacAddr, ParseMacError};
 pub use nic::{
-    Coalescer, NicMode, NicPort, NicStats, PacketRing, RxOutcome, SriovNic, VfId,
-    RX_RING_DEFAULT, RX_RING_LARGE,
+    Coalescer, NicMode, NicPort, NicStats, PacketRing, RxOutcome, SriovNic, VfId, RX_RING_DEFAULT,
+    RX_RING_LARGE,
 };
 pub use skb::{Frag, Skb, SkbError, MAX_SKB_FRAGS, PAGE_SIZE};
 pub use tso::{
-    fragment_count, internet_checksum, segment_message, FakeTcpHdr, Reassembler, Segment,
-    TsoError, FAKE_TCP_HDR_SIZE, MAX_TSO_MSG,
+    fragment_count, internet_checksum, segment_message, FakeTcpHdr, Reassembler, Segment, TsoError,
+    FAKE_TCP_HDR_SIZE, MAX_TSO_MSG,
 };

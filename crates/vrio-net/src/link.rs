@@ -49,7 +49,10 @@ impl Link {
 
     /// A 40 GbE link (the VMhost/IOhost channel in the paper's §3 setups).
     pub fn ethernet_40g() -> Self {
-        Link { gbps: 40.0, ..Link::ethernet_10g() }
+        Link {
+            gbps: 40.0,
+            ..Link::ethernet_10g()
+        }
     }
 
     /// Returns a copy with jumbo MTU (vRIO's 8100-byte channel framing).
@@ -60,7 +63,10 @@ impl Link {
 
     /// Returns a copy with the given loss probability.
     pub fn with_loss(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0,1]"
+        );
         self.loss_probability = p;
         self
     }
@@ -123,7 +129,10 @@ pub struct Switch {
 impl Switch {
     /// Creates a switch with `ports` ports.
     pub fn new(ports: usize) -> Self {
-        Switch { ports, fdb: HashMap::new() }
+        Switch {
+            ports,
+            fdb: HashMap::new(),
+        }
     }
 
     /// Number of ports.
@@ -155,7 +164,10 @@ impl Switch {
             }
         }
         Forward::Flood(
-            (0..self.ports).map(PortId).filter(|&p| p != ingress).collect(),
+            (0..self.ports)
+                .map(PortId)
+                .filter(|&p| p != ingress)
+                .collect(),
         )
     }
 
@@ -209,7 +221,10 @@ mod tests {
         }
         assert_eq!(sw.lookup(a), Some(PortId(1)));
         // b replies on port 3: unicast to a's port.
-        assert_eq!(sw.forward(PortId(3), &frame(a, b)), Forward::Port(PortId(1)));
+        assert_eq!(
+            sw.forward(PortId(3), &frame(a, b)),
+            Forward::Port(PortId(1))
+        );
         assert_eq!(sw.lookup(b), Some(PortId(3)));
     }
 
@@ -228,7 +243,10 @@ mod tests {
         sw.pin(a, PortId(0));
         sw.pin(b, PortId(0));
         // b -> a arrives on the port where a already lives: filtered.
-        assert_eq!(sw.forward(PortId(0), &frame(a, b)), Forward::Flood(Vec::new()));
+        assert_eq!(
+            sw.forward(PortId(0), &frame(a, b)),
+            Forward::Flood(Vec::new())
+        );
     }
 
     #[test]

@@ -54,7 +54,12 @@ impl<T> PacketRing<T> {
     /// Creates a ring holding up to `cap` packets.
     pub fn new(cap: usize) -> Self {
         assert!(cap > 0, "ring capacity must be nonzero");
-        PacketRing { cap, items: VecDeque::with_capacity(cap.min(1024)), drops: 0, enqueued: 0 }
+        PacketRing {
+            cap,
+            items: VecDeque::with_capacity(cap.min(1024)),
+            drops: 0,
+            enqueued: 0,
+        }
     }
 
     /// Capacity in packets.
@@ -333,7 +338,10 @@ pub struct VfId(pub usize);
 impl SriovNic {
     /// Creates a NIC whose physical function has the given MAC and mode.
     pub fn new(pf_mac: MacAddr, mode: NicMode, rx_cap: usize) -> Self {
-        SriovNic { pf: NicPort::new(pf_mac, mode, rx_cap), vfs: Vec::new() }
+        SriovNic {
+            pf: NicPort::new(pf_mac, mode, rx_cap),
+            vfs: Vec::new(),
+        }
     }
 
     /// Instantiates a virtual function with its own MAC, mode and ring size.
@@ -401,7 +409,12 @@ mod tests {
     use bytes::Bytes;
 
     fn frame(dst: MacAddr) -> Frame {
-        Frame::new(dst, MacAddr::local(99), EtherType::Ipv4, Bytes::from_static(b"x"))
+        Frame::new(
+            dst,
+            MacAddr::local(99),
+            EtherType::Ipv4,
+            Bytes::from_static(b"x"),
+        )
     }
 
     #[test]
@@ -421,19 +434,31 @@ mod tests {
     #[test]
     fn interrupt_mode_raises_on_empty_ring_only() {
         let mut p = NicPort::new(MacAddr::local(0), NicMode::Interrupt, 8);
-        assert_eq!(p.receive(frame(MacAddr::local(0))), RxOutcome::Accepted { interrupt: true });
+        assert_eq!(
+            p.receive(frame(MacAddr::local(0))),
+            RxOutcome::Accepted { interrupt: true }
+        );
         // Second frame coalesces: ring non-empty, no new interrupt.
-        assert_eq!(p.receive(frame(MacAddr::local(0))), RxOutcome::Accepted { interrupt: false });
+        assert_eq!(
+            p.receive(frame(MacAddr::local(0))),
+            RxOutcome::Accepted { interrupt: false }
+        );
         assert_eq!(p.stats.interrupts, 1);
         p.poll_rx(10);
-        assert_eq!(p.receive(frame(MacAddr::local(0))), RxOutcome::Accepted { interrupt: true });
+        assert_eq!(
+            p.receive(frame(MacAddr::local(0))),
+            RxOutcome::Accepted { interrupt: true }
+        );
     }
 
     #[test]
     fn poll_mode_never_interrupts() {
         let mut p = NicPort::new(MacAddr::local(0), NicMode::Poll, 8);
         for _ in 0..5 {
-            assert_eq!(p.receive(frame(MacAddr::local(0))), RxOutcome::Accepted { interrupt: false });
+            assert_eq!(
+                p.receive(frame(MacAddr::local(0))),
+                RxOutcome::Accepted { interrupt: false }
+            );
         }
         assert_eq!(p.stats.interrupts, 0);
         assert_eq!(p.poll_rx(3).len(), 3);

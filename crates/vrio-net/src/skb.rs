@@ -49,15 +49,30 @@ pub enum SkbError {
 impl std::fmt::Display for SkbError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SkbError::NoHeadroom { requested, available } => {
-                write!(f, "skb_push of {requested} bytes exceeds headroom {available}")
+            SkbError::NoHeadroom {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "skb_push of {requested} bytes exceeds headroom {available}"
+                )
             }
-            SkbError::ShortLinear { requested, available } => {
-                write!(f, "skb_pull of {requested} bytes exceeds linear data {available}")
+            SkbError::ShortLinear {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "skb_pull of {requested} bytes exceeds linear data {available}"
+                )
             }
             SkbError::TooManyFrags => write!(f, "skb already maps {MAX_SKB_FRAGS} fragments"),
             SkbError::FragTooLarge { len } => {
-                write!(f, "fragment of {len} bytes does not fit in a {PAGE_SIZE}-byte page")
+                write!(
+                    f,
+                    "fragment of {len} bytes does not fit in a {PAGE_SIZE}-byte page"
+                )
             }
         }
     }
@@ -115,7 +130,12 @@ pub struct Skb {
 impl Skb {
     /// An empty SKB with `headroom` bytes reserved for future `push`es.
     pub fn with_headroom(headroom: usize) -> Self {
-        Skb { headroom, buf: vec![0; headroom], frags: Vec::new(), bytes_copied: 0 }
+        Skb {
+            headroom,
+            buf: vec![0; headroom],
+            frags: Vec::new(),
+            bytes_copied: 0,
+        }
     }
 
     /// An SKB wrapping existing payload with no copy (the pointer-assignment
@@ -126,7 +146,10 @@ impl Skb {
         let mut offset = 0;
         while offset < payload.len() {
             let take = (payload.len() - offset).min(PAGE_SIZE);
-            skb.frags.push(Frag { data: payload.slice(offset..offset + take), pages: 1 });
+            skb.frags.push(Frag {
+                data: payload.slice(offset..offset + take),
+                pages: 1,
+            });
             offset += take;
         }
         skb
@@ -143,7 +166,10 @@ impl Skb {
     /// bytes themselves are written; payload is untouched.
     pub fn push(&mut self, hdr: &[u8]) -> Result<(), SkbError> {
         if hdr.len() > self.headroom {
-            return Err(SkbError::NoHeadroom { requested: hdr.len(), available: self.headroom });
+            return Err(SkbError::NoHeadroom {
+                requested: hdr.len(),
+                available: self.headroom,
+            });
         }
         self.headroom -= hdr.len();
         self.buf[self.headroom..self.headroom + hdr.len()].copy_from_slice(hdr);
@@ -155,7 +181,10 @@ impl Skb {
     pub fn pull(&mut self, n: usize) -> Result<Bytes, SkbError> {
         let avail = self.buf.len() - self.headroom;
         if n > avail {
-            return Err(SkbError::ShortLinear { requested: n, available: avail });
+            return Err(SkbError::ShortLinear {
+                requested: n,
+                available: avail,
+            });
         }
         let hdr = Bytes::copy_from_slice(&self.buf[self.headroom..self.headroom + n]);
         self.headroom += n;
@@ -180,7 +209,10 @@ impl Skb {
         // A fragment spanning k pages consumes k of the 17 slots (Linux maps
         // one page per slot; a 2-page TSO fragment takes 2 slots).
         for _ in 0..pages.saturating_sub(1) {
-            self.frags.push(Frag { data: Bytes::new(), pages: 0 });
+            self.frags.push(Frag {
+                data: Bytes::new(),
+                pages: 0,
+            });
         }
         self.frags.push(Frag { data, pages });
         Ok(())
@@ -255,7 +287,13 @@ mod tests {
     fn push_beyond_headroom_fails() {
         let mut skb = Skb::with_headroom(4);
         let err = skb.push(&[0u8; 5]).unwrap_err();
-        assert_eq!(err, SkbError::NoHeadroom { requested: 5, available: 4 });
+        assert_eq!(
+            err,
+            SkbError::NoHeadroom {
+                requested: 5,
+                available: 4
+            }
+        );
     }
 
     #[test]
@@ -263,14 +301,22 @@ mod tests {
         let mut skb = Skb::with_headroom(4);
         skb.append_linear(b"ab");
         let err = skb.pull(3).unwrap_err();
-        assert_eq!(err, SkbError::ShortLinear { requested: 3, available: 2 });
+        assert_eq!(
+            err,
+            SkbError::ShortLinear {
+                requested: 3,
+                available: 2
+            }
+        );
     }
 
     #[test]
     fn frag_page_constraint() {
         let mut skb = Skb::with_headroom(0);
         assert!(skb.add_frag(Bytes::from(vec![0u8; PAGE_SIZE])).is_ok());
-        let err = skb.add_frag(Bytes::from(vec![0u8; PAGE_SIZE + 1])).unwrap_err();
+        let err = skb
+            .add_frag(Bytes::from(vec![0u8; PAGE_SIZE + 1]))
+            .unwrap_err();
         assert_eq!(err, SkbError::FragTooLarge { len: PAGE_SIZE + 1 });
     }
 
@@ -280,14 +326,18 @@ mod tests {
         for _ in 0..MAX_SKB_FRAGS {
             skb.add_frag(Bytes::from_static(b"x")).unwrap();
         }
-        assert_eq!(skb.add_frag(Bytes::from_static(b"x")).unwrap_err(), SkbError::TooManyFrags);
+        assert_eq!(
+            skb.add_frag(Bytes::from_static(b"x")).unwrap_err(),
+            SkbError::TooManyFrags
+        );
     }
 
     #[test]
     fn two_page_fragment_consumes_two_slots() {
         let mut skb = Skb::with_headroom(0);
         for _ in 0..8 {
-            skb.add_frag_spanning(Bytes::from(vec![0u8; 8100]), 2).unwrap();
+            skb.add_frag_spanning(Bytes::from(vec![0u8; 8100]), 2)
+                .unwrap();
         }
         assert_eq!(skb.frag_slots(), 16);
         // The 9th (736-byte) fragment fits in the final slot: 17 total.
@@ -302,8 +352,7 @@ mod tests {
         let skb = Skb::from_borrowed(payload.clone());
         assert_eq!(skb.len(), 10_000);
         assert_eq!(skb.bytes_copied(), 0);
-        let collected: Vec<u8> =
-            skb.frags().flat_map(|f| f.data.iter().copied()).collect();
+        let collected: Vec<u8> = skb.frags().flat_map(|f| f.data.iter().copied()).collect();
         assert_eq!(collected, payload.to_vec());
     }
 

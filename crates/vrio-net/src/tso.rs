@@ -76,8 +76,8 @@ impl FakeTcpHdr {
         b[0] = 0x45; // IPv4, IHL=5
         b[2..4].copy_from_slice(&((self.total_len.min(0xffff)) as u16).to_be_bytes());
         b[9] = 6; // protocol = TCP
-        // We also stash the full 32-bit total length in the (unused here)
-        // IP id + fragment-offset words, since real IP total_len is 16-bit.
+                  // We also stash the full 32-bit total length in the (unused here)
+                  // IP id + fragment-offset words, since real IP total_len is 16-bit.
         b[4..8].copy_from_slice(&self.total_len.to_be_bytes());
         // TCP header starts at offset 20.
         b[20 + 4..20 + 8].copy_from_slice(&self.offset.to_be_bytes()); // seq
@@ -142,7 +142,9 @@ impl Segment {
     /// Pages this fragment occupies on receive, headers included — 2 pages
     /// for a full 8100-byte fragment, 1 for the short tail (§4.4).
     pub fn pages(&self) -> usize {
-        (self.chunk.len() + FAKE_TCP_HDR_SIZE).div_ceil(PAGE_SIZE).max(1)
+        (self.chunk.len() + FAKE_TCP_HDR_SIZE)
+            .div_ceil(PAGE_SIZE)
+            .max(1)
     }
 }
 
@@ -166,7 +168,10 @@ impl std::fmt::Display for TsoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TsoError::MessageTooLong { len } => {
-                write!(f, "message of {len} bytes exceeds the {MAX_TSO_MSG}-byte TSO maximum")
+                write!(
+                    f,
+                    "message of {len} bytes exceeds the {MAX_TSO_MSG}-byte TSO maximum"
+                )
             }
             TsoError::EmptyMessage => write!(f, "cannot segment an empty message"),
             TsoError::InconsistentFragment => write!(f, "fragment inconsistent with its message"),
@@ -218,7 +223,11 @@ pub fn segment_message(msg: Bytes, mtu: usize, msg_id: u32) -> Result<Vec<Segmen
     while offset < msg.len() {
         let take = (msg.len() - offset).min(mtu);
         segs.push(Segment {
-            hdr: FakeTcpHdr { msg_id, offset: offset as u32, total_len },
+            hdr: FakeTcpHdr {
+                msg_id,
+                offset: offset as u32,
+                total_len,
+            },
             chunk: msg.slice(offset..offset + take),
         });
         offset += take;
@@ -296,7 +305,11 @@ impl Reassembler {
         if partial.total_len != total_len {
             return Err(TsoError::InconsistentFragment);
         }
-        if partial.chunks.iter().any(|c| c.hdr.offset == seg.hdr.offset) {
+        if partial
+            .chunks
+            .iter()
+            .any(|c| c.hdr.offset == seg.hdr.offset)
+        {
             return Ok(None); // duplicate: drop silently, like TCP
         }
         partial.received += seg.chunk.len() as u32;
@@ -327,14 +340,23 @@ mod tests {
 
     #[test]
     fn header_roundtrip() {
-        let h = FakeTcpHdr { msg_id: 77, offset: 8100, total_len: 65_536 };
+        let h = FakeTcpHdr {
+            msg_id: 77,
+            offset: 8100,
+            total_len: 65_536,
+        };
         assert_eq!(FakeTcpHdr::decode(&h.encode()).unwrap(), h);
     }
 
     #[test]
     fn header_rejects_garbage() {
         assert!(FakeTcpHdr::decode(&[0u8; 39]).is_none());
-        let mut b = FakeTcpHdr { msg_id: 1, offset: 0, total_len: 1 }.encode();
+        let mut b = FakeTcpHdr {
+            msg_id: 1,
+            offset: 0,
+            total_len: 1,
+        }
+        .encode();
         b[0] = 0x46; // wrong IHL
         assert!(FakeTcpHdr::decode(&b).is_none());
     }
@@ -342,7 +364,11 @@ mod tests {
     #[test]
     fn segment_encode_decode_roundtrip() {
         let seg = Segment {
-            hdr: FakeTcpHdr { msg_id: 3, offset: 100, total_len: 200 },
+            hdr: FakeTcpHdr {
+                msg_id: 3,
+                offset: 100,
+                total_len: 200,
+            },
             chunk: Bytes::from_static(b"hello world"),
         };
         assert_eq!(Segment::decode(seg.encode()).unwrap(), seg);
@@ -351,7 +377,11 @@ mod tests {
     #[test]
     fn corrupted_segment_fails_checksum() {
         let seg = Segment {
-            hdr: FakeTcpHdr { msg_id: 1, offset: 0, total_len: 100 },
+            hdr: FakeTcpHdr {
+                msg_id: 1,
+                offset: 0,
+                total_len: 100,
+            },
             chunk: Bytes::from(vec![7u8; 100]),
         };
         let wire = seg.encode();
@@ -410,8 +440,16 @@ mod tests {
     #[test]
     fn oversized_and_empty_messages_rejected() {
         let err = segment_message(Bytes::from(vec![0u8; MAX_TSO_MSG + 1]), 8100, 0).unwrap_err();
-        assert_eq!(err, TsoError::MessageTooLong { len: MAX_TSO_MSG + 1 });
-        assert_eq!(segment_message(Bytes::new(), 8100, 0).unwrap_err(), TsoError::EmptyMessage);
+        assert_eq!(
+            err,
+            TsoError::MessageTooLong {
+                len: MAX_TSO_MSG + 1
+            }
+        );
+        assert_eq!(
+            segment_message(Bytes::new(), 8100, 0).unwrap_err(),
+            TsoError::EmptyMessage
+        );
     }
 
     #[test]
@@ -460,27 +498,46 @@ mod tests {
     fn inconsistent_fragment_detected() {
         let mut r = Reassembler::new();
         let good = Segment {
-            hdr: FakeTcpHdr { msg_id: 1, offset: 0, total_len: 100 },
+            hdr: FakeTcpHdr {
+                msg_id: 1,
+                offset: 0,
+                total_len: 100,
+            },
             chunk: Bytes::from(vec![0u8; 50]),
         };
         r.offer(0, good).unwrap();
         let bad = Segment {
-            hdr: FakeTcpHdr { msg_id: 1, offset: 50, total_len: 200 }, // wrong total
+            hdr: FakeTcpHdr {
+                msg_id: 1,
+                offset: 50,
+                total_len: 200,
+            }, // wrong total
             chunk: Bytes::from(vec![0u8; 50]),
         };
         assert_eq!(r.offer(0, bad).unwrap_err(), TsoError::InconsistentFragment);
         let overflow = Segment {
-            hdr: FakeTcpHdr { msg_id: 2, offset: 90, total_len: 100 },
+            hdr: FakeTcpHdr {
+                msg_id: 2,
+                offset: 90,
+                total_len: 100,
+            },
             chunk: Bytes::from(vec![0u8; 50]), // runs past total
         };
-        assert_eq!(r.offer(0, overflow).unwrap_err(), TsoError::InconsistentFragment);
+        assert_eq!(
+            r.offer(0, overflow).unwrap_err(),
+            TsoError::InconsistentFragment
+        );
     }
 
     #[test]
     fn reset_flow_clears_partials() {
         let mut r = Reassembler::new();
         let seg = Segment {
-            hdr: FakeTcpHdr { msg_id: 1, offset: 0, total_len: 100 },
+            hdr: FakeTcpHdr {
+                msg_id: 1,
+                offset: 0,
+                total_len: 100,
+            },
             chunk: Bytes::from(vec![0u8; 50]),
         };
         r.offer(3, seg.clone()).unwrap();

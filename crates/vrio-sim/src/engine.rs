@@ -76,7 +76,12 @@ impl<W> Default for Engine<W> {
 impl<W> Engine<W> {
     /// Creates an empty engine at `t = 0`.
     pub fn new() -> Self {
-        Engine { now: SimTime::ZERO, seq: 0, fired: 0, queue: BinaryHeap::new() }
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            fired: 0,
+            queue: BinaryHeap::new(),
+        }
     }
 
     /// The current simulated time.
@@ -103,11 +108,19 @@ impl<W> Engine<W> {
     where
         F: FnOnce(&mut W, &mut Engine<W>) + 'static,
     {
-        debug_assert!(at >= self.now, "scheduled event in the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduled event in the past: {at} < {}",
+            self.now
+        );
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Scheduled { at, seq, f: Box::new(f) });
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            f: Box::new(f),
+        });
     }
 
     /// Schedules `f` to fire `delay` after the current time.

@@ -29,7 +29,9 @@ pub struct SimRng {
 impl SimRng {
     /// Creates an RNG from an explicit 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
-        SimRng { inner: SmallRng::seed_from_u64(seed) }
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Derives an independent child RNG; useful for giving each entity its

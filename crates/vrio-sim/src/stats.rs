@@ -31,7 +31,13 @@ pub struct OnlineStats {
 impl OnlineStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        OnlineStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds a sample.
@@ -117,7 +123,10 @@ pub struct Histogram {
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        Histogram { samples: Vec::new(), sorted: true }
+        Histogram {
+            samples: Vec::new(),
+            sorted: true,
+        }
     }
 
     /// Adds a sample.
@@ -152,7 +161,8 @@ impl Histogram {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in histogram"));
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in histogram"));
             self.sorted = true;
         }
     }
@@ -275,7 +285,10 @@ impl BusyTracker {
                 buckets[b as usize] += overlap;
             }
         }
-        buckets.iter().map(|&ns| ns as f64 / window.as_nanos() as f64).collect()
+        buckets
+            .iter()
+            .map(|&ns| ns as f64 / window.as_nanos() as f64)
+            .collect()
     }
 }
 

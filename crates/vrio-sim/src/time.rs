@@ -311,8 +311,9 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: SimDuration =
-            [SimDuration::micros(1), SimDuration::micros(2)].into_iter().sum();
+        let total: SimDuration = [SimDuration::micros(1), SimDuration::micros(2)]
+            .into_iter()
+            .sum();
         assert_eq!(total, SimDuration::micros(3));
     }
 }

@@ -87,7 +87,11 @@ pub struct BlkHdr {
 impl BlkHdr {
     /// Creates a header for `kind` starting at `sector`.
     pub fn new(kind: BlkReqKind, sector: u64) -> Self {
-        BlkHdr { kind, ioprio: 0, sector }
+        BlkHdr {
+            kind,
+            ioprio: 0,
+            sector,
+        }
     }
 
     /// The byte offset of the first addressed sector.

@@ -51,7 +51,10 @@ impl fmt::Display for MemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MemError::OutOfBounds { addr, len, size } => {
-                write!(f, "guest access [{addr}, +{len}) out of bounds (size {size:#x})")
+                write!(
+                    f,
+                    "guest access [{addr}, +{len}) out of bounds (size {size:#x})"
+                )
             }
         }
     }
@@ -80,7 +83,9 @@ pub struct GuestMemory {
 impl GuestMemory {
     /// Allocates a zeroed memory space of `size` bytes.
     pub fn new(size: usize) -> Self {
-        GuestMemory { bytes: vec![0; size] }
+        GuestMemory {
+            bytes: vec![0; size],
+        }
     }
 
     /// Size of the memory space in bytes.
@@ -92,7 +97,11 @@ impl GuestMemory {
         let end = addr.0.checked_add(len);
         match end {
             Some(end) if end <= self.size() => Ok(addr.0 as usize),
-            _ => Err(MemError::OutOfBounds { addr, len, size: self.size() }),
+            _ => Err(MemError::OutOfBounds {
+                addr,
+                len,
+                size: self.size(),
+            }),
         }
     }
 
@@ -134,7 +143,9 @@ impl GuestMemory {
     /// Reads a little-endian `u64`.
     pub fn read_u64_le(&self, addr: GuestAddr) -> Result<u64, MemError> {
         let b = self.read(addr, 8)?;
-        Ok(u64::from_le_bytes(b.try_into().expect("read returned 8 bytes")))
+        Ok(u64::from_le_bytes(
+            b.try_into().expect("read returned 8 bytes"),
+        ))
     }
 
     /// Writes a little-endian `u64`.
@@ -159,17 +170,24 @@ mod tests {
         let mut mem = GuestMemory::new(64);
         mem.write_u16_le(GuestAddr(0), 0x1234).unwrap();
         mem.write_u32_le(GuestAddr(2), 0x5678_9abc).unwrap();
-        mem.write_u64_le(GuestAddr(6), 0xdead_beef_cafe_f00d).unwrap();
+        mem.write_u64_le(GuestAddr(6), 0xdead_beef_cafe_f00d)
+            .unwrap();
         assert_eq!(mem.read_u16_le(GuestAddr(0)).unwrap(), 0x1234);
         assert_eq!(mem.read_u32_le(GuestAddr(2)).unwrap(), 0x5678_9abc);
-        assert_eq!(mem.read_u64_le(GuestAddr(6)).unwrap(), 0xdead_beef_cafe_f00d);
+        assert_eq!(
+            mem.read_u64_le(GuestAddr(6)).unwrap(),
+            0xdead_beef_cafe_f00d
+        );
     }
 
     #[test]
     fn little_endian_layout() {
         let mut mem = GuestMemory::new(8);
         mem.write_u32_le(GuestAddr(0), 0x0102_0304).unwrap();
-        assert_eq!(mem.read(GuestAddr(0), 4).unwrap(), &[0x04, 0x03, 0x02, 0x01]);
+        assert_eq!(
+            mem.read(GuestAddr(0), 4).unwrap(),
+            &[0x04, 0x03, 0x02, 0x01]
+        );
     }
 
     #[test]
@@ -183,7 +201,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = MemError::OutOfBounds { addr: GuestAddr(0x20), len: 4, size: 16 };
+        let e = MemError::OutOfBounds {
+            addr: GuestAddr(0x20),
+            len: 4,
+            size: 16,
+        };
         let s = e.to_string();
         assert!(s.contains("0x20"), "{s}");
     }

@@ -48,7 +48,11 @@ impl NetHdr {
 
     /// A header requesting TCPv4 segmentation with `gso_size`-byte segments.
     pub fn gso_tcpv4(gso_size: u16) -> Self {
-        NetHdr { gso_type: GSO_TCPV4, gso_size, ..NetHdr::default() }
+        NetHdr {
+            gso_type: GSO_TCPV4,
+            gso_size,
+            ..NetHdr::default()
+        }
     }
 
     /// Encodes to the on-ring byte layout.

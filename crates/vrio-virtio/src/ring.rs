@@ -94,12 +94,20 @@ impl VirtqueueLayout {
     /// Panics if `size` is zero or not a power of two (as the virtio spec
     /// requires).
     pub fn new(size: u16, base: GuestAddr) -> Self {
-        assert!(size > 0 && size.is_power_of_two(), "queue size must be a power of two");
+        assert!(
+            size > 0 && size.is_power_of_two(),
+            "queue size must be a power of two"
+        );
         let align = |a: u64, to: u64| a.div_ceil(to) * to;
         let desc = GuestAddr(align(base.0, 16));
         let avail = GuestAddr(align(desc.0 + u64::from(size) * DESC_SIZE, 2));
         let used = GuestAddr(align(avail.0 + 6 + u64::from(size) * 2, 4));
-        VirtqueueLayout { size, desc, avail, used }
+        VirtqueueLayout {
+            size,
+            desc,
+            avail,
+            used,
+        }
     }
 
     /// Total bytes of guest memory the queue occupies past `desc`.
@@ -288,10 +296,14 @@ impl DriverQueue {
             return Err(QueueError::EmptyChain);
         }
         if needed > self.free.len() {
-            return Err(QueueError::QueueFull { needed, free: self.free.len() });
+            return Err(QueueError::QueueFull {
+                needed,
+                free: self.free.len(),
+            });
         }
-        let indices: Vec<u16> =
-            (0..needed).map(|_| self.free.pop().expect("checked free count")).collect();
+        let indices: Vec<u16> = (0..needed)
+            .map(|_| self.free.pop().expect("checked free count"))
+            .collect();
         let bufs = readable
             .iter()
             .map(|&(a, l)| (a, l, 0u16))
@@ -300,7 +312,17 @@ impl DriverQueue {
             let is_last = i == needed - 1;
             let flags = wflag | if is_last { 0 } else { DESC_F_NEXT };
             let next = if is_last { 0 } else { indices[i + 1] };
-            write_desc(mem, &self.layout, indices[i], Desc { addr: addr.0, len, flags, next })?;
+            write_desc(
+                mem,
+                &self.layout,
+                indices[i],
+                Desc {
+                    addr: addr.0,
+                    len,
+                    flags,
+                    next,
+                },
+            )?;
         }
         let head = indices[0];
         self.chain_len[usize::from(head)] = needed as u16;
@@ -347,7 +369,9 @@ impl DriverQueue {
         // Walk the chain to return descriptors to the free list.
         let n = std::mem::replace(&mut self.chain_len[usize::from(head)], 0);
         if n == 0 {
-            return Err(QueueError::BadChain(format!("used element for non-head descriptor {head}")));
+            return Err(QueueError::BadChain(format!(
+                "used element for non-head descriptor {head}"
+            )));
         }
         let mut cur = head;
         for i in 0..n {
@@ -424,7 +448,12 @@ pub struct DeviceQueue {
 impl DeviceQueue {
     /// Creates the device side of a queue with the given layout.
     pub fn new(layout: VirtqueueLayout) -> Self {
-        DeviceQueue { layout, last_avail_idx: 0, used_idx: 0, last_signaled_used: 0 }
+        DeviceQueue {
+            layout,
+            last_avail_idx: 0,
+            used_idx: 0,
+            last_signaled_used: 0,
+        }
     }
 
     /// The queue layout.
@@ -447,11 +476,17 @@ impl DeviceQueue {
         let slot = self.last_avail_idx % self.layout.size;
         let head = mem.read_u16_le(self.layout.avail_ring_addr(slot))?;
         if head >= self.layout.size {
-            return Err(QueueError::BadChain(format!("head index {head} out of range")));
+            return Err(QueueError::BadChain(format!(
+                "head index {head} out of range"
+            )));
         }
         self.last_avail_idx = self.last_avail_idx.wrapping_add(1);
 
-        let mut chain = DescChain { head, readable: Vec::new(), writable: Vec::new() };
+        let mut chain = DescChain {
+            head,
+            readable: Vec::new(),
+            writable: Vec::new(),
+        };
         let mut cur = head;
         let mut seen = 0u16;
         loop {
@@ -465,7 +500,9 @@ impl DeviceQueue {
                 chain.writable.push(buf);
             } else if !chain.writable.is_empty() {
                 // The spec requires all readable descriptors before writable.
-                return Err(QueueError::BadChain("readable descriptor after writable".into()));
+                return Err(QueueError::BadChain(
+                    "readable descriptor after writable".into(),
+                ));
             } else {
                 chain.readable.push(buf);
             }
@@ -473,7 +510,10 @@ impl DeviceQueue {
                 break;
             }
             if d.next >= self.layout.size {
-                return Err(QueueError::BadChain(format!("next index {} out of range", d.next)));
+                return Err(QueueError::BadChain(format!(
+                    "next index {} out of range",
+                    d.next
+                )));
             }
             cur = d.next;
         }
@@ -583,8 +623,12 @@ mod tests {
     fn queue_full_reports_counts() {
         let (mut mem, mut drv, _) = setup(4);
         for _ in 0..2 {
-            drv.add_chain(&mut mem, &[(GuestAddr(0x4000), 1), (GuestAddr(0x4001), 1)], &[])
-                .unwrap();
+            drv.add_chain(
+                &mut mem,
+                &[(GuestAddr(0x4000), 1), (GuestAddr(0x4001), 1)],
+                &[],
+            )
+            .unwrap();
         }
         let err = drv
             .add_chain(&mut mem, &[(GuestAddr(0x4000), 1)], &[])
@@ -595,7 +639,10 @@ mod tests {
     #[test]
     fn empty_chain_rejected() {
         let (mut mem, mut drv, _) = setup(4);
-        assert_eq!(drv.add_chain(&mut mem, &[], &[]).unwrap_err(), QueueError::EmptyChain);
+        assert_eq!(
+            drv.add_chain(&mut mem, &[], &[]).unwrap_err(),
+            QueueError::EmptyChain
+        );
     }
 
     #[test]
@@ -604,9 +651,13 @@ mod tests {
         // Force avail/used indices through many wraps of the ring and
         // (by construction) the u16 index space semantics.
         for round in 0..300u32 {
-            let head =
-                drv.add_chain(&mut mem, &[(GuestAddr(0x4000), 4)], &[(GuestAddr(0x5000), 4)])
-                    .unwrap();
+            let head = drv
+                .add_chain(
+                    &mut mem,
+                    &[(GuestAddr(0x4000), 4)],
+                    &[(GuestAddr(0x5000), 4)],
+                )
+                .unwrap();
             let chain = dev.pop_avail(&mem).unwrap().unwrap();
             assert_eq!(chain.head, head, "round {round}");
             dev.push_used(&mut mem, chain.head, 4).unwrap();
@@ -619,9 +670,15 @@ mod tests {
     #[test]
     fn multiple_outstanding_chains_fifo() {
         let (mut mem, mut drv, mut dev) = setup(8);
-        let h1 = drv.add_chain(&mut mem, &[(GuestAddr(0x4000), 1)], &[]).unwrap();
-        let h2 = drv.add_chain(&mut mem, &[(GuestAddr(0x4100), 1)], &[]).unwrap();
-        let h3 = drv.add_chain(&mut mem, &[(GuestAddr(0x4200), 1)], &[]).unwrap();
+        let h1 = drv
+            .add_chain(&mut mem, &[(GuestAddr(0x4000), 1)], &[])
+            .unwrap();
+        let h2 = drv
+            .add_chain(&mut mem, &[(GuestAddr(0x4100), 1)], &[])
+            .unwrap();
+        let h3 = drv
+            .add_chain(&mut mem, &[(GuestAddr(0x4200), 1)], &[])
+            .unwrap();
         let c1 = dev.pop_avail(&mem).unwrap().unwrap();
         let c2 = dev.pop_avail(&mem).unwrap().unwrap();
         let c3 = dev.pop_avail(&mem).unwrap().unwrap();
@@ -630,7 +687,9 @@ mod tests {
         dev.push_used(&mut mem, c2.head, 0).unwrap();
         dev.push_used(&mut mem, c1.head, 0).unwrap();
         dev.push_used(&mut mem, c3.head, 0).unwrap();
-        let order: Vec<u16> = (0..3).map(|_| drv.poll_used(&mem).unwrap().unwrap().head).collect();
+        let order: Vec<u16> = (0..3)
+            .map(|_| drv.poll_used(&mem).unwrap().unwrap().head)
+            .collect();
         assert_eq!(order, vec![h2, h1, h3]);
         assert_eq!(drv.free_descriptors(), 8);
     }
@@ -638,7 +697,12 @@ mod tests {
     #[test]
     fn device_detects_descriptor_loop() {
         let (mut mem, mut drv, mut dev) = setup(4);
-        drv.add_chain(&mut mem, &[(GuestAddr(0x4000), 1), (GuestAddr(0x4001), 1)], &[]).unwrap();
+        drv.add_chain(
+            &mut mem,
+            &[(GuestAddr(0x4000), 1), (GuestAddr(0x4001), 1)],
+            &[],
+        )
+        .unwrap();
         // Corrupt: make the second descriptor point back at the first,
         // with NEXT set, creating a cycle.
         let l = *drv.layout();
@@ -660,8 +724,30 @@ mod tests {
         let (mut mem, _, mut dev) = setup(4);
         let l = VirtqueueLayout::new(4, GuestAddr(0x100));
         // Hand-craft a chain: desc0 writable -> desc1 readable.
-        write_desc(&mut mem, &l, 0, Desc { addr: 0x4000, len: 4, flags: DESC_F_WRITE | DESC_F_NEXT, next: 1 }).unwrap();
-        write_desc(&mut mem, &l, 1, Desc { addr: 0x5000, len: 4, flags: 0, next: 0 }).unwrap();
+        write_desc(
+            &mut mem,
+            &l,
+            0,
+            Desc {
+                addr: 0x4000,
+                len: 4,
+                flags: DESC_F_WRITE | DESC_F_NEXT,
+                next: 1,
+            },
+        )
+        .unwrap();
+        write_desc(
+            &mut mem,
+            &l,
+            1,
+            Desc {
+                addr: 0x5000,
+                len: 4,
+                flags: 0,
+                next: 0,
+            },
+        )
+        .unwrap();
         mem.write_u16_le(l.avail_ring_addr(0), 0).unwrap();
         mem.write_u16_le(l.avail_idx_addr(), 1).unwrap();
         let err = dev.pop_avail(&mem).unwrap_err();
@@ -673,17 +759,27 @@ mod tests {
         let (mut mem, mut drv, mut dev) = setup(8);
         // Device publishes avail_event = 0 ("kick me after the first").
         dev.publish_avail_event(&mut mem).unwrap();
-        drv.add_chain(&mut mem, &[(GuestAddr(0x4000), 4)], &[]).unwrap();
-        assert!(drv.should_notify_device(&mem).unwrap(), "first submission kicks");
+        drv.add_chain(&mut mem, &[(GuestAddr(0x4000), 4)], &[])
+            .unwrap();
+        assert!(
+            drv.should_notify_device(&mem).unwrap(),
+            "first submission kicks"
+        );
         // More submissions while the device hasn't re-armed: suppressed.
-        drv.add_chain(&mut mem, &[(GuestAddr(0x4000), 4)], &[]).unwrap();
-        drv.add_chain(&mut mem, &[(GuestAddr(0x4000), 4)], &[]).unwrap();
+        drv.add_chain(&mut mem, &[(GuestAddr(0x4000), 4)], &[])
+            .unwrap();
+        drv.add_chain(&mut mem, &[(GuestAddr(0x4000), 4)], &[])
+            .unwrap();
         assert!(!drv.should_notify_device(&mem).unwrap(), "batched: no kick");
         // The device drains everything and re-arms at its new position.
         while dev.pop_avail(&mem).unwrap().is_some() {}
         dev.publish_avail_event(&mut mem).unwrap();
-        drv.add_chain(&mut mem, &[(GuestAddr(0x4000), 4)], &[]).unwrap();
-        assert!(drv.should_notify_device(&mem).unwrap(), "re-armed: kick again");
+        drv.add_chain(&mut mem, &[(GuestAddr(0x4000), 4)], &[])
+            .unwrap();
+        assert!(
+            drv.should_notify_device(&mem).unwrap(),
+            "re-armed: kick again"
+        );
     }
 
     #[test]
@@ -691,23 +787,34 @@ mod tests {
         let (mut mem, mut drv, mut dev) = setup(8);
         let mut heads = Vec::new();
         for _ in 0..4 {
-            heads.push(drv.add_chain(&mut mem, &[(GuestAddr(0x4000), 4)], &[]).unwrap());
+            heads.push(
+                drv.add_chain(&mut mem, &[(GuestAddr(0x4000), 4)], &[])
+                    .unwrap(),
+            );
         }
         // Driver arms: "interrupt me past what I've seen (nothing yet)".
         drv.publish_used_event(&mut mem).unwrap();
         let c = dev.pop_avail(&mem).unwrap().unwrap();
         dev.push_used(&mut mem, c.head, 0).unwrap();
-        assert!(dev.should_signal_driver(&mem).unwrap(), "first completion signals");
+        assert!(
+            dev.should_signal_driver(&mem).unwrap(),
+            "first completion signals"
+        );
         // Further completions before the driver re-arms are suppressed.
         for _ in 0..3 {
             let c = dev.pop_avail(&mem).unwrap().unwrap();
             dev.push_used(&mut mem, c.head, 0).unwrap();
         }
-        assert!(!dev.should_signal_driver(&mem).unwrap(), "batch completes silently");
+        assert!(
+            !dev.should_signal_driver(&mem).unwrap(),
+            "batch completes silently"
+        );
         // Driver reaps everything and re-arms.
         while drv.poll_used(&mem).unwrap().is_some() {}
         drv.publish_used_event(&mut mem).unwrap();
-        let h = drv.add_chain(&mut mem, &[(GuestAddr(0x4000), 4)], &[]).unwrap();
+        let h = drv
+            .add_chain(&mut mem, &[(GuestAddr(0x4000), 4)], &[])
+            .unwrap();
         let c = dev.pop_avail(&mem).unwrap().unwrap();
         assert_eq!(c.head, h);
         dev.push_used(&mut mem, c.head, 0).unwrap();

@@ -122,7 +122,9 @@ fn thread_loop(w: &mut FbWorld, eng: &mut Engine<FbWorld>, spec: ThreadSpec) {
     // `drive_phase`), so the duty cycle is identical across I/O models.
     let off_until = w.phase_off_until[w.tb.vm_host[spec.vm]];
     if w.bursty && eng.now() < off_until {
-        eng.schedule_at(off_until, move |w: &mut FbWorld, eng| thread_loop(w, eng, spec));
+        eng.schedule_at(off_until, move |w: &mut FbWorld, eng| {
+            thread_loop(w, eng, spec)
+        });
         return;
     }
 
@@ -332,13 +334,18 @@ pub fn run_filebench_with(
     if world.bursty {
         drive_phase(&mut world, &mut eng, 0);
     }
-    eng.schedule_at(SimTime::ZERO + warmup, |w: &mut FbWorld, _| w.measuring = true);
+    eng.schedule_at(SimTime::ZERO + warmup, |w: &mut FbWorld, _| {
+        w.measuring = true
+    });
     eng.run(&mut world);
 
     let horizon = deadline;
     let window = SimDuration::millis(1);
     let (inv, vol) = world.tb.vms.iter().fold((0, 0), |(i, v), vm| {
-        (i + vm.cpu.involuntary_switches(), v + vm.cpu.voluntary_switches())
+        (
+            i + vm.cpu.involuntary_switches(),
+            v + vm.cpu.voluntary_switches(),
+        )
     });
     FilebenchResult {
         ops_per_sec: world.ops as f64 / duration.as_secs_f64(),
@@ -415,7 +422,11 @@ mod tests {
                     personality,
                     SimDuration::millis(20),
                 );
-                assert!(r.ops_per_sec > 500.0, "{personality:?} on {model}: {}", r.ops_per_sec);
+                assert!(
+                    r.ops_per_sec > 500.0,
+                    "{personality:?} on {model}: {}",
+                    r.ops_per_sec
+                );
             }
         }
     }
@@ -431,7 +442,10 @@ mod tests {
         );
         let no_sync = run_filebench(
             TestbedConfig::simple(IoModel::Vrio, 2),
-            Personality::RandomIo { readers: 2, writers: 2 },
+            Personality::RandomIo {
+                readers: 2,
+                writers: 2,
+            },
             SimDuration::millis(30),
         );
         assert!(

@@ -99,20 +99,32 @@ pub fn run_txn_bench(
     let warmup = duration / 10;
     let deadline = SimTime::ZERO + warmup + duration;
     let num_vms = config.num_vms;
-    let mut world =
-        MacroWorld { tb: Testbed::new(config), completed: 0, measuring: false, deadline };
+    let mut world = MacroWorld {
+        tb: Testbed::new(config),
+        completed: 0,
+        measuring: false,
+        deadline,
+    };
     let mut eng: Engine<MacroWorld> = Engine::new();
 
     fn issue(w: &mut MacroWorld, eng: &mut Engine<MacroWorld>, vm: usize, p: TxnProfile) {
         let req = Bytes::from(vec![0x11u8; p.req_bytes]);
-        net_request_response(w, eng, vm, req, p.resp_bytes, p.app_time, move |w, eng, _o| {
-            if w.measuring {
-                w.completed += 1;
-            }
-            if eng.now() < w.deadline {
-                issue(w, eng, vm, p);
-            }
-        });
+        net_request_response(
+            w,
+            eng,
+            vm,
+            req,
+            p.resp_bytes,
+            p.app_time,
+            move |w, eng, _o| {
+                if w.measuring {
+                    w.completed += 1;
+                }
+                if eng.now() < w.deadline {
+                    issue(w, eng, vm, p);
+                }
+            },
+        );
     }
 
     for vm in 0..num_vms {
@@ -120,11 +132,17 @@ pub fn run_txn_bench(
             issue(&mut world, &mut eng, vm, profile);
         }
     }
-    eng.schedule_at(SimTime::ZERO + warmup, |w: &mut MacroWorld, _| w.measuring = true);
+    eng.schedule_at(SimTime::ZERO + warmup, |w: &mut MacroWorld, _| {
+        w.measuring = true
+    });
     eng.run(&mut world);
 
     let tps = world.completed as f64 / duration.as_secs_f64();
-    MacroResult { tps, ktps: tps / 1e3, completed: world.completed }
+    MacroResult {
+        tps,
+        ktps: tps / 1e3,
+        completed: world.completed,
+    }
 }
 
 #[cfg(test)]
@@ -133,7 +151,11 @@ mod tests {
     use vrio_hv::IoModel;
 
     fn bench(model: IoModel, vms: usize, p: TxnProfile) -> MacroResult {
-        run_txn_bench(TestbedConfig::simple(model, vms), p, SimDuration::millis(40))
+        run_txn_bench(
+            TestbedConfig::simple(model, vms),
+            p,
+            SimDuration::millis(40),
+        )
     }
 
     #[test]
@@ -145,13 +167,38 @@ mod tests {
         let nopoll = bench(IoModel::VrioNoPoll, 7, p);
         let elvis = bench(IoModel::Elvis, 7, p);
         let base = bench(IoModel::Baseline, 7, p);
-        assert!(opt.tps >= vrio.tps * 0.98, "opt {} vrio {}", opt.tps, vrio.tps);
-        assert!(vrio.tps > elvis.tps, "vrio {} elvis {}", vrio.tps, elvis.tps);
-        assert!(elvis.tps > base.tps, "elvis {} base {}", elvis.tps, base.tps);
+        assert!(
+            opt.tps >= vrio.tps * 0.98,
+            "opt {} vrio {}",
+            opt.tps,
+            vrio.tps
+        );
+        assert!(
+            vrio.tps > elvis.tps,
+            "vrio {} elvis {}",
+            vrio.tps,
+            elvis.tps
+        );
+        assert!(
+            elvis.tps > base.tps,
+            "elvis {} base {}",
+            elvis.tps,
+            base.tps
+        );
         // The no-poll ablation sits between elvis and baseline (Table 3 sums
         // 4 < 6 < 9).
-        assert!(nopoll.tps < elvis.tps, "nopoll {} elvis {}", nopoll.tps, elvis.tps);
-        assert!(nopoll.tps > base.tps, "nopoll {} base {}", nopoll.tps, base.tps);
+        assert!(
+            nopoll.tps < elvis.tps,
+            "nopoll {} elvis {}",
+            nopoll.tps,
+            elvis.tps
+        );
+        assert!(
+            nopoll.tps > base.tps,
+            "nopoll {} base {}",
+            nopoll.tps,
+            base.tps
+        );
     }
 
     #[test]
@@ -161,8 +208,18 @@ mod tests {
         let opt = bench(IoModel::Optimum, 7, p);
         let vrio = bench(IoModel::Vrio, 7, p);
         let elvis = bench(IoModel::Elvis, 7, p);
-        assert!(vrio.tps > elvis.tps * 1.15, "vrio {} elvis {}", vrio.tps, elvis.tps);
-        assert!(vrio.tps > opt.tps * 0.55, "vrio {} opt {}", vrio.tps, opt.tps);
+        assert!(
+            vrio.tps > elvis.tps * 1.15,
+            "vrio {} elvis {}",
+            vrio.tps,
+            elvis.tps
+        );
+        assert!(
+            vrio.tps > opt.tps * 0.55,
+            "vrio {} opt {}",
+            vrio.tps,
+            opt.tps
+        );
     }
 
     #[test]

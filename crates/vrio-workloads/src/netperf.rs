@@ -1,7 +1,6 @@
 //! Netperf: the UDP request-response (RR) latency benchmark and the TCP
 //! stream throughput benchmark (paper §5, Figures 7–11 and 13).
 
-
 use bytes::Bytes;
 use vrio::{net_request_response, stream_batch, HasTestbed, Testbed, TestbedConfig};
 use vrio_hv::EventCounters;
@@ -201,7 +200,11 @@ pub fn netperf_stream(config: TestbedConfig, duration: SimDuration) -> StreamRes
     } else {
         busy.as_secs_f64() * ghz * 1e9 / world.delivered_msgs as f64
     };
-    StreamResult { gbps, messages: world.delivered_msgs, cycles_per_msg }
+    StreamResult {
+        gbps,
+        messages: world.delivered_msgs,
+        cycles_per_msg,
+    }
 }
 
 /// Convenience: a latency percentile table from an RR histogram
@@ -242,7 +245,11 @@ mod tests {
             let r = quick(model, 1);
             let expected = table3_expected(model);
             let rate = |v: u64| (v as f64 / r.completed as f64).round() as u64;
-            assert_eq!(rate(r.counters.sync_exits), expected.sync_exits, "{model} exits");
+            assert_eq!(
+                rate(r.counters.sync_exits),
+                expected.sync_exits,
+                "{model} exits"
+            );
             assert_eq!(
                 rate(r.counters.guest_interrupts),
                 expected.guest_interrupts,
@@ -276,7 +283,12 @@ mod tests {
             TestbedConfig::simple(IoModel::Optimum, 4),
             SimDuration::millis(20),
         );
-        assert!(four.gbps > one.gbps * 2.5, "one={} four={}", one.gbps, four.gbps);
+        assert!(
+            four.gbps > one.gbps * 2.5,
+            "one={} four={}",
+            one.gbps,
+            four.gbps
+        );
     }
 
     #[test]

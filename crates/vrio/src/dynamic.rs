@@ -162,7 +162,10 @@ pub fn simulate_local_dynamic(config: DynamicConfig, traces: &[Vec<f64>]) -> All
 /// multiplexing across the rack.
 pub fn simulate_consolidated(pool_cores: usize, traces: &[Vec<f64>]) -> AllocationReport {
     let epochs = traces.first().map_or(0, Vec::len);
-    assert!(traces.iter().all(|t| t.len() == epochs), "equal-length traces");
+    assert!(
+        traces.iter().all(|t| t.len() == epochs),
+        "equal-length traces"
+    );
     let mut report = AllocationReport {
         allocated_core_epochs: 0.0,
         served_core_epochs: 0.0,
@@ -235,7 +238,10 @@ mod tests {
 
     #[test]
     fn allocator_respects_bounds() {
-        let cfg = DynamicConfig { max_sidecores_per_host: 3, ..DynamicConfig::default() };
+        let cfg = DynamicConfig {
+            max_sidecores_per_host: 3,
+            ..DynamicConfig::default()
+        };
         let mut a = DynamicAllocator::new(cfg);
         for _ in 0..100 {
             a.observe(10.0);
@@ -255,8 +261,7 @@ mod tests {
         let traces = bursty_traces(4, 400, 7);
         let local = simulate_local_dynamic(DynamicConfig::default(), &traces);
         // Give the pool the same average core budget the local policy used.
-        let avg_local_cores =
-            (local.allocated_core_epochs / 400.0).round() as usize;
+        let avg_local_cores = (local.allocated_core_epochs / 400.0).round() as usize;
         let pooled = simulate_consolidated(avg_local_cores, &traces);
         assert!(
             pooled.overload_core_epochs < local.overload_core_epochs * 0.7,
@@ -290,9 +295,7 @@ mod tests {
         let r = simulate_local_dynamic(DynamicConfig::default(), &traces);
         let total_demand: f64 = traces.iter().flatten().sum();
         assert!((r.served_core_epochs + r.overload_core_epochs - total_demand).abs() < 1e-6);
-        assert!(
-            (r.allocated_core_epochs - r.served_core_epochs - r.waste_cores).abs() < 1e-6
-        );
+        assert!((r.allocated_core_epochs - r.served_core_epochs - r.waste_cores).abs() < 1e-6);
         assert!(r.efficiency() > 0.0 && r.efficiency() <= 1.0);
     }
 }

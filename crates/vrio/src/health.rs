@@ -1,0 +1,508 @@
+//! IOhost liveness tracking: the per-VMhost health state machine that
+//! drives failover and failback (§4.6 fault tolerance).
+//!
+//! Each VMhost probes the IOhost on a fixed heartbeat grid with
+//! [`VrioMsgKind::Heartbeat`] messages; the IOhost answers each probe with
+//! a [`VrioMsgKind::HeartbeatAck`] echoing the probe sequence number. The
+//! monitor folds the ack/miss stream into five states:
+//!
+//! ```text
+//! Healthy --miss--> Suspect --miss--> FailedOver --ack--> Probing
+//!    ^                 |                   ^                 |
+//!    |<------ack-------+                   +------miss-------+
+//!    |                                                       |
+//!    +<---------- Recovered <---- `recovery_acks` acks ------+
+//! ```
+//!
+//! `Recovered` is a transition marker, not a resting state: the monitor
+//! records it and immediately re-enters `Healthy` at the same timestamp,
+//! so `transitions` carries one unambiguous failback event per outage.
+//!
+//! The monitor is *lazy*: it schedules no engine events. Callers advance
+//! it to the current simulated time before reading the state, and it
+//! replays every heartbeat exchange that the wall clock has passed. This
+//! keeps closed-loop simulations terminating (the event heap drains) while
+//! the observable behaviour is identical to free-running probe timers.
+
+use bytes::Bytes;
+use vrio_sim::{SimDuration, SimTime};
+
+use crate::proto::{DeviceId, VrioMsg, VrioMsgKind};
+
+/// One scheduled IOhost outage: the host is down in
+/// `[fails_at, recovers_at)`, or forever when `recovers_at` is `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outage {
+    /// The crash instant.
+    pub fails_at: SimTime,
+    /// The recovery instant (`None` = the host never comes back).
+    pub recovers_at: Option<SimTime>,
+}
+
+impl Outage {
+    /// Whether the IOhost is down at `t`.
+    pub fn covers(&self, t: SimTime) -> bool {
+        t >= self.fails_at && self.recovers_at.is_none_or(|r| t < r)
+    }
+}
+
+/// The health of the IOhost as observed by one VMhost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HealthState {
+    /// Heartbeats are acked; traffic rides vRIO.
+    Healthy,
+    /// One or more probes missed, but below the failover threshold;
+    /// traffic still rides vRIO (a lone drop is not a crash).
+    Suspect,
+    /// The miss threshold was reached: net traffic routes via the local
+    /// virtio fallback until the IOhost proves itself again.
+    FailedOver,
+    /// A probe was acked after a failover; the monitor keeps the fallback
+    /// route until `recovery_acks` consecutive acks arrive.
+    Probing,
+    /// The recovery streak completed. Recorded in `transitions` and
+    /// immediately superseded by [`HealthState::Healthy`].
+    Recovered,
+}
+
+impl HealthState {
+    /// Whether net traffic should ride the local-virtio fallback in this
+    /// state.
+    pub fn routes_via_fallback(self) -> bool {
+        matches!(self, HealthState::FailedOver | HealthState::Probing)
+    }
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Suspect => "suspect",
+            HealthState::FailedOver => "failed-over",
+            HealthState::Probing => "probing",
+            HealthState::Recovered => "recovered",
+        })
+    }
+}
+
+/// Tuning knobs of the health state machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthConfig {
+    /// Heartbeat period. Detection latency is bounded by
+    /// `interval * (failover_misses + 1)`.
+    pub interval: SimDuration,
+    /// Consecutive misses that trigger failover (the first miss already
+    /// moves the monitor to [`HealthState::Suspect`]).
+    pub failover_misses: u32,
+    /// Consecutive acks (after failover) that complete failback.
+    pub recovery_acks: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        // 250us beats, failover on the 2nd miss, failback after 2 acks:
+        // detection within 750us of a crash, failback within 750us of
+        // recovery — both well under the ~1ms retry horizons the §4.6
+        // experiments assume.
+        HealthConfig {
+            interval: SimDuration::micros(250),
+            failover_misses: 2,
+            recovery_acks: 2,
+        }
+    }
+}
+
+/// Why a [`HealthConfig`] was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthConfigError {
+    /// `interval` was zero — the monitor would spin on one instant.
+    ZeroInterval,
+    /// `failover_misses` was zero — the monitor could never fail over.
+    ZeroFailoverMisses,
+    /// `recovery_acks` was zero — the monitor could never fail back.
+    ZeroRecoveryAcks,
+}
+
+impl std::fmt::Display for HealthConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HealthConfigError::ZeroInterval => write!(f, "heartbeat interval must be non-zero"),
+            HealthConfigError::ZeroFailoverMisses => {
+                write!(f, "failover_misses must be at least 1")
+            }
+            HealthConfigError::ZeroRecoveryAcks => write!(f, "recovery_acks must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for HealthConfigError {}
+
+impl HealthConfig {
+    /// Validates the knobs, returning the config unchanged when sane.
+    pub fn validated(self) -> Result<Self, HealthConfigError> {
+        if self.interval.is_zero() {
+            return Err(HealthConfigError::ZeroInterval);
+        }
+        if self.failover_misses == 0 {
+            return Err(HealthConfigError::ZeroFailoverMisses);
+        }
+        if self.recovery_acks == 0 {
+            return Err(HealthConfigError::ZeroRecoveryAcks);
+        }
+        Ok(self)
+    }
+}
+
+/// Probe/ack accounting of one monitor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthStats {
+    /// Heartbeat probes sent.
+    pub heartbeats_sent: u64,
+    /// Acks received.
+    pub acks_received: u64,
+    /// Probes that went unanswered.
+    pub probes_missed: u64,
+    /// Healthy/Suspect -> FailedOver transitions.
+    pub failovers: u64,
+    /// Probing -> Recovered (-> Healthy) transitions.
+    pub failbacks: u64,
+}
+
+/// The per-VMhost health monitor.
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    config: HealthConfig,
+    /// The VMhost index, stamped into each probe's `DeviceId::client`.
+    host: u32,
+    state: HealthState,
+    misses: u32,
+    ack_streak: u32,
+    /// The next heartbeat instant (the grid starts one interval in, so a
+    /// simulation that never advances sends no probes).
+    next_beat: SimTime,
+    seq: u64,
+    /// Every state change, in order: `(when, new_state)`. `Recovered` and
+    /// the `Healthy` that supersedes it share a timestamp.
+    pub transitions: Vec<(SimTime, HealthState)>,
+    /// Probe/ack accounting.
+    pub stats: HealthStats,
+}
+
+impl HealthMonitor {
+    /// Creates a monitor for VMhost `host` (already `Healthy`, no probes
+    /// sent yet).
+    pub fn new(host: u32, config: HealthConfig) -> Self {
+        HealthMonitor {
+            config,
+            host,
+            state: HealthState::Healthy,
+            misses: 0,
+            ack_streak: 0,
+            next_beat: SimTime::ZERO + config.interval,
+            seq: 0,
+            transitions: Vec::new(),
+            stats: HealthStats::default(),
+        }
+    }
+
+    /// The current state (as of the last [`Self::advance_to`]).
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Whether net traffic should currently ride the local fallback.
+    pub fn routes_via_fallback(&self) -> bool {
+        self.state.routes_via_fallback()
+    }
+
+    /// Replays every heartbeat exchange up to and including `now` against
+    /// the outage schedule. Idempotent: re-advancing to the same instant
+    /// is a no-op, and time never runs backwards.
+    pub fn advance_to(&mut self, now: SimTime, outages: &[Outage]) {
+        while self.next_beat <= now {
+            let t = self.next_beat;
+            self.next_beat += self.config.interval;
+            self.seq += 1;
+            // The probe is a real protocol message: encode it, put it "on
+            // the wire", and decode what the IOhost would see.
+            let probe = VrioMsg::new(
+                VrioMsgKind::Heartbeat,
+                DeviceId {
+                    client: self.host,
+                    device: 0,
+                },
+                self.seq,
+                Bytes::new(),
+            );
+            let probe = VrioMsg::decode(probe.encode()).expect("own heartbeat reparses");
+            debug_assert_eq!(probe.hdr.kind, VrioMsgKind::Heartbeat);
+            self.stats.heartbeats_sent += 1;
+
+            // A live IOhost echoes the sequence number back; a crashed one
+            // blackholes the probe.
+            let up = !outages.iter().any(|o| o.covers(t));
+            let ack = up.then(|| {
+                let ack = VrioMsg::new(
+                    VrioMsgKind::HeartbeatAck,
+                    probe.hdr.device,
+                    probe.hdr.request_id,
+                    Bytes::new(),
+                );
+                VrioMsg::decode(ack.encode()).expect("own ack reparses")
+            });
+            match ack {
+                Some(a)
+                    if a.hdr.kind == VrioMsgKind::HeartbeatAck && a.hdr.request_id == self.seq =>
+                {
+                    self.on_ack(t)
+                }
+                _ => self.on_miss(t),
+            }
+        }
+    }
+
+    fn set_state(&mut self, t: SimTime, s: HealthState) {
+        if self.state != s {
+            self.state = s;
+            self.transitions.push((t, s));
+        }
+    }
+
+    fn on_ack(&mut self, t: SimTime) {
+        self.stats.acks_received += 1;
+        self.misses = 0;
+        match self.state {
+            HealthState::Healthy => {}
+            // A lone drop, not a crash: the suspicion was unfounded.
+            HealthState::Suspect => self.set_state(t, HealthState::Healthy),
+            HealthState::FailedOver => {
+                self.ack_streak = 1;
+                if self.config.recovery_acks == 1 {
+                    self.complete_failback(t);
+                } else {
+                    self.set_state(t, HealthState::Probing);
+                }
+            }
+            HealthState::Probing => {
+                self.ack_streak += 1;
+                if self.ack_streak >= self.config.recovery_acks {
+                    self.complete_failback(t);
+                }
+            }
+            HealthState::Recovered => unreachable!("Recovered never persists"),
+        }
+    }
+
+    fn complete_failback(&mut self, t: SimTime) {
+        self.set_state(t, HealthState::Recovered);
+        self.set_state(t, HealthState::Healthy);
+        self.stats.failbacks += 1;
+        self.ack_streak = 0;
+    }
+
+    fn on_miss(&mut self, t: SimTime) {
+        self.stats.probes_missed += 1;
+        self.ack_streak = 0;
+        self.misses += 1;
+        match self.state {
+            HealthState::Healthy | HealthState::Suspect => {
+                if self.misses >= self.config.failover_misses {
+                    self.set_state(t, HealthState::FailedOver);
+                    self.stats.failovers += 1;
+                } else {
+                    self.set_state(t, HealthState::Suspect);
+                }
+            }
+            HealthState::FailedOver => {}
+            // A recovery attempt that stalls goes back to failed-over.
+            HealthState::Probing => {
+                self.set_state(t, HealthState::FailedOver);
+                self.stats.failovers += 1;
+            }
+            HealthState::Recovered => unreachable!("Recovered never persists"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::millis(v)
+    }
+
+    fn outage(fail_ms: u64, recover_ms: Option<u64>) -> Outage {
+        Outage {
+            fails_at: ms(fail_ms),
+            recovers_at: recover_ms.map(ms),
+        }
+    }
+
+    #[test]
+    fn stays_healthy_without_outages() {
+        let mut m = HealthMonitor::new(0, HealthConfig::default());
+        m.advance_to(ms(5), &[]);
+        assert_eq!(m.state(), HealthState::Healthy);
+        assert!(m.transitions.is_empty());
+        assert_eq!(m.stats.heartbeats_sent, 20); // 5ms / 250us
+        assert_eq!(m.stats.acks_received, 20);
+        assert_eq!(m.stats.probes_missed, 0);
+    }
+
+    #[test]
+    fn full_lifecycle_crash_and_recover() {
+        let cfg = HealthConfig::default();
+        let mut m = HealthMonitor::new(0, cfg);
+        let sched = [outage(10, Some(30))];
+
+        // Pre-crash: healthy.
+        m.advance_to(ms(9), &sched);
+        assert_eq!(m.state(), HealthState::Healthy);
+
+        // The beat at t=10ms lands exactly on the crash: miss #1.
+        m.advance_to(ms(10), &sched);
+        assert_eq!(m.state(), HealthState::Suspect);
+
+        // One more beat: failover. Detection 500us after the crash.
+        m.advance_to(ms(10) + SimDuration::micros(250), &sched);
+        assert_eq!(m.state(), HealthState::FailedOver);
+        assert_eq!(m.stats.failovers, 1);
+
+        // Down the whole outage.
+        m.advance_to(ms(29), &sched);
+        assert_eq!(m.state(), HealthState::FailedOver);
+
+        // First beat at/after recovery (t=30ms) acks: probing.
+        m.advance_to(ms(30), &sched);
+        assert_eq!(m.state(), HealthState::Probing);
+        assert!(m.routes_via_fallback(), "probing still rides the fallback");
+
+        // Second ack completes failback.
+        m.advance_to(ms(30) + SimDuration::micros(250), &sched);
+        assert_eq!(m.state(), HealthState::Healthy);
+        assert_eq!(m.stats.failbacks, 1);
+
+        // The transition log tells the whole story, Recovered included.
+        let states: Vec<HealthState> = m.transitions.iter().map(|&(_, s)| s).collect();
+        assert_eq!(
+            states,
+            [
+                HealthState::Suspect,
+                HealthState::FailedOver,
+                HealthState::Probing,
+                HealthState::Recovered,
+                HealthState::Healthy,
+            ]
+        );
+        // Recovered and the Healthy that supersedes it share a timestamp.
+        let (t_rec, _) = m.transitions[3];
+        let (t_heal, _) = m.transitions[4];
+        assert_eq!(t_rec, t_heal);
+    }
+
+    #[test]
+    fn single_miss_is_forgiven() {
+        // An outage shorter than one beat period can eat at most one
+        // probe: Suspect, then straight back to Healthy — never failover.
+        let cfg = HealthConfig::default();
+        let mut m = HealthMonitor::new(0, cfg);
+        // Beat at 250us lands inside [240us, 260us): one miss.
+        let sched = [Outage {
+            fails_at: SimTime::ZERO + SimDuration::micros(240),
+            recovers_at: Some(SimTime::ZERO + SimDuration::micros(260)),
+        }];
+        m.advance_to(ms(2), &sched);
+        assert_eq!(m.state(), HealthState::Healthy);
+        assert_eq!(m.stats.failovers, 0);
+        let states: Vec<HealthState> = m.transitions.iter().map(|&(_, s)| s).collect();
+        assert_eq!(states, [HealthState::Suspect, HealthState::Healthy]);
+    }
+
+    #[test]
+    fn flapping_host_interrupts_probing() {
+        // Recover long enough for exactly one ack, then crash again: the
+        // monitor falls back from Probing to FailedOver, and only a stable
+        // host completes failback.
+        let cfg = HealthConfig::default();
+        let mut m = HealthMonitor::new(0, cfg);
+        let sched = [
+            outage(1, Some(2)),
+            // Second crash swallows the beat after the first post-recovery
+            // ack (ack at 2.0ms, crash covers 2.25ms).
+            Outage {
+                fails_at: ms(2) + SimDuration::micros(100),
+                recovers_at: Some(ms(4)),
+            },
+        ];
+        m.advance_to(ms(2), &sched);
+        assert_eq!(m.state(), HealthState::Probing);
+        m.advance_to(ms(2) + SimDuration::micros(250), &sched);
+        assert_eq!(m.state(), HealthState::FailedOver);
+        m.advance_to(ms(5), &sched);
+        assert_eq!(m.state(), HealthState::Healthy);
+        assert_eq!(m.stats.failbacks, 1);
+        assert_eq!(m.stats.failovers, 2);
+    }
+
+    #[test]
+    fn permanent_outage_never_fails_back() {
+        let mut m = HealthMonitor::new(3, HealthConfig::default());
+        let sched = [outage(1, None)];
+        m.advance_to(ms(50), &sched);
+        assert_eq!(m.state(), HealthState::FailedOver);
+        assert_eq!(m.stats.failbacks, 0);
+    }
+
+    #[test]
+    fn advance_is_idempotent_and_deterministic() {
+        let sched = [outage(10, Some(30))];
+        let mut a = HealthMonitor::new(0, HealthConfig::default());
+        let mut b = HealthMonitor::new(0, HealthConfig::default());
+        // a advances in one leap, b in many small steps with repeats.
+        a.advance_to(ms(40), &sched);
+        for step in 0..400 {
+            let t = SimTime::ZERO + SimDuration::micros(100) * (step as u64 + 1);
+            b.advance_to(t, &sched);
+            b.advance_to(t, &sched); // repeat: no double-counted beats
+        }
+        assert_eq!(a.state(), b.state());
+        assert_eq!(a.transitions, b.transitions);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn config_validation_rejects_each_bad_knob() {
+        assert!(HealthConfig::default().validated().is_ok());
+        let z = HealthConfig {
+            interval: SimDuration::ZERO,
+            ..HealthConfig::default()
+        };
+        assert_eq!(z.validated(), Err(HealthConfigError::ZeroInterval));
+        let z = HealthConfig {
+            failover_misses: 0,
+            ..HealthConfig::default()
+        };
+        assert_eq!(z.validated(), Err(HealthConfigError::ZeroFailoverMisses));
+        let z = HealthConfig {
+            recovery_acks: 0,
+            ..HealthConfig::default()
+        };
+        assert_eq!(z.validated(), Err(HealthConfigError::ZeroRecoveryAcks));
+        // The errors render.
+        assert!(HealthConfigError::ZeroInterval
+            .to_string()
+            .contains("interval"));
+    }
+
+    #[test]
+    fn outage_interval_semantics() {
+        let o = outage(10, Some(30));
+        assert!(!o.covers(ms(9)));
+        assert!(o.covers(ms(10)));
+        assert!(o.covers(ms(29)));
+        assert!(!o.covers(ms(30))); // half-open: recovered at the instant
+        let forever = outage(10, None);
+        assert!(forever.covers(ms(1_000_000)));
+    }
+}

@@ -59,7 +59,11 @@ pub struct EncryptionService {
 impl EncryptionService {
     /// Creates a service with the given key.
     pub fn new(key: [u8; 32]) -> Self {
-        EncryptionService { out_stream_key: key, nonce_out: 1, nonce_in: 1 }
+        EncryptionService {
+            out_stream_key: key,
+            nonce_out: 1,
+            nonce_in: 1,
+        }
     }
 
     /// Decrypts a payload that was encrypted with the service's `n`-th
@@ -107,7 +111,10 @@ pub struct FirewallService {
 impl FirewallService {
     /// Creates a firewall denying payloads starting with any given prefix.
     pub fn new(deny_prefixes: Vec<Vec<u8>>) -> Self {
-        FirewallService { deny_prefixes, dropped: 0 }
+        FirewallService {
+            deny_prefixes,
+            dropped: 0,
+        }
     }
 }
 
@@ -120,7 +127,9 @@ impl InterpositionService for FirewallService {
         for p in &self.deny_prefixes {
             if payload.starts_with(p) {
                 self.dropped += 1;
-                return Verdict::Drop { reason: "firewall deny rule" };
+                return Verdict::Drop {
+                    reason: "firewall deny rule",
+                };
             }
         }
         Verdict::Pass(payload)
@@ -228,13 +237,17 @@ pub struct IntrusionDetectionService {
 impl IntrusionDetectionService {
     /// Creates an IDS with the given signatures (detection only).
     pub fn new(signatures: Vec<Vec<u8>>) -> Self {
-        IntrusionDetectionService { signatures, alerts: 0, drop_on_match: false }
+        IntrusionDetectionService {
+            signatures,
+            alerts: 0,
+            drop_on_match: false,
+        }
     }
 
     fn matches(&self, payload: &[u8]) -> bool {
-        self.signatures.iter().any(|sig| {
-            !sig.is_empty() && payload.windows(sig.len()).any(|w| w == &sig[..])
-        })
+        self.signatures
+            .iter()
+            .any(|sig| !sig.is_empty() && payload.windows(sig.len()).any(|w| w == &sig[..]))
     }
 }
 
@@ -247,7 +260,9 @@ impl InterpositionService for IntrusionDetectionService {
         if self.matches(&payload) {
             self.alerts += 1;
             if self.drop_on_match {
-                return Verdict::Drop { reason: "IDS signature match" };
+                return Verdict::Drop {
+                    reason: "IDS signature match",
+                };
             }
         }
         Verdict::Pass(payload)
@@ -336,7 +351,10 @@ pub struct RecordReplayService {
 impl RecordReplayService {
     /// Creates a service with recording enabled.
     pub fn new() -> Self {
-        RecordReplayService { recording: Vec::new(), recording_enabled: true }
+        RecordReplayService {
+            recording: Vec::new(),
+            recording_enabled: true,
+        }
     }
 
     /// Number of captured messages.
@@ -474,7 +492,8 @@ mod tests {
     fn encryption_roundtrips_through_chain() {
         let key = [5u8; 32];
         let mut svc = EncryptionService::new(key);
-        let ct = pass_bytes(svc.process(Direction::Outbound, Bytes::from_static(b"attack at dawn")));
+        let ct =
+            pass_bytes(svc.process(Direction::Outbound, Bytes::from_static(b"attack at dawn")));
         assert_ne!(&ct[..], b"attack at dawn");
         // First outbound message used nonce 1.
         assert_eq!(svc.decrypt_nth(1, &ct), b"attack at dawn");
@@ -516,7 +535,10 @@ mod tests {
     #[test]
     fn ids_flags_and_optionally_drops() {
         let mut ids = IntrusionDetectionService::new(vec![b"exploit".to_vec()]);
-        let v = ids.process(Direction::Inbound, Bytes::from_static(b"payload exploit here"));
+        let v = ids.process(
+            Direction::Inbound,
+            Bytes::from_static(b"payload exploit here"),
+        );
         assert!(matches!(v, Verdict::Pass(_)));
         assert_eq!(ids.alerts, 1);
         ids.drop_on_match = true;
@@ -542,14 +564,21 @@ mod tests {
         let mut rr = RecordReplayService::new();
         let msgs: Vec<&[u8]> = vec![b"first", b"second", b"third"];
         for (i, m) in msgs.iter().enumerate() {
-            let dir = if i % 2 == 0 { Direction::Outbound } else { Direction::Inbound };
+            let dir = if i % 2 == 0 {
+                Direction::Outbound
+            } else {
+                Direction::Inbound
+            };
             rr.process(dir, Bytes::copy_from_slice(m));
         }
         assert_eq!(rr.len(), 3);
         let mut replayed = Vec::new();
         let n = rr.replay(|_, p| replayed.push(p.to_vec()));
         assert_eq!(n, 3);
-        assert_eq!(replayed, msgs.iter().map(|m| m.to_vec()).collect::<Vec<_>>());
+        assert_eq!(
+            replayed,
+            msgs.iter().map(|m| m.to_vec()).collect::<Vec<_>>()
+        );
         // Disabling capture stops recording without affecting traffic.
         rr.recording_enabled = false;
         assert!(matches!(
@@ -565,7 +594,11 @@ mod tests {
         chain.push(Box::new(FirewallService::new(vec![b"BAD".to_vec()])));
         chain.push(Box::new(MeteringService::new()));
         let costs = CostModel::calibrated();
-        let (v, _) = chain.apply(&costs, Direction::Outbound, Bytes::from_static(b"BAD stuff"));
+        let (v, _) = chain.apply(
+            &costs,
+            Direction::Outbound,
+            Bytes::from_static(b"BAD stuff"),
+        );
         assert!(matches!(v, Verdict::Drop { .. }));
         // Firewall saw it; metering (after the drop) did not.
         assert_eq!(chain.processed["firewall"], 1);

@@ -50,7 +50,12 @@ impl Steering {
     /// Creates a steering table over `workers` workers.
     pub fn new(workers: usize) -> Self {
         assert!(workers > 0, "at least one worker required");
-        Steering { workers, inflight: HashMap::new(), load: vec![0; workers], affinity_hits: 0 }
+        Steering {
+            workers,
+            inflight: HashMap::new(),
+            load: vec![0; workers],
+            affinity_hits: 0,
+        }
     }
 
     /// Number of workers.
@@ -216,8 +221,12 @@ impl DeviceRegistry {
 
     /// All devices of a client (e.g. to tear down on migration away).
     pub fn devices_of(&self, client: u32) -> Vec<DeviceId> {
-        let mut v: Vec<DeviceId> =
-            self.devices.keys().filter(|d| d.client == client).copied().collect();
+        let mut v: Vec<DeviceId> = self
+            .devices
+            .keys()
+            .filter(|d| d.client == client)
+            .copied()
+            .collect();
         v.sort();
         v
     }
@@ -228,7 +237,10 @@ mod tests {
     use super::*;
 
     fn dev(c: u32, d: u16) -> DeviceId {
-        DeviceId { client: c, device: d }
+        DeviceId {
+            client: c,
+            device: d,
+        }
     }
 
     #[test]
@@ -276,16 +288,18 @@ mod tests {
     #[test]
     fn split_batch_preserves_per_device_order() {
         let mut s = Steering::new(3);
-        let batch: Vec<(DeviceId, u32)> =
-            (0..30).map(|i| (dev(i % 5, 0), i)).collect();
+        let batch: Vec<(DeviceId, u32)> = (0..30).map(|i| (dev(i % 5, 0), i)).collect();
         let subs = s.split_batch(batch);
         assert_eq!(subs.len(), 3);
         // Each device's packets all landed on one worker, in order.
         for c in 0..5u32 {
             let mut found: Vec<(usize, Vec<u32>)> = Vec::new();
             for (w, sub) in subs.iter().enumerate() {
-                let seq: Vec<u32> =
-                    sub.iter().filter(|(d, _)| d.client == c).map(|&(_, p)| p).collect();
+                let seq: Vec<u32> = sub
+                    .iter()
+                    .filter(|(d, _)| d.client == c)
+                    .map(|&(_, p)| p)
+                    .collect();
                 if !seq.is_empty() {
                     found.push((w, seq));
                 }
@@ -302,9 +316,22 @@ mod tests {
     fn registry_lifecycle() {
         let mut reg = DeviceRegistry::new();
         let d = dev(2, 1);
-        reg.create(d, DeviceSpec { kind: DeviceKind::Net, backing: 0 }).unwrap();
+        reg.create(
+            d,
+            DeviceSpec {
+                kind: DeviceKind::Net,
+                backing: 0,
+            },
+        )
+        .unwrap();
         assert_eq!(
-            reg.create(d, DeviceSpec { kind: DeviceKind::Net, backing: 0 }),
+            reg.create(
+                d,
+                DeviceSpec {
+                    kind: DeviceKind::Net,
+                    backing: 0
+                }
+            ),
             Err(ControlError::AlreadyExists(d))
         );
         assert_eq!(reg.len(), 1);
@@ -317,10 +344,23 @@ mod tests {
     fn devices_of_client() {
         let mut reg = DeviceRegistry::new();
         for i in 0..3 {
-            reg.create(dev(7, i), DeviceSpec { kind: DeviceKind::Blk, backing: i as usize })
-                .unwrap();
+            reg.create(
+                dev(7, i),
+                DeviceSpec {
+                    kind: DeviceKind::Blk,
+                    backing: i as usize,
+                },
+            )
+            .unwrap();
         }
-        reg.create(dev(8, 0), DeviceSpec { kind: DeviceKind::Net, backing: 0 }).unwrap();
+        reg.create(
+            dev(8, 0),
+            DeviceSpec {
+                kind: DeviceKind::Net,
+                backing: 0,
+            },
+        )
+        .unwrap();
         assert_eq!(reg.devices_of(7), vec![dev(7, 0), dev(7, 1), dev(7, 2)]);
         assert_eq!(reg.devices_of(9), Vec::<DeviceId>::new());
     }

@@ -64,6 +64,7 @@
 mod aes;
 mod client;
 mod dynamic;
+mod health;
 mod interpose;
 mod iohost;
 mod proto;
@@ -76,19 +77,20 @@ pub use dynamic::{
     simulate_consolidated, simulate_local_dynamic, AllocationReport, DynamicAllocator,
     DynamicConfig,
 };
+pub use health::{
+    HealthConfig, HealthConfigError, HealthMonitor, HealthState, HealthStats, Outage,
+};
 pub use interpose::{
     CompressionService, DedupService, Direction, EncryptionService, FirewallService,
     InterpositionChain, InterpositionService, IntrusionDetectionService, MeteringService,
     RecordReplayService, Verdict,
 };
-pub use iohost::{
-    ControlError, DeviceKind, DeviceRegistry, DeviceSpec, Steering, WorkerId,
-};
+pub use iohost::{ControlError, DeviceKind, DeviceRegistry, DeviceSpec, Steering, WorkerId};
 pub use proto::{DeviceId, VrioHdr, VrioMsg, VrioMsgKind, VRIO_HDR_SIZE};
 pub use testbed::{
     blk_request, net_request_response, run_steps, stream_batch, BlkOutcome, CoreRef, CounterKind,
-    HasTestbed, Resource, RrOutcome, Step, Testbed, TestbedConfig,
+    GateFn, HasTestbed, Resource, RrOutcome, Step, Testbed, TestbedConfig,
 };
 pub use transport::{
-    BlockRetx, ResponseAction, RetxConfig, RetxStats, TimeoutAction, TransportMode,
+    BlockRetx, ResponseAction, RetxConfig, RetxConfigError, RetxStats, TimeoutAction, TransportMode,
 };

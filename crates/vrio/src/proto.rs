@@ -30,6 +30,12 @@ pub enum VrioMsgKind {
     CtrlDestroyDevice,
     /// Control plane acknowledgement.
     CtrlAck,
+    /// Liveness probe from an IOclient's VMhost to the IOhost; the payload
+    /// is empty and `request_id` carries the probe sequence number.
+    Heartbeat,
+    /// The IOhost's answer to a [`VrioMsgKind::Heartbeat`], echoing the
+    /// probe sequence number.
+    HeartbeatAck,
 }
 
 impl VrioMsgKind {
@@ -42,6 +48,8 @@ impl VrioMsgKind {
             VrioMsgKind::CtrlCreateDevice => 5,
             VrioMsgKind::CtrlDestroyDevice => 6,
             VrioMsgKind::CtrlAck => 7,
+            VrioMsgKind::Heartbeat => 8,
+            VrioMsgKind::HeartbeatAck => 9,
         }
     }
 
@@ -54,6 +62,8 @@ impl VrioMsgKind {
             5 => VrioMsgKind::CtrlCreateDevice,
             6 => VrioMsgKind::CtrlDestroyDevice,
             7 => VrioMsgKind::CtrlAck,
+            8 => VrioMsgKind::Heartbeat,
+            9 => VrioMsgKind::HeartbeatAck,
             _ => return None,
         })
     }
@@ -117,9 +127,13 @@ impl VrioHdr {
         b
     }
 
-    /// Decodes from wire bytes; `None` if short or malformed.
+    /// Decodes from wire bytes; `None` if short or malformed. Bytes
+    /// 20..24 are reserved and must be zero on the wire.
     pub fn decode(b: &[u8]) -> Option<Self> {
         if b.len() < VRIO_HDR_SIZE || b[0] != b'V' {
+            return None;
+        }
+        if b[20..VRIO_HDR_SIZE] != [0u8; 4] {
             return None;
         }
         Some(VrioHdr {
@@ -147,7 +161,12 @@ impl VrioMsg {
     /// Creates a message; the header's `len` is set from the payload.
     pub fn new(kind: VrioMsgKind, device: DeviceId, request_id: u64, payload: Bytes) -> Self {
         VrioMsg {
-            hdr: VrioHdr { kind, device, request_id, len: payload.len() as u32 },
+            hdr: VrioHdr {
+                kind,
+                device,
+                request_id,
+                len: payload.len() as u32,
+            },
             payload,
         }
     }
@@ -161,14 +180,15 @@ impl VrioMsg {
     }
 
     /// Parses a buffer into a message (payload is a zero-copy slice).
-    /// Returns `None` on a malformed header or truncated payload.
+    /// Returns `None` on a malformed header or when the header's `len`
+    /// disagrees with the actual payload length in either direction — a
+    /// truncated *or* padded frame is corrupt, not salvageable.
     pub fn decode(mut wire: Bytes) -> Option<VrioMsg> {
         let hdr = VrioHdr::decode(&wire)?;
-        if wire.len() < VRIO_HDR_SIZE + hdr.len as usize {
+        if wire.len() != VRIO_HDR_SIZE + hdr.len as usize {
             return None;
         }
-        let mut payload = wire.split_off(VRIO_HDR_SIZE);
-        payload.truncate(hdr.len as usize);
+        let payload = wire.split_off(VRIO_HDR_SIZE);
         Some(VrioMsg { hdr, payload })
     }
 }
@@ -187,10 +207,15 @@ mod tests {
             VrioMsgKind::CtrlCreateDevice,
             VrioMsgKind::CtrlDestroyDevice,
             VrioMsgKind::CtrlAck,
+            VrioMsgKind::Heartbeat,
+            VrioMsgKind::HeartbeatAck,
         ] {
             let hdr = VrioHdr {
                 kind,
-                device: DeviceId { client: 7, device: 2 },
+                device: DeviceId {
+                    client: 7,
+                    device: 2,
+                },
                 request_id: u64::MAX,
                 len: 123,
             };
@@ -202,7 +227,10 @@ mod tests {
     fn bad_magic_and_kind_rejected() {
         let hdr = VrioHdr {
             kind: VrioMsgKind::NetTx,
-            device: DeviceId { client: 0, device: 0 },
+            device: DeviceId {
+                client: 0,
+                device: 0,
+            },
             request_id: 0,
             len: 0,
         };
@@ -219,7 +247,10 @@ mod tests {
     fn message_roundtrip() {
         let m = VrioMsg::new(
             VrioMsgKind::BlkReq,
-            DeviceId { client: 1, device: 0 },
+            DeviceId {
+                client: 1,
+                device: 0,
+            },
             99,
             Bytes::from_static(b"payload bytes"),
         );
@@ -232,7 +263,10 @@ mod tests {
     fn truncated_message_rejected() {
         let m = VrioMsg::new(
             VrioMsgKind::NetTx,
-            DeviceId { client: 1, device: 0 },
+            DeviceId {
+                client: 1,
+                device: 0,
+            },
             0,
             Bytes::from(vec![0u8; 100]),
         );
@@ -242,7 +276,49 @@ mod tests {
     }
 
     #[test]
+    fn padded_message_rejected() {
+        // A frame longer than the header claims is corrupt too: accepting
+        // it would silently deliver a payload the sender never framed.
+        let m = VrioMsg::new(
+            VrioMsgKind::BlkResp,
+            DeviceId {
+                client: 2,
+                device: 1,
+            },
+            5,
+            Bytes::from(vec![7u8; 32]),
+        );
+        let mut padded = m.encode().to_vec();
+        padded.push(0xFF);
+        assert!(VrioMsg::decode(Bytes::from(padded)).is_none());
+    }
+
+    #[test]
+    fn nonzero_reserved_bytes_rejected() {
+        let hdr = VrioHdr {
+            kind: VrioMsgKind::Heartbeat,
+            device: DeviceId {
+                client: 1,
+                device: 0,
+            },
+            request_id: 17,
+            len: 0,
+        };
+        let mut b = hdr.encode();
+        assert!(VrioHdr::decode(&b).is_some());
+        b[21] = 1;
+        assert!(VrioHdr::decode(&b).is_none());
+    }
+
+    #[test]
     fn device_id_display() {
-        assert_eq!(DeviceId { client: 4, device: 1 }.to_string(), "dev4.1");
+        assert_eq!(
+            DeviceId {
+                client: 4,
+                device: 1
+            }
+            .to_string(),
+            "dev4.1"
+        );
     }
 }

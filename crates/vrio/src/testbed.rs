@@ -17,10 +17,12 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 use vrio_block::{BlockKind, BlockRequest, DeviceProfile, Ramdisk};
+use vrio_hv::ReliabilityCounters;
 use vrio_hv::{CostModel, EventCounters, IoModel, Vm, VmId};
-use vrio_net::{segment_message, Reassembler, MTU_VRIO_JUMBO};
+use vrio_net::{segment_message, FaultConfig, FaultInjector, Reassembler, MTU_VRIO_JUMBO};
 use vrio_sim::{BusyTracker, Engine, SimDuration, SimRng, SimTime};
 
+use crate::health::{HealthConfig, HealthMonitor, Outage};
 use crate::interpose::{Direction, InterpositionChain, Verdict};
 use crate::proto::{DeviceId, VrioMsg, VrioMsgKind};
 use crate::transport::{BlockRetx, ResponseAction, RetxConfig, TimeoutAction};
@@ -116,7 +118,7 @@ pub enum Step {
     /// Run a predicate (receiving the current time); `false` aborts the
     /// rest of the flow silently (a dropped frame — retransmission timers
     /// handle recovery).
-    Gate(Box<dyn FnOnce(&mut Testbed, SimTime) -> bool>),
+    Gate(GateFn),
     /// Polling pickup at backend `i`: poll interval plus the mwait wake
     /// penalty if the worker was idle.
     Pickup(usize),
@@ -128,6 +130,8 @@ pub enum Step {
 
 /// A flow-completion continuation.
 pub type FlowDone<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
+/// A [`Step::Gate`] predicate: `false` aborts the rest of the flow.
+pub type GateFn = Box<dyn FnOnce(&mut Testbed, SimTime) -> bool>;
 /// The shared once-only completion slot of a block flow (completion and
 /// device-error paths race; whoever arrives first takes the callback).
 type BlkDoneCell<W> = Rc<RefCell<Option<Box<dyn FnOnce(&mut W, &mut Engine<W>, BlkOutcome)>>>>;
@@ -238,11 +242,27 @@ pub struct TestbedConfig {
     /// the next packet (trading latency for polling energy).
     pub sidecore_mwait_wake: Option<SimDuration>,
     /// §4.6 fault tolerance: the IOhost crashes at this instant. Net
-    /// front-ends fall back to regular local virtio (vhost work runs on
-    /// the VM's own cores — vRIO VMhosts have no sidecores); in-flight and
-    /// new block requests fail through the retransmission machinery, as
-    /// when the storage "resides exclusively on the IOhost".
+    /// front-ends fail over to regular local virtio once the health
+    /// monitor detects the crash (vhost work runs on the VM's own cores —
+    /// vRIO VMhosts have no sidecores); in-flight and new block requests
+    /// fail through the retransmission machinery, as when the storage
+    /// "resides exclusively on the IOhost". Sugar for a one-entry
+    /// [`TestbedConfig::iohost_outages`] schedule.
     pub iohost_fails_at: Option<SimTime>,
+    /// When the IOhost crashed via [`TestbedConfig::iohost_fails_at`]
+    /// comes back up. Heartbeats resume being acked, the health monitors
+    /// fail back, and net traffic returns to vRIO. `None` = never.
+    pub iohost_recovers_at: Option<SimTime>,
+    /// Explicit IOhost crash/recover schedule, merged with the
+    /// `iohost_fails_at`/`iohost_recovers_at` sugar pair.
+    pub iohost_outages: Vec<Outage>,
+    /// Health state machine knobs (heartbeat period, failover/failback
+    /// thresholds).
+    pub health: HealthConfig,
+    /// Channel fault injection: Gilbert–Elliott bursty loss, delay
+    /// spikes, response duplication. Disabled by default, and a disabled
+    /// injector draws no randomness at all.
+    pub faults: FaultConfig,
 }
 
 impl TestbedConfig {
@@ -268,7 +288,26 @@ impl TestbedConfig {
             retx: RetxConfig::default(),
             sidecore_mwait_wake: None,
             iohost_fails_at: None,
+            iohost_recovers_at: None,
+            iohost_outages: Vec::new(),
+            health: HealthConfig::default(),
+            faults: FaultConfig::default(),
         }
+    }
+
+    /// The full outage schedule: the `iohost_fails_at`/`iohost_recovers_at`
+    /// sugar pair merged with the explicit [`TestbedConfig::iohost_outages`]
+    /// list, sorted by crash time.
+    pub fn outage_schedule(&self) -> Vec<Outage> {
+        let mut v = self.iohost_outages.clone();
+        if let Some(fails_at) = self.iohost_fails_at {
+            v.push(Outage {
+                fails_at,
+                recovers_at: self.iohost_recovers_at,
+            });
+        }
+        v.sort_by_key(|o| o.fails_at);
+        v
     }
 
     /// Enables the stochastic service-time and tail models (Table 4 runs).
@@ -333,6 +372,15 @@ pub struct Testbed {
     pub chain: InterpositionChain,
     /// Per-VM block retransmission state (vRIO only).
     pub retx: Vec<BlockRetx>,
+    /// Per-VMhost IOhost health monitors (§4.6 failover/failback).
+    pub health: Vec<HealthMonitor>,
+    /// The precomputed outage schedule the monitors probe against.
+    pub outages: Vec<Outage>,
+    /// The channel fault injector (disabled unless configured).
+    pub faults: FaultInjector,
+    /// RNG stream private to fault injection, so enabling an injector
+    /// never perturbs the established workload streams.
+    fault_rng: SimRng,
     /// Frames dropped on the channel (loss injection + ring overflow).
     pub channel_drops: u64,
     /// TSO message id allocator.
@@ -353,23 +401,45 @@ impl Testbed {
                 vm
             })
             .collect();
-        let vm_host: Vec<usize> = (0..config.num_vms).map(|i| i % config.num_vmhosts).collect();
+        let vm_host: Vec<usize> = (0..config.num_vms)
+            .map(|i| i % config.num_vmhosts)
+            .collect();
         let n_backends = match config.model {
             IoModel::Vrio | IoModel::VrioNoPoll => config.backend_cores,
             _ => config.backend_cores * config.num_vmhosts,
         };
-        let disk_stores =
-            (0..config.num_vms).map(|_| Ramdisk::new(config.block_capacity)).collect();
-        let retx = (0..config.num_vms).map(|_| BlockRetx::new(config.retx)).collect();
+        let disk_stores = (0..config.num_vms)
+            .map(|_| Ramdisk::new(config.block_capacity))
+            .collect();
+        let retx_cfg = config
+            .retx
+            .validated()
+            .expect("invalid retransmission config");
+        let retx = (0..config.num_vms)
+            .map(|_| BlockRetx::new(retx_cfg))
+            .collect();
+        let health_cfg = config.health.validated().expect("invalid health config");
+        let health = (0..config.num_vmhosts)
+            .map(|h| HealthMonitor::new(h as u32, health_cfg))
+            .collect();
+        let faults = FaultInjector::new(config.faults.validated().expect("invalid fault config"));
+        // A separate stream keyed off the seed: fault draws never consume
+        // from (or shift) the workload stream.
+        let fault_rng = SimRng::seed_from(config.seed ^ 0xFA17);
+        let outages = config.outage_schedule();
         let _ = &mut rng;
         Testbed {
             rng,
             vms,
             vm_host,
             gen_cores: (0..config.num_vms).map(|_| Resource::default()).collect(),
-            gen_machines: (0..config.num_vmhosts).map(|_| Resource::default()).collect(),
+            gen_machines: (0..config.num_vmhosts)
+                .map(|_| Resource::default())
+                .collect(),
             backends: (0..n_backends).map(|_| Resource::default()).collect(),
-            host_links: (0..config.num_vmhosts).map(|_| Resource::default()).collect(),
+            host_links: (0..config.num_vmhosts)
+                .map(|_| Resource::default())
+                .collect(),
             iohost_link: Resource::default(),
             disks: (0..config.num_vms).map(|_| Resource::default()).collect(),
             disk_stores,
@@ -377,6 +447,10 @@ impl Testbed {
             counters: EventCounters::default(),
             chain: InterpositionChain::new(),
             retx,
+            health,
+            outages,
+            faults,
+            fault_rng,
             channel_drops: 0,
             next_msg_id: 1,
             reassembler: Reassembler::new(),
@@ -422,7 +496,8 @@ impl Testbed {
         if self.config.service_jitter <= 0.0 || base.is_zero() {
             return base;
         }
-        self.rng.lognormal_duration(base, self.config.service_jitter)
+        self.rng
+            .lognormal_duration(base, self.config.service_jitter)
     }
 
     /// Draws a rare tail-outlier extra delay for one request (Table 4's
@@ -449,9 +524,70 @@ impl Testbed {
         extra
     }
 
-    /// Whether the IOhost has crashed by `now` (§4.6 fault tolerance).
+    /// Whether the IOhost is down at `now` (§4.6 fault tolerance): inside
+    /// any scheduled outage window. This is ground truth — frames to a
+    /// down IOhost blackhole instantly; *routing* decisions instead go
+    /// through the health monitors, which observe the crash with a
+    /// heartbeat's worth of lag.
     pub fn iohost_failed(&self, now: SimTime) -> bool {
-        self.config.iohost_fails_at.is_some_and(|t| now >= t)
+        self.outages.iter().any(|o| o.covers(now))
+    }
+
+    /// Whether VM `vm`'s net traffic rides the local-virtio fallback at
+    /// `now`, per its VMhost's health monitor: `FailedOver` and `Probing`
+    /// route via the fallback; `Healthy` and `Suspect` ride vRIO. The
+    /// monitor is advanced to `now` first, so failover *and* failback
+    /// happen at heartbeat granularity.
+    pub fn net_fallback(&mut self, vm: usize, now: SimTime) -> bool {
+        let host = self.vm_host[vm];
+        self.health[host].advance_to(now, &self.outages);
+        self.health[host].routes_via_fallback()
+    }
+
+    /// Offers one vRIO frame arrival to the fault injector's bursty-loss
+    /// model; `true` means the channel ate it.
+    fn fault_drop(&mut self) -> bool {
+        self.faults.drop_frame(&mut self.fault_rng)
+    }
+
+    /// Draws the injected extra delay for one VMhost/IOhost channel
+    /// traversal (zero unless delay spikes are enabled).
+    fn fault_delay(&mut self) -> SimDuration {
+        self.faults.traversal_delay(&mut self.fault_rng)
+    }
+
+    /// Draws whether one block response gets duplicated in flight.
+    fn fault_duplicate(&mut self) -> bool {
+        self.faults.duplicate_response(&mut self.fault_rng)
+    }
+
+    /// Aggregates the run's reliability accounting: retransmission and
+    /// RTT-estimator state across VMs, health-monitor probe/transition
+    /// counts across VMhosts, and injected-fault totals.
+    pub fn reliability_report(&self) -> ReliabilityCounters {
+        let mut c = ReliabilityCounters {
+            channel_drops: self.channel_drops,
+            ..Default::default()
+        };
+        for r in &self.retx {
+            c.block_sent += r.stats.sent;
+            c.block_completed += r.stats.completed;
+            c.retransmissions += r.stats.retransmissions;
+            c.device_errors += r.stats.device_errors;
+            c.stale_responses += r.stats.stale_responses;
+            c.rtt_samples += r.stats.rtt_samples;
+        }
+        for h in &self.health {
+            c.heartbeats_sent += h.stats.heartbeats_sent;
+            c.heartbeat_acks += h.stats.acks_received;
+            c.probes_missed += h.stats.probes_missed;
+            c.failovers += h.stats.failovers;
+            c.failbacks += h.stats.failbacks;
+        }
+        c.injected_losses = self.faults.stats.ge_losses;
+        c.injected_delay_spikes = self.faults.stats.delay_spikes;
+        c.injected_duplicates = self.faults.stats.duplicates;
+        c
     }
 
     /// Pickup delay at a polling worker: the poll interval, plus the
@@ -491,7 +627,10 @@ impl Testbed {
     fn pick_backend(&mut self, vm: usize) -> usize {
         match self.config.model {
             IoModel::Vrio | IoModel::VrioNoPoll => {
-                let dev = DeviceId { client: vm as u32, device: 0 };
+                let dev = DeviceId {
+                    client: vm as u32,
+                    device: 0,
+                };
                 self.steering.assign(dev).0
             }
             _ => {
@@ -506,7 +645,10 @@ impl Testbed {
     /// Releases a steering designation after the worker pass (vRIO).
     fn release_backend(&mut self, vm: usize) {
         if matches!(self.config.model, IoModel::Vrio | IoModel::VrioNoPoll) {
-            self.steering.complete(DeviceId { client: vm as u32, device: 0 });
+            self.steering.complete(DeviceId {
+                client: vm as u32,
+                device: 0,
+            });
         }
     }
 
@@ -600,11 +742,12 @@ pub fn net_request_response<W: HasTestbed>(
 ) {
     let tb = w.tb();
     let model = tb.config.model;
-    // §4.6 fault tolerance: after an IOhost crash, vRIO front-ends fall
-    // back to local virtio. The VMhost has no sidecores, so the vhost
-    // work lands on the VM's own core.
-    let fallback = matches!(model, IoModel::Vrio | IoModel::VrioNoPoll)
-        && tb.iohost_failed(eng.now());
+    // §4.6 fault tolerance: when the VMhost's health monitor has failed
+    // over (and until it completes failback), vRIO front-ends fall back
+    // to local virtio. The VMhost has no sidecores, so the vhost work
+    // lands on the VM's own core.
+    let fallback =
+        matches!(model, IoModel::Vrio | IoModel::VrioNoPoll) && tb.net_fallback(vm, eng.now());
     if fallback {
         return fallback_request_response(w, eng, vm, req, resp_len, app_time, done);
     }
@@ -673,6 +816,7 @@ pub fn net_request_response<W: HasTestbed>(
                 if tb.iohost_failed(now)
                     || tb.backends[backend].pending > cap
                     || tb.rng.chance(tb.config.channel_loss)
+                    || tb.fault_drop()
                 {
                     tb.channel_drops += 1;
                     tb.backends[backend].pending -= 1;
@@ -695,23 +839,32 @@ pub fn net_request_response<W: HasTestbed>(
             let Some(fwd) = fwd else { return };
             let msg = VrioMsg::new(
                 VrioMsgKind::NetRx,
-                DeviceId { client: vm as u32, device: 0 },
+                DeviceId {
+                    client: vm as u32,
+                    device: 0,
+                },
                 0,
                 fwd,
             );
             let encoded = msg.encode();
-            let w_worker =
-                tb.jitter(costs.vrio_worker_net + costs.reassemble_per_frag) + icost;
+            let w_worker = tb.jitter(costs.vrio_worker_net + costs.reassemble_per_frag) + icost;
             s.push_back(Step::Charge(CoreRef::Backend(backend), w_worker));
             s.push_back(Step::Do(Box::new(move |tb| tb.release_backend(vm))));
             if model == IoModel::VrioNoPoll {
                 // The IOhost's own transmit-completion interrupt.
                 s.push_back(Step::Count(CounterKind::IohostIntr));
-                s.push_back(Step::ChargeAsync(CoreRef::Backend(backend), costs.host_interrupt));
+                s.push_back(Step::ChargeAsync(
+                    CoreRef::Backend(backend),
+                    costs.host_interrupt,
+                ));
             }
             s.push_back(Step::Fixed(costs.nic_dma));
-            s.push_back(Step::Charge(CoreRef::IohostLink, tb.wire(encoded.len() + 54)));
+            s.push_back(Step::Charge(
+                CoreRef::IohostLink,
+                tb.wire(encoded.len() + 54),
+            ));
             s.push_back(Step::Fixed(tb.config.hop_latency));
+            s.push_back(Step::Fixed(tb.fault_delay()));
             s.push_back(Step::Fixed(costs.nic_dma));
             s.push_back(Step::Fixed(costs.eli_delivery));
             s.push_back(Step::Count(CounterKind::GuestIntr));
@@ -741,7 +894,10 @@ pub fn net_request_response<W: HasTestbed>(
                 tb.vms[vm].net_refill_rx().expect("refill");
             })));
             s.push_back(Step::Count(CounterKind::Injection));
-            s.push_back(Step::Charge(CoreRef::Backend(backend), costs.interrupt_injection));
+            s.push_back(Step::Charge(
+                CoreRef::Backend(backend),
+                costs.interrupt_injection,
+            ));
             s.push_back(Step::Count(CounterKind::GuestIntr));
             s.push_back(Step::Count(CounterKind::Exit)); // EOI exit
             let w1 = tb.jitter(costs.guest_interrupt + costs.exit + costs.guest_stack_rx);
@@ -776,7 +932,11 @@ pub fn net_request_response<W: HasTestbed>(
     let backend_out = tb.pick_backend(vm);
     match model {
         IoModel::Optimum => {
-            s.push_back(Step::Do(fetch_and_complete_tx(vm, response_slot.clone(), None)));
+            s.push_back(Step::Do(fetch_and_complete_tx(
+                vm,
+                response_slot.clone(),
+                None,
+            )));
             s.push_back(Step::Fixed(costs.nic_dma));
             // Asynchronous transmit-completion interrupt to the guest.
             s.push_back(Step::Count(CounterKind::GuestIntr));
@@ -804,10 +964,18 @@ pub fn net_request_response<W: HasTestbed>(
             s.push_back(Step::ChargeVmAsync(vm, costs.guest_interrupt));
         }
         IoModel::Vrio | IoModel::VrioNoPoll => {
-            s.push_back(Step::Do(fetch_and_complete_tx(vm, response_slot.clone(), None)));
+            s.push_back(Step::Do(fetch_and_complete_tx(
+                vm,
+                response_slot.clone(),
+                None,
+            )));
             s.push_back(Step::Fixed(costs.nic_dma));
-            s.push_back(Step::Charge(CoreRef::HostLink(host), tb.wire(resp_wire + 54)));
+            s.push_back(Step::Charge(
+                CoreRef::HostLink(host),
+                tb.wire(resp_wire + 54),
+            ));
             s.push_back(Step::Fixed(tb.config.hop_latency));
+            s.push_back(Step::Fixed(tb.fault_delay()));
             s.push_back(Step::Fixed(costs.nic_dma));
             s.push_back(Step::RingPush(backend_out));
             s.push_back(Step::Gate(Box::new(move |tb, now| {
@@ -815,6 +983,7 @@ pub fn net_request_response<W: HasTestbed>(
                 if tb.iohost_failed(now)
                     || tb.backends[backend_out].pending > cap
                     || tb.rng.chance(tb.config.channel_loss)
+                    || tb.fault_drop()
                 {
                     tb.channel_drops += 1;
                     tb.backends[backend_out].pending -= 1;
@@ -829,8 +998,7 @@ pub fn net_request_response<W: HasTestbed>(
                 // disrupts the worker's cache/pipeline (coalescing merges
                 // them into one *counted* event).
                 s.push_back(Step::Count(CounterKind::IohostIntr));
-                let frags =
-                    vrio_net::fragment_count(resp_len.max(1), MTU_VRIO_JUMBO) as u64;
+                let frags = vrio_net::fragment_count(resp_len.max(1), MTU_VRIO_JUMBO) as u64;
                 let w_irq = tb.jitter(costs.host_interrupt) * frags * 2.0;
                 s.push_back(Step::Charge(CoreRef::Backend(backend_out), w_irq));
             } else {
@@ -943,14 +1111,16 @@ fn fallback_request_response<W: HasTestbed>(
 
     let gen_work = tb.jitter(costs.generator_stack) + tb.gen_extra(vm);
     s.push_back(Step::Charge(CoreRef::Gen(vm), gen_work));
-    s.push_back(Step::Charge(CoreRef::HostLink(host), tb.wire(req.len() + 64)));
+    s.push_back(Step::Charge(
+        CoreRef::HostLink(host),
+        tb.wire(req.len() + 64),
+    ));
     s.push_back(Step::Fixed(tb.config.hop_latency));
     s.push_back(Step::Fixed(costs.nic_dma));
     // Inbound: interrupt + vhost pass + injection, all on the VM core.
     s.push_back(Step::Count(CounterKind::HostIntr));
     let w_in = tb.jitter(
-        costs.host_interrupt + costs.vhost_wakeup + costs.vhost_backend
-            + costs.interrupt_injection,
+        costs.host_interrupt + costs.vhost_wakeup + costs.vhost_backend + costs.interrupt_injection,
     );
     s.push_back(Step::Count(CounterKind::Injection));
     s.push_back(Step::ChargeVm(vm, w_in));
@@ -979,7 +1149,11 @@ fn fallback_request_response<W: HasTestbed>(
     let w_tx = tb.jitter(costs.guest_stack_tx + costs.exit)
         + (costs.vhost_wakeup + costs.vhost_backend) * packets;
     s.push_back(Step::ChargeVm(vm, w_tx));
-    s.push_back(Step::Do(fetch_and_complete_tx(vm, response_slot.clone(), None)));
+    s.push_back(Step::Do(fetch_and_complete_tx(
+        vm,
+        response_slot.clone(),
+        None,
+    )));
     s.push_back(Step::Fixed(costs.nic_dma));
     s.push_back(Step::Count(CounterKind::HostIntr));
     s.push_back(Step::Count(CounterKind::Injection));
@@ -990,7 +1164,10 @@ fn fallback_request_response<W: HasTestbed>(
         (costs.host_interrupt + costs.interrupt_injection + costs.guest_interrupt + costs.exit)
             * packets,
     ));
-    s.push_back(Step::Charge(CoreRef::HostLink(host), tb.wire(resp_len + 64)));
+    s.push_back(Step::Charge(
+        CoreRef::HostLink(host),
+        tb.wire(resp_len + 64),
+    ));
     s.push_back(Step::Fixed(tb.config.hop_latency));
     let gen_rx = tb.jitter(costs.generator_stack) + tb.gen_extra(vm);
     s.push_back(Step::Charge(CoreRef::Gen(vm), gen_rx));
@@ -1015,8 +1192,10 @@ fn fetch_and_complete_tx(
     interpose_dir: Option<Direction>,
 ) -> Box<dyn FnOnce(&mut Testbed)> {
     Box::new(move |tb| {
-        let (head, _hdr, payload) =
-            tb.vms[vm].net_fetch_tx().expect("fetch").expect("guest transmitted");
+        let (head, _hdr, payload) = tb.vms[vm]
+            .net_fetch_tx()
+            .expect("fetch")
+            .expect("guest transmitted");
         tb.vms[vm].net_complete_tx(head).expect("complete");
         tb.vms[vm].net_reap_tx().expect("reap");
         let out = match interpose_dir {
@@ -1064,17 +1243,26 @@ pub fn stream_batch<W: HasTestbed>(
     let backend = tb.pick_backend(vm);
     match model {
         IoModel::Optimum => {
-            s.push_back(Step::Charge(CoreRef::HostLink(host), tb.wire(bytes as usize)));
+            s.push_back(Step::Charge(
+                CoreRef::HostLink(host),
+                tb.wire(bytes as usize),
+            ));
         }
         IoModel::Elvis => {
             s.push_back(Step::Charge(
                 CoreRef::Backend(backend),
                 costs.stream_elvis_backend_per_msg * msgs,
             ));
-            s.push_back(Step::Charge(CoreRef::HostLink(host), tb.wire(bytes as usize)));
+            s.push_back(Step::Charge(
+                CoreRef::HostLink(host),
+                tb.wire(bytes as usize),
+            ));
         }
         IoModel::Vrio | IoModel::VrioNoPoll => {
-            s.push_back(Step::Charge(CoreRef::HostLink(host), tb.wire(bytes as usize)));
+            s.push_back(Step::Charge(
+                CoreRef::HostLink(host),
+                tb.wire(bytes as usize),
+            ));
             s.push_back(Step::Fixed(tb.config.hop_latency));
             let mut w_worker = costs.stream_vrio_worker_per_msg * msgs;
             if model == IoModel::VrioNoPoll {
@@ -1090,7 +1278,10 @@ pub fn stream_batch<W: HasTestbed>(
                 CoreRef::Backend(backend),
                 costs.stream_vhost_per_msg * msgs,
             ));
-            s.push_back(Step::Charge(CoreRef::HostLink(host), tb.wire(bytes as usize)));
+            s.push_back(Step::Charge(
+                CoreRef::HostLink(host),
+                tb.wire(bytes as usize),
+            ));
         }
     }
     s.push_back(Step::Fixed(tb.config.hop_latency));
@@ -1098,7 +1289,10 @@ pub fn stream_batch<W: HasTestbed>(
     // Generator machine + core receive the batch.
     let gm_work = SimDuration::for_bytes_at_gbps(bytes, costs.gen_machine_gbps);
     s.push_back(Step::Charge(CoreRef::GenMachine(host), gm_work));
-    s.push_back(Step::Charge(CoreRef::Gen(vm), costs.stream_gen_per_msg * msgs));
+    s.push_back(Step::Charge(
+        CoreRef::Gen(vm),
+        costs.stream_gen_per_msg * msgs,
+    ));
 
     run_steps(w, eng, s, Box::new(move |w, eng| done(w, eng)));
 }
@@ -1136,8 +1330,10 @@ pub fn blk_request<W: HasTestbed>(
     {
         let tb = w.tb();
         tb.vms[vm].blk_submit(&req).expect("blk ring slot");
-        let (head, _hdr, payload) =
-            tb.vms[vm].blk_fetch().expect("fetch").expect("just submitted");
+        let (head, _hdr, payload) = tb.vms[vm]
+            .blk_fetch()
+            .expect("fetch")
+            .expect("just submitted");
         *head_slot.borrow_mut() = head;
         *data_slot.borrow_mut() = payload;
     }
@@ -1175,7 +1371,7 @@ pub fn blk_request<W: HasTestbed>(
             );
         }
         IoModel::Vrio | IoModel::VrioNoPoll => {
-            let (wire_id, timeout) = w.tb().retx[vm].send(req.id);
+            let (wire_id, timeout) = w.tb().retx[vm].send(req.id, eng.now());
             let req2 = req.clone();
             let hs = head_slot.clone();
             let ds = data_slot.clone();
@@ -1185,7 +1381,17 @@ pub fn blk_request<W: HasTestbed>(
                 eng,
                 prologue,
                 Box::new(move |w, eng| {
-                    vrio_blk_attempt(w, eng, vm, req2.clone(), wire_id, hs.clone(), ds, t0, dc.clone());
+                    vrio_blk_attempt(
+                        w,
+                        eng,
+                        vm,
+                        req2.clone(),
+                        wire_id,
+                        hs.clone(),
+                        ds,
+                        t0,
+                        dc.clone(),
+                    );
                     arm_retx_timer(w, eng, vm, req2, wire_id, timeout, hs, t0, dc);
                 }),
             );
@@ -1234,9 +1440,9 @@ fn local_blk_backend<W: HasTestbed>(
             s.push_back(Step::Count(CounterKind::HostIntr));
             s.push_back(Step::Count(CounterKind::HostIntr));
             let copy = costs.copy_cost(moved_bytes.max(4096));
-            let w_be = tb
-                .jitter(costs.vhost_wakeup + costs.vhost_backend * 5u64 + costs.host_interrupt * 2u64)
-                + copy
+            let w_be = tb.jitter(
+                costs.vhost_wakeup + costs.vhost_backend * 5u64 + costs.host_interrupt * 2u64,
+            ) + copy
                 + icost;
             s.push_back(Step::Charge(CoreRef::Backend(backend), w_be));
         }
@@ -1282,7 +1488,10 @@ fn local_blk_backend<W: HasTestbed>(
             let w_done = tb.jitter(costs.vhost_backend) / 2;
             s.push_back(Step::Charge(CoreRef::Backend(backend), w_done));
             s.push_back(Step::Count(CounterKind::Injection));
-            s.push_back(Step::Charge(CoreRef::Backend(backend), costs.interrupt_injection));
+            s.push_back(Step::Charge(
+                CoreRef::Backend(backend),
+                costs.interrupt_injection,
+            ));
             s.push_back(Step::Count(CounterKind::GuestIntr));
             s.push_back(Step::Count(CounterKind::Exit)); // EOI
         }
@@ -1302,25 +1511,46 @@ fn local_blk_backend<W: HasTestbed>(
             let status = vrio_virtio::BLK_S_OK;
             let head = *head_slot.borrow();
             let tbm = w.tb();
-            tbm.vms[vm].blk_complete(head, status, &read_out.borrow()).expect("complete");
+            tbm.vms[vm]
+                .blk_complete(head, status, &read_out.borrow())
+                .expect("complete");
             let completions = tbm.vms[vm].blk_reap().expect("reap");
-            let c = completions.into_iter().find(|c| c.id == req.id).expect("own completion");
+            let c = completions
+                .into_iter()
+                .find(|c| c.id == req.id)
+                .expect("own completion");
             if let Some(done) = done_cell.borrow_mut().take() {
-                done(w, eng, BlkOutcome { latency: eng.now() - t0, status: c.status, data: c.data });
+                done(
+                    w,
+                    eng,
+                    BlkOutcome {
+                        latency: eng.now() - t0,
+                        status: c.status,
+                        data: c.data,
+                    },
+                );
             }
         }),
     );
 }
 
 /// Executes the request against the VM's backing store (real bytes).
-fn execute_on_store(tb: &mut Testbed, vm: usize, req: &BlockRequest, read_out: &Rc<RefCell<Bytes>>) {
+fn execute_on_store(
+    tb: &mut Testbed,
+    vm: usize,
+    req: &BlockRequest,
+    read_out: &Rc<RefCell<Bytes>>,
+) {
     match req.kind {
         BlockKind::Write => {
-            tb.disk_stores[vm].write(req.byte_offset(), &req.data).expect("in range");
+            tb.disk_stores[vm]
+                .write(req.byte_offset(), &req.data)
+                .expect("in range");
         }
         BlockKind::Read => {
-            let data =
-                tb.disk_stores[vm].read(req.byte_offset(), u64::from(req.len)).expect("in range");
+            let data = tb.disk_stores[vm]
+                .read(req.byte_offset(), u64::from(req.len))
+                .expect("in range");
             *read_out.borrow_mut() = data;
         }
         BlockKind::Flush => {}
@@ -1355,7 +1585,10 @@ fn vrio_blk_attempt<W: HasTestbed>(
     blob.extend_from_slice(&payload);
     let msg = VrioMsg::new(
         VrioMsgKind::BlkReq,
-        DeviceId { client: vm as u32, device: 1 },
+        DeviceId {
+            client: vm as u32,
+            device: 1,
+        },
         wire_id,
         Bytes::from(blob),
     );
@@ -1364,8 +1597,12 @@ fn vrio_blk_attempt<W: HasTestbed>(
     let w_tx = tb.jitter(costs.vrio_encap) + costs.segment_per_frag * frags;
     s.push_back(Step::ChargeVm(vm, w_tx));
     s.push_back(Step::Fixed(costs.nic_dma));
-    s.push_back(Step::Charge(CoreRef::HostLink(host), tb.wire(encoded.len() + 54)));
+    s.push_back(Step::Charge(
+        CoreRef::HostLink(host),
+        tb.wire(encoded.len() + 54),
+    ));
     s.push_back(Step::Fixed(tb.config.hop_latency));
+    s.push_back(Step::Fixed(tb.fault_delay()));
     s.push_back(Step::Fixed(costs.nic_dma));
 
     // Arrival at the IOhost: loss / ring-overflow gate.
@@ -1374,10 +1611,11 @@ fn vrio_blk_attempt<W: HasTestbed>(
     s.push_back(Step::Gate(Box::new(move |tb, now| {
         let cap = tb.config.iohost_rx_ring;
         // A crashed IOhost blackholes the frame; the retransmission
-        // machinery takes over and eventually raises a device error.
+        // machinery takes over until recovery (or a device error).
         if tb.iohost_failed(now)
             || tb.backends[backend].pending > cap
             || tb.rng.chance(tb.config.channel_loss)
+            || tb.fault_drop()
         {
             tb.channel_drops += 1;
             tb.backends[backend].pending -= 1;
@@ -1388,7 +1626,10 @@ fn vrio_blk_attempt<W: HasTestbed>(
     })));
     if model == IoModel::VrioNoPoll {
         s.push_back(Step::Count(CounterKind::IohostIntr));
-        s.push_back(Step::Charge(CoreRef::Backend(backend), costs.host_interrupt));
+        s.push_back(Step::Charge(
+            CoreRef::Backend(backend),
+            costs.host_interrupt,
+        ));
     } else {
         s.push_back(Step::Pickup(backend));
     }
@@ -1403,8 +1644,7 @@ fn vrio_blk_attempt<W: HasTestbed>(
         BlockKind::Flush => 0,
     };
     let icost = tb.interpose_cost(moved_bytes);
-    let mut w_worker =
-        tb.jitter(costs.vrio_worker_blk) + costs.reassemble_per_frag * frags + icost;
+    let mut w_worker = tb.jitter(costs.vrio_worker_blk) + costs.reassemble_per_frag * frags + icost;
     // Zero-copy write discipline: only unaligned edges are copied; reads
     // must be fully copied out of the block system (§4.4).
     match req.kind {
@@ -1478,16 +1718,36 @@ fn vrio_blk_attempt<W: HasTestbed>(
     s.push_back(Step::Charge(CoreRef::Backend(backend), w_resp));
     if model == IoModel::VrioNoPoll {
         s.push_back(Step::Count(CounterKind::IohostIntr));
-        s.push_back(Step::ChargeAsync(CoreRef::Backend(backend), costs.host_interrupt));
+        s.push_back(Step::ChargeAsync(
+            CoreRef::Backend(backend),
+            costs.host_interrupt,
+        ));
     }
-    s.push_back(Step::Charge(CoreRef::IohostLink, tb.wire(resp_len + 54 + 24)));
+    s.push_back(Step::Charge(
+        CoreRef::IohostLink,
+        tb.wire(resp_len + 54 + 24),
+    ));
     s.push_back(Step::Fixed(tb.config.hop_latency));
+    s.push_back(Step::Fixed(tb.fault_delay()));
     s.push_back(Step::Fixed(costs.nic_dma));
 
     // Transport receive: stale filtering, then guest completion.
-    s.push_back(Step::Gate(Box::new(move |tb, _now| {
-        matches!(tb.retx[vm].on_response(wire_id), ResponseAction::Accept { .. })
+    s.push_back(Step::Gate(Box::new(move |tb, now| {
+        matches!(
+            tb.retx[vm].on_response(wire_id, now),
+            ResponseAction::Accept { .. }
+        )
     })));
+    if tb.fault_duplicate() {
+        // The channel duplicated the response frame: the copy hits the
+        // transport right behind the original and must filter as stale —
+        // the guest never sees a second completion.
+        s.push_back(Step::Gate(Box::new(move |tb, now| {
+            let r = tb.retx[vm].on_response(wire_id, now);
+            debug_assert!(matches!(r, ResponseAction::Stale));
+            true
+        })));
+    }
     s.push_back(Step::Fixed(costs.eli_delivery));
     s.push_back(Step::Count(CounterKind::GuestIntr));
     let w_guest = tb.jitter(
@@ -1510,9 +1770,20 @@ fn vrio_blk_attempt<W: HasTestbed>(
                 .blk_complete(head, vrio_virtio::BLK_S_OK, &read_out.borrow())
                 .expect("complete");
             let completions = tbm.vms[vm].blk_reap().expect("reap");
-            let c = completions.into_iter().find(|c| c.id == req_id).expect("own completion");
+            let c = completions
+                .into_iter()
+                .find(|c| c.id == req_id)
+                .expect("own completion");
             if let Some(done) = done_cell.borrow_mut().take() {
-                done(w, eng, BlkOutcome { latency: eng.now() - t0, status: c.status, data: c.data });
+                done(
+                    w,
+                    eng,
+                    BlkOutcome {
+                        latency: eng.now() - t0,
+                        status: c.status,
+                        data: c.data,
+                    },
+                );
             }
         }),
     );
@@ -1533,9 +1804,12 @@ fn arm_retx_timer<W: HasTestbed>(
 ) {
     let _ = w;
     eng.schedule_in(timeout, move |w: &mut W, eng| {
-        match w.tb().retx[vm].on_timeout(wire_id) {
+        match w.tb().retx[vm].on_timeout(wire_id, eng.now()) {
             TimeoutAction::Stale => {}
-            TimeoutAction::Retransmit { new_wire_id, timeout } => {
+            TimeoutAction::Retransmit {
+                new_wire_id,
+                timeout,
+            } => {
                 let data = Rc::new(RefCell::new(match req.kind {
                     BlockKind::Write => req.data.clone(),
                     _ => Bytes::new(),
@@ -1551,19 +1825,38 @@ fn arm_retx_timer<W: HasTestbed>(
                     t0,
                     done_cell.clone(),
                 );
-                arm_retx_timer(w, eng, vm, req, new_wire_id, timeout, head_slot, t0, done_cell);
+                arm_retx_timer(
+                    w,
+                    eng,
+                    vm,
+                    req,
+                    new_wire_id,
+                    timeout,
+                    head_slot,
+                    t0,
+                    done_cell,
+                );
             }
             TimeoutAction::DeviceError { .. } => {
                 let head = *head_slot.borrow();
                 let tbm = w.tb();
-                tbm.vms[vm].blk_complete(head, vrio_virtio::BLK_S_IOERR, &[]).expect("complete");
+                tbm.vms[vm]
+                    .blk_complete(head, vrio_virtio::BLK_S_IOERR, &[])
+                    .expect("complete");
                 let completions = tbm.vms[vm].blk_reap().expect("reap");
-                let c = completions.into_iter().find(|c| c.id == req.id).expect("own completion");
+                let c = completions
+                    .into_iter()
+                    .find(|c| c.id == req.id)
+                    .expect("own completion");
                 if let Some(done) = done_cell.borrow_mut().take() {
                     done(
                         w,
                         eng,
-                        BlkOutcome { latency: eng.now() - t0, status: c.status, data: c.data },
+                        BlkOutcome {
+                            latency: eng.now() - t0,
+                            status: c.status,
+                            data: c.data,
+                        },
                     );
                 }
             }
@@ -1623,7 +1916,10 @@ mod tests {
         let mut tb = Testbed::new(c);
         let base = tb.config.costs.poll_pickup;
         // Idle worker: pays the wake-up.
-        assert_eq!(tb.pickup_delay(0, SimTime::ZERO), base + SimDuration::micros(2));
+        assert_eq!(
+            tb.pickup_delay(0, SimTime::ZERO),
+            base + SimDuration::micros(2)
+        );
         // Busy worker: plain poll pickup.
         tb.backends[0].charge(SimTime::ZERO, SimDuration::micros(50));
         assert_eq!(tb.pickup_delay(0, SimTime::from_nanos(10_000)), base);
@@ -1633,10 +1929,12 @@ mod tests {
     fn interpose_cost_zero_for_optimum_and_empty_chain() {
         let mut tb = Testbed::new(TestbedConfig::simple(IoModel::Vrio, 1));
         assert_eq!(tb.interpose_cost(4096), SimDuration::ZERO);
-        tb.chain.push(Box::new(crate::interpose::MeteringService::new()));
+        tb.chain
+            .push(Box::new(crate::interpose::MeteringService::new()));
         assert!(tb.interpose_cost(4096) > SimDuration::ZERO);
         let mut opt = Testbed::new(TestbedConfig::simple(IoModel::Optimum, 1));
-        opt.chain.push(Box::new(crate::interpose::MeteringService::new()));
+        opt.chain
+            .push(Box::new(crate::interpose::MeteringService::new()));
         assert_eq!(opt.interpose_cost(4096), SimDuration::ZERO);
     }
 
@@ -1687,7 +1985,10 @@ mod tests {
             assert_eq!(o.status, vrio_virtio::BLK_S_OK);
         });
         eng.run(&mut tb);
-        assert_eq!(&tb.disk_stores[0].read(16 * 512, 4).unwrap()[..], &[0xEE; 4]);
+        assert_eq!(
+            &tb.disk_stores[0].read(16 * 512, 4).unwrap()[..],
+            &[0xEE; 4]
+        );
     }
 
     #[test]

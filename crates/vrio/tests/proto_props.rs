@@ -1,0 +1,110 @@
+//! Property tests for the wire protocol: encode/decode round-trips for
+//! arbitrary messages, and every corruption a hostile channel can apply —
+//! truncation, padding, bad magic, reserved-byte dirt, a lying length
+//! field, an unknown kind — is rejected rather than misparsed.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use proptest::prelude::*;
+use vrio::{DeviceId, VrioHdr, VrioMsg, VrioMsgKind, VRIO_HDR_SIZE};
+
+fn kind_strategy() -> impl Strategy<Value = VrioMsgKind> {
+    prop_oneof![
+        Just(VrioMsgKind::NetTx),
+        Just(VrioMsgKind::NetRx),
+        Just(VrioMsgKind::BlkReq),
+        Just(VrioMsgKind::BlkResp),
+        Just(VrioMsgKind::CtrlCreateDevice),
+        Just(VrioMsgKind::CtrlDestroyDevice),
+        Just(VrioMsgKind::CtrlAck),
+        Just(VrioMsgKind::Heartbeat),
+        Just(VrioMsgKind::HeartbeatAck),
+    ]
+}
+
+fn msg_strategy() -> impl Strategy<Value = VrioMsg> {
+    (
+        kind_strategy(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u64>(),
+        proptest::collection::vec(any::<u8>(), 0..2048),
+    )
+        .prop_map(|(kind, client, device, request_id, payload)| {
+            VrioMsg::new(
+                kind,
+                DeviceId { client, device },
+                request_id,
+                Bytes::from(payload),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Any well-formed message survives the wire byte-for-byte.
+    #[test]
+    fn roundtrip(msg in msg_strategy()) {
+        let wire = msg.encode();
+        prop_assert_eq!(wire.len(), VRIO_HDR_SIZE + msg.payload.len());
+        let back = VrioMsg::decode(wire).expect("well-formed message decodes");
+        prop_assert_eq!(back, msg);
+    }
+
+    /// Truncating an encoded message anywhere — inside the header or the
+    /// payload — makes the frame's length disagree with `hdr.len`, and
+    /// decode must reject it rather than hand back a short payload.
+    #[test]
+    fn truncation_rejected(msg in msg_strategy(), cut in any::<usize>()) {
+        let wire = msg.encode();
+        let keep = cut % wire.len(); // strictly shorter
+        prop_assert!(VrioMsg::decode(wire.slice(..keep)).is_none());
+    }
+
+    /// Padding a frame with trailing garbage is equally corrupt: a decoder
+    /// that silently drops the tail would desynchronize a stream parser.
+    #[test]
+    fn padding_rejected(
+        msg in msg_strategy(),
+        pad in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let wire = msg.encode();
+        let mut b = BytesMut::with_capacity(wire.len() + pad.len());
+        b.put_slice(&wire);
+        b.put_slice(&pad);
+        prop_assert!(VrioMsg::decode(b.freeze()).is_none());
+    }
+
+    /// A header whose `len` field lies about the payload size — in either
+    /// direction, by any amount — is rejected.
+    #[test]
+    fn lying_length_field_rejected(msg in msg_strategy(), lie in any::<u32>()) {
+        let wire = msg.encode();
+        let mut bytes = wire.to_vec();
+        let fake = if lie == msg.hdr.len { lie.wrapping_add(1) } else { lie };
+        bytes[16..20].copy_from_slice(&fake.to_le_bytes());
+        prop_assert!(VrioMsg::decode(Bytes::from(bytes)).is_none());
+    }
+
+    /// Bad magic, an unknown kind byte, or dirt in the reserved bytes each
+    /// poison the header.
+    #[test]
+    fn malformed_header_rejected(
+        msg in msg_strategy(),
+        bad_magic in any::<u8>(),
+        bad_kind in 10u8..=255,
+        dirt in 1u8..=255,
+        which in 0usize..3,
+    ) {
+        let wire = msg.encode();
+        let mut bytes = wire.to_vec();
+        match which {
+            0 => bytes[0] = if bad_magic == b'V' { b'W' } else { bad_magic },
+            // Kind bytes 1..=9 are valid; 0 and 10.. are not.
+            1 => bytes[1] = bad_kind,
+            _ => bytes[20 + (dirt as usize % 4)] = dirt,
+        }
+        prop_assert!(VrioMsg::decode(Bytes::from(bytes)).is_none());
+        prop_assert!(VrioHdr::decode(&wire[..VRIO_HDR_SIZE]).is_some(), "pristine still decodes");
+    }
+}

@@ -8,8 +8,8 @@
 
 use vrio_cost::{
     consolidation_ratio, cpu_catalog, cpu_upgrade_points, elvis_with_ssds, nic_catalog,
-    nic_upgrade_points, required_gbps, RackSetup, ServerConfig, SsdModel, Table2Row,
-    vrio_with_ssds,
+    nic_upgrade_points, required_gbps, vrio_with_ssds, RackSetup, ServerConfig, SsdModel,
+    Table2Row,
 };
 
 fn main() {
@@ -17,7 +17,7 @@ fn main() {
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(6);
-    if servers % 3 != 0 {
+    if !servers.is_multiple_of(3) {
         eprintln!("server count must be a multiple of 3 (the paper's transform unit)");
         std::process::exit(2);
     }
@@ -26,10 +26,19 @@ fn main() {
     let cpu_pts = cpu_upgrade_points(&cpu_catalog());
     let nic_pts = nic_upgrade_points(&nic_catalog());
     let avg = |pts: &[vrio_cost::UpgradePoint]| {
-        pts.iter().map(|p| p.hardware_ratio / p.cost_ratio).sum::<f64>() / pts.len() as f64
+        pts.iter()
+            .map(|p| p.hardware_ratio / p.cost_ratio)
+            .sum::<f64>()
+            / pts.len() as f64
     };
-    println!("CPU upgrades return {:.2}x hardware per dollar (a premium)", avg(&cpu_pts));
-    println!("NIC upgrades return {:.2}x hardware per dollar (a discount)", avg(&nic_pts));
+    println!(
+        "CPU upgrades return {:.2}x hardware per dollar (a premium)",
+        avg(&cpu_pts)
+    );
+    println!(
+        "NIC upgrades return {:.2}x hardware per dollar (a discount)",
+        avg(&nic_pts)
+    );
 
     println!("\n== Server bill of materials (Table 1) ==");
     for cfg in [
@@ -51,7 +60,11 @@ fn main() {
 
     println!("\n== Rack transform (Table 2) ==");
     let row = Table2Row::for_servers(servers);
-    println!("elvis: {} servers, ${:.1}K", row.elvis.server_count(), row.elvis.price() / 1000.0);
+    println!(
+        "elvis: {} servers, ${:.1}K",
+        row.elvis.server_count(),
+        row.elvis.price() / 1000.0
+    );
     println!(
         "vrio:  {} ({}), ${:.1}K  => {:+.1}%",
         row.vrio.server_count(),
@@ -71,7 +84,10 @@ fn main() {
             SsdModel::Small => "3.2TB SX300",
             SsdModel::Large => "6.4TB SX300",
         };
-        println!("{name} (elvis with {servers} drives: ${:.0}K):", elvis_with_ssds(servers, model) / 1000.0);
+        println!(
+            "{name} (elvis with {servers} drives: ${:.0}K):",
+            elvis_with_ssds(servers, model) / 1000.0
+        );
         for v in (1..=servers).rev() {
             let ratio = consolidation_ratio(servers, v, model);
             println!(

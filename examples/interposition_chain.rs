@@ -9,8 +9,8 @@
 
 use bytes::Bytes;
 use vrio::{
-    Direction, EncryptionService, FirewallService, InterpositionChain,
-    IntrusionDetectionService, MeteringService, Verdict,
+    Direction, EncryptionService, FirewallService, InterpositionChain, IntrusionDetectionService,
+    MeteringService, Verdict,
 };
 use vrio_hv::CostModel;
 
@@ -20,10 +20,15 @@ fn main() {
 
     let mut chain = InterpositionChain::new();
     chain.push(Box::new(FirewallService::new(vec![b"BLOCKED".to_vec()])));
-    chain.push(Box::new(IntrusionDetectionService::new(vec![b"exploit-kit".to_vec()])));
+    chain.push(Box::new(IntrusionDetectionService::new(vec![
+        b"exploit-kit".to_vec(),
+    ])));
     chain.push(Box::new(MeteringService::new()));
     chain.push(Box::new(EncryptionService::new(key)));
-    println!("interposition chain with {} services installed at the IOhost\n", chain.len());
+    println!(
+        "interposition chain with {} services installed at the IOhost\n",
+        chain.len()
+    );
 
     let traffic: &[&[u8]] = &[
         b"GET /index.html HTTP/1.1",
@@ -33,7 +38,8 @@ fn main() {
     ];
 
     for (i, payload) in traffic.iter().enumerate() {
-        let (verdict, cpu) = chain.apply(&costs, Direction::Outbound, Bytes::copy_from_slice(payload));
+        let (verdict, cpu) =
+            chain.apply(&costs, Direction::Outbound, Bytes::copy_from_slice(payload));
         match verdict {
             Verdict::Pass(out) => {
                 // The encryption stage really transformed the bytes.

@@ -11,6 +11,7 @@ use vrio::{
     BlockRetx, ClientFlavor, IoClient, ResponseAction, RetxConfig, TimeoutAction, TransportMode,
 };
 use vrio_block::RequestId;
+use vrio_sim::{SimDuration, SimTime};
 
 fn main() {
     println!("vRIO live-migration choreography (paper section 4.6)\n");
@@ -32,34 +33,51 @@ fn main() {
     // 2. F switches T to the paravirtual channel. The wire traffic is the
     //    same virtio protocol, so connections survive the switch.
     client.set_transport_mode(TransportMode::Virtio);
-    println!("2. T switched to virtio: migratable = {}", client.transport_mode().migratable());
+    println!(
+        "2. T switched to virtio: migratable = {}",
+        client.transport_mode().migratable()
+    );
 
     // 3. In-flight block requests keep their retransmission protection:
     //    anything lost in the blackout window simply retransmits.
     let mut retx = BlockRetx::new(RetxConfig::default());
-    let (wire_a, _) = retx.send(RequestId(1));
-    let (wire_b, _) = retx.send(RequestId(2));
+    let mut now = SimTime::ZERO;
+    let (wire_a, _) = retx.send(RequestId(1), now);
+    let (wire_b, _) = retx.send(RequestId(2), now);
     client.begin_migration().unwrap();
-    println!("3. migration begins with {} block requests in flight", retx.outstanding());
+    println!(
+        "3. migration begins with {} block requests in flight",
+        retx.outstanding()
+    );
 
     // Request A's response is lost in the blackout; its timer fires.
-    let TimeoutAction::Retransmit { new_wire_id, .. } = retx.on_timeout(wire_a) else {
+    now += SimDuration::millis(10);
+    let TimeoutAction::Retransmit { new_wire_id, .. } = retx.on_timeout(wire_a, now) else {
         panic!("expected a retransmission");
     };
     // Request B's response arrives late, after the VM landed: still valid.
-    assert_eq!(retx.on_response(wire_b), ResponseAction::Accept { guest_req: RequestId(2) });
+    now += SimDuration::millis(5);
+    assert_eq!(
+        retx.on_response(wire_b, now),
+        ResponseAction::Accept {
+            guest_req: RequestId(2)
+        }
+    );
 
     client.complete_migration(1);
     println!(
         "4. VM now on VMhost {}; retransmitted request completes under its new id",
         client.vmhost()
     );
+    now += SimDuration::millis(1);
     assert_eq!(
-        retx.on_response(new_wire_id),
-        ResponseAction::Accept { guest_req: RequestId(1) }
+        retx.on_response(new_wire_id, now),
+        ResponseAction::Accept {
+            guest_req: RequestId(1)
+        }
     );
     // The original (pre-migration) response for A would now be stale.
-    assert_eq!(retx.on_response(wire_a), ResponseAction::Stale);
+    assert_eq!(retx.on_response(wire_a, now), ResponseAction::Stale);
 
     // 5. Back to the fast path.
     client.set_transport_mode(TransportMode::Sriov);

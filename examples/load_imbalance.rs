@@ -25,16 +25,26 @@ fn main() {
     // sidecore sits uselessly on the idle host.
     let mut elvis_cfg = TestbedConfig::simple(IoModel::Elvis, 5);
     elvis_cfg.backend_cores = 1;
-    let elvis = run_filebench_with(elvis_cfg, Personality::Webserver { bursty: false }, duration, |tb| {
-        tb.chain.push(Box::new(EncryptionService::new(key)));
-    });
+    let elvis = run_filebench_with(
+        elvis_cfg,
+        Personality::Webserver { bursty: false },
+        duration,
+        |tb| {
+            tb.chain.push(Box::new(EncryptionService::new(key)));
+        },
+    );
 
     // vRIO: both sidecores live at the IOhost and serve whoever is busy.
     let mut vrio_cfg = TestbedConfig::simple(IoModel::Vrio, 5);
     vrio_cfg.backend_cores = 2;
-    let vrio = run_filebench_with(vrio_cfg, Personality::Webserver { bursty: false }, duration, |tb| {
-        tb.chain.push(Box::new(EncryptionService::new(key)));
-    });
+    let vrio = run_filebench_with(
+        vrio_cfg,
+        Personality::Webserver { bursty: false },
+        duration,
+        |tb| {
+            tb.chain.push(Box::new(EncryptionService::new(key)));
+        },
+    );
 
     println!("elvis (1 usable sidecore): {:>6.0} Mbps", elvis.mbps);
     println!(
@@ -54,7 +64,10 @@ fn main() {
             .map(|u| format!("{:.0}%", u * 100.0))
             .collect::<Vec<_>>(),
     );
-    assert!(vrio.mbps > elvis.mbps * 1.2, "consolidation must win under imbalance");
+    assert!(
+        vrio.mbps > elvis.mbps * 1.2,
+        "consolidation must win under imbalance"
+    );
     println!(
         "\nThis is the paper's Figure 16b: with the same sidecore budget, vRIO's\n\
          consolidation turns an idle remote sidecore into usable capacity."

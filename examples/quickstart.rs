@@ -16,7 +16,10 @@ use vrio_sim::{Engine, SimDuration};
 
 fn main() {
     println!("vRIO quickstart: one request-response per I/O model\n");
-    println!("{:<15} {:>12} {:>8} {:>22}", "model", "latency", "events", "interposable?");
+    println!(
+        "{:<15} {:>12} {:>8} {:>22}",
+        "model", "latency", "events", "interposable?"
+    );
 
     for model in IoModel::ALL {
         // A testbed is a deterministic simulated rack: one VMhost, one
@@ -50,7 +53,11 @@ fn main() {
             model.to_string(),
             o.latency.as_micros_f64(),
             events,
-            if model.is_interposable() { "yes" } else { "no (SRIOV passthrough)" },
+            if model.is_interposable() {
+                "yes"
+            } else {
+                "no (SRIOV passthrough)"
+            },
         );
     }
 

@@ -29,7 +29,11 @@ fn main() {
         }
 
         println!("{model}:");
-        println!("  throughput      {:.0} Mbps ({:+.0}% vs elvis)", r.mbps, (r.mbps / elvis_mbps - 1.0) * 100.0);
+        println!(
+            "  throughput      {:.0} Mbps ({:+.0}% vs elvis)",
+            r.mbps,
+            (r.mbps / elvis_mbps - 1.0) * 100.0
+        );
         println!("  ops/sec         {:.0}", r.ops_per_sec);
         println!(
             "  backend cores   {} @ {}",

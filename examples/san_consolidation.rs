@@ -33,7 +33,14 @@ fn main() {
     for model in [IoModel::Vrio, IoModel::Elvis, IoModel::Baseline] {
         let mut cfg = TestbedConfig::simple(model, 4);
         cfg.block_profile = san;
-        let r = run_filebench(cfg, Personality::RandomIo { readers: 2, writers: 2 }, duration);
+        let r = run_filebench(
+            cfg,
+            Personality::RandomIo {
+                readers: 2,
+                writers: 2,
+            },
+            duration,
+        );
         println!("{model:<10} {:>8.1}K ops/s", r.ops_per_sec / 1000.0);
         results.push((model, r.ops_per_sec));
     }
@@ -47,5 +54,8 @@ fn main() {
          (no interposition) and baseline virtio (all the overheads).",
         (1.0 - baseline / vrio) * 100.0
     );
-    assert!(vrio > baseline, "vRIO must beat baseline paravirtual SAN access");
+    assert!(
+        vrio > baseline,
+        "vRIO must beat baseline paravirtual SAN access"
+    );
 }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# The tier-1 gate: everything must pass before a change lands.
+# Mirrors what reviewers run locally — build, full test suite, lints,
+# formatting — and fails fast on the first broken stage.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> tier-1 gate passed"

@@ -84,7 +84,10 @@ fn vrio_stream_5_to_9_percent_below_optimum() {
     let opt = netperf_stream(TestbedConfig::simple(IoModel::Optimum, 3), DUR).gbps;
     let vrio = netperf_stream(TestbedConfig::simple(IoModel::Vrio, 3), DUR).gbps;
     let deficit = 1.0 - vrio / opt;
-    assert!((0.04..0.10).contains(&deficit), "vrio stream deficit {deficit}");
+    assert!(
+        (0.04..0.10).contains(&deficit),
+        "vrio stream deficit {deficit}"
+    );
 }
 
 /// Paper Fig 13b: a vRIO sidecore saturates at ~13 Gbps of stream traffic.
@@ -95,7 +98,10 @@ fn one_sidecore_saturates_around_13gbps() {
     c.backend_cores = 1;
     c.link_gbps = 40.0;
     let g = netperf_stream(c, DUR).gbps;
-    assert!((12.0..14.5).contains(&g), "1-sidecore saturation at {g} Gbps");
+    assert!(
+        (12.0..14.5).contains(&g),
+        "1-sidecore saturation at {g} Gbps"
+    );
 }
 
 /// Paper §1: block I/O through the remote IOhost is at most ~2.2x the
@@ -103,11 +109,17 @@ fn one_sidecore_saturates_around_13gbps() {
 /// throughput, as in Fig 14a).
 #[test]
 fn remote_block_latency_at_most_2_2x() {
-    let one_reader = Personality::RandomIo { readers: 1, writers: 0 };
+    let one_reader = Personality::RandomIo {
+        readers: 1,
+        writers: 0,
+    };
     let elvis = run_filebench(TestbedConfig::simple(IoModel::Elvis, 1), one_reader, DUR);
     let vrio = run_filebench(TestbedConfig::simple(IoModel::Vrio, 1), one_reader, DUR);
     let ratio = elvis.ops_per_sec / vrio.ops_per_sec;
-    assert!((1.1..2.3).contains(&ratio), "elvis/vrio single-reader ratio {ratio}");
+    assert!(
+        (1.1..2.3).contains(&ratio),
+        "elvis/vrio single-reader ratio {ratio}"
+    );
 }
 
 /// Paper §1: with half the sidecores, vRIO delivers ~0.92x the throughput
@@ -125,7 +137,10 @@ fn consolidation_tradeoff_half_sidecores() {
     let vrio = run_filebench(cv, Personality::Webserver { bursty: false }, DUR * 2u64);
 
     let ratio = vrio.mbps / elvis.mbps;
-    assert!((0.85..0.97).contains(&ratio), "vrio/elvis with half the sidecores: {ratio}");
+    assert!(
+        (0.85..0.97).contains(&ratio),
+        "vrio/elvis with half the sidecores: {ratio}"
+    );
 }
 
 /// Paper Fig 16b: under load imbalance with AES-256 interposition, vRIO's
@@ -137,16 +152,24 @@ fn imbalance_with_encryption() {
     let key = [9u8; 32];
     let mut ce = TestbedConfig::simple(IoModel::Elvis, 5);
     ce.backend_cores = 1;
-    let elvis =
-        run_filebench_with(ce, Personality::Webserver { bursty: false }, DUR * 2u64, |tb| {
+    let elvis = run_filebench_with(
+        ce,
+        Personality::Webserver { bursty: false },
+        DUR * 2u64,
+        |tb| {
             tb.chain.push(Box::new(EncryptionService::new(key)));
-        });
+        },
+    );
     let mut cv = TestbedConfig::simple(IoModel::Vrio, 5);
     cv.backend_cores = 2;
-    let vrio =
-        run_filebench_with(cv, Personality::Webserver { bursty: false }, DUR * 2u64, |tb| {
+    let vrio = run_filebench_with(
+        cv,
+        Personality::Webserver { bursty: false },
+        DUR * 2u64,
+        |tb| {
             tb.chain.push(Box::new(EncryptionService::new(key)));
-        });
+        },
+    );
     let ratio = vrio.mbps / elvis.mbps;
     assert!((1.5..2.15).contains(&ratio), "imbalance boost {ratio}");
 }
@@ -161,6 +184,15 @@ fn contention_grows_with_vms() {
     c7.service_jitter = 0.02;
     let r1 = netperf_rr(c1, DUR);
     let r7 = netperf_rr(c7, DUR);
-    assert!(r7.contention > r1.contention + 0.05, "{} -> {}", r1.contention, r7.contention);
-    assert!(r7.contention > 0.08 && r7.contention < 0.35, "contention at 7: {}", r7.contention);
+    assert!(
+        r7.contention > r1.contention + 0.05,
+        "{} -> {}",
+        r1.contention,
+        r7.contention
+    );
+    assert!(
+        r7.contention > 0.08 && r7.contention < 0.35,
+        "contention at 7: {}",
+        r7.contention
+    );
 }

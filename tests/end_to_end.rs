@@ -37,7 +37,9 @@ fn one_blk(tb: &mut Testbed, req: BlockRequest) -> BlkOutcome {
     let mut eng = Engine::new();
     let out: Rc<RefCell<Option<BlkOutcome>>> = Rc::new(RefCell::new(None));
     let slot = out.clone();
-    blk_request(tb, &mut eng, 0, req, move |_, _, o| *slot.borrow_mut() = Some(o));
+    blk_request(tb, &mut eng, 0, req, move |_, _, o| {
+        *slot.borrow_mut() = Some(o)
+    });
     eng.run(tb);
     let o = out.borrow_mut().take().expect("block request completed");
     o
@@ -67,7 +69,12 @@ fn response_payload_flows_through_real_rings_for_every_model() {
 
 #[test]
 fn block_write_then_read_roundtrip_every_interposable_model() {
-    for model in [IoModel::Elvis, IoModel::Baseline, IoModel::Vrio, IoModel::VrioNoPoll] {
+    for model in [
+        IoModel::Elvis,
+        IoModel::Baseline,
+        IoModel::Vrio,
+        IoModel::VrioNoPoll,
+    ] {
         let mut tb = Testbed::new(TestbedConfig::simple(model, 1));
         let pattern: Vec<u8> = (0..4096).map(|i| (i * 7 % 251) as u8).collect();
         let w = one_blk(
@@ -87,7 +94,10 @@ fn large_block_write_exercises_tso_segmentation() {
     // with fake TCP headers and reassembles zero-copy at the worker.
     let mut tb = Testbed::new(TestbedConfig::simple(IoModel::Vrio, 1));
     let pattern: Vec<u8> = (0..49_152).map(|i| (i % 256) as u8).collect();
-    let w = one_blk(&mut tb, BlockRequest::write(RequestId(1), 0, Bytes::from(pattern.clone())));
+    let w = one_blk(
+        &mut tb,
+        BlockRequest::write(RequestId(1), 0, Bytes::from(pattern.clone())),
+    );
     assert_eq!(w.status, BLK_S_OK);
     let r = one_blk(&mut tb, BlockRequest::read(RequestId(2), 0, 49_152));
     assert_eq!(&r.data[..], &pattern[..]);
@@ -101,12 +111,21 @@ fn vrio_block_survives_heavy_loss() {
     let mut tb = Testbed::new(cfg);
     for i in 0..50u64 {
         let payload = Bytes::from(vec![i as u8; 2048]);
-        let w = one_blk(&mut tb, BlockRequest::write(RequestId(i * 2), i * 8, payload.clone()));
+        let w = one_blk(
+            &mut tb,
+            BlockRequest::write(RequestId(i * 2), i * 8, payload.clone()),
+        );
         assert_eq!(w.status, BLK_S_OK, "write {i}");
-        let r = one_blk(&mut tb, BlockRequest::read(RequestId(i * 2 + 1), i * 8, 2048));
+        let r = one_blk(
+            &mut tb,
+            BlockRequest::read(RequestId(i * 2 + 1), i * 8, 2048),
+        );
         assert_eq!(&r.data[..], &payload[..], "read {i}");
     }
-    assert!(tb.retx[0].stats.retransmissions > 0, "loss must have triggered retransmissions");
+    assert!(
+        tb.retx[0].stats.retransmissions > 0,
+        "loss must have triggered retransmissions"
+    );
     assert_eq!(tb.retx[0].stats.device_errors, 0);
     assert!(tb.channel_drops > 0);
 }
@@ -118,7 +137,10 @@ fn total_loss_raises_device_error() {
     cfg.retx.initial_timeout = SimDuration::micros(200);
     cfg.retx.max_attempts = 3;
     let mut tb = Testbed::new(cfg);
-    let o = one_blk(&mut tb, BlockRequest::write(RequestId(1), 0, Bytes::from(vec![1u8; 512])));
+    let o = one_blk(
+        &mut tb,
+        BlockRequest::write(RequestId(1), 0, Bytes::from(vec![1u8; 512])),
+    );
     assert_eq!(o.status, BLK_S_IOERR);
     assert_eq!(tb.retx[0].stats.device_errors, 1);
     assert_eq!(tb.retx[0].stats.retransmissions, 2); // attempts 2 and 3
@@ -133,7 +155,10 @@ fn interposed_encryption_is_transparent_to_the_guest() {
     let mut tb = Testbed::new(TestbedConfig::simple(IoModel::Vrio, 1));
     tb.chain.push(Box::new(MeteringService::new()));
     let pattern = Bytes::from(vec![0x3Cu8; 4096]);
-    let w = one_blk(&mut tb, BlockRequest::write(RequestId(1), 8, pattern.clone()));
+    let w = one_blk(
+        &mut tb,
+        BlockRequest::write(RequestId(1), 8, pattern.clone()),
+    );
     assert_eq!(w.status, BLK_S_OK);
     let r = one_blk(&mut tb, BlockRequest::read(RequestId(2), 8, 4096));
     assert_eq!(r.data.len(), 4096);
@@ -156,7 +181,8 @@ fn encryption_changes_bytes_at_rest() {
 fn firewall_drops_stop_inbound_requests() {
     for model in [IoModel::Elvis, IoModel::Vrio, IoModel::Baseline] {
         let mut tb = Testbed::new(TestbedConfig::simple(model, 1));
-        tb.chain.push(Box::new(FirewallService::new(vec![b"EVIL".to_vec()])));
+        tb.chain
+            .push(Box::new(FirewallService::new(vec![b"EVIL".to_vec()])));
         let mut eng = Engine::new();
         let delivered = Rc::new(RefCell::new(false));
         let slot = delivered.clone();
@@ -170,7 +196,10 @@ fn firewall_drops_stop_inbound_requests() {
             move |_, _, _| *slot.borrow_mut() = true,
         );
         eng.run(&mut tb);
-        assert!(!*delivered.borrow(), "model {model}: firewalled request must not complete");
+        assert!(
+            !*delivered.borrow(),
+            "model {model}: firewalled request must not complete"
+        );
         let (_, rx) = tb.vms[0].net_counters();
         assert_eq!(rx, 0, "model {model}: guest must never see the packet");
     }
@@ -180,9 +209,14 @@ fn firewall_drops_stop_inbound_requests() {
 fn optimum_cannot_interpose() {
     // SRIOV passthrough bypasses the host entirely: the chain never runs.
     let mut tb = Testbed::new(TestbedConfig::simple(IoModel::Optimum, 1));
-    tb.chain.push(Box::new(FirewallService::new(vec![b"EVIL".to_vec()])));
+    tb.chain
+        .push(Box::new(FirewallService::new(vec![b"EVIL".to_vec()])));
     let o = one_rr(&mut tb, b"EVIL packet", 8);
-    assert_eq!(o.response.len(), 8, "the packet sails through: no interposition");
+    assert_eq!(
+        o.response.len(),
+        8,
+        "the packet sails through: no interposition"
+    );
     assert!(tb.chain.processed.is_empty());
 }
 

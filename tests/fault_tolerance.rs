@@ -25,14 +25,12 @@ fn network_survives_iohost_crash_at_fallback_performance() {
         before: Vec<f64>,
         after: Vec<f64>,
     }
-    let stats = Rc::new(RefCell::new(Stats { before: Vec::new(), after: Vec::new() }));
+    let stats = Rc::new(RefCell::new(Stats {
+        before: Vec::new(),
+        after: Vec::new(),
+    }));
 
-    fn issue(
-        tb: &mut Testbed,
-        eng: &mut Engine<Testbed>,
-        vm: usize,
-        stats: Rc<RefCell<Stats>>,
-    ) {
+    fn issue(tb: &mut Testbed, eng: &mut Engine<Testbed>, vm: usize, stats: Rc<RefCell<Stats>>) {
         net_request_response(
             tb,
             eng,
@@ -72,7 +70,10 @@ fn network_survives_iohost_crash_at_fallback_performance() {
     eng.run(&mut tb);
 
     let s = stats.borrow();
-    assert!(s.before.len() > 50 && s.after.len() > 50, "traffic flowed on both sides");
+    assert!(
+        s.before.len() > 50 && s.after.len() > 50,
+        "traffic flowed on both sides"
+    );
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let (b, a) = (mean(&s.before), mean(&s.after));
     // Before: vRIO-level latency (~44us). After: the local-virtio fallback
@@ -87,9 +88,12 @@ fn network_survives_iohost_crash_at_fallback_performance() {
     assert!(tb.counters.interrupt_injections > 0);
     // And the vhost burden lands on the VMs' own cores: guest busy time
     // per request is visibly higher after the crash.
-    let per_req_budget = tb.vms[0].cpu.busy_time().as_micros_f64()
-        / (s.before.len() + s.after.len()) as f64;
-    assert!(per_req_budget > 11.0, "VM cores carry the vhost work: {per_req_budget}");
+    let per_req_budget =
+        tb.vms[0].cpu.busy_time().as_micros_f64() / (s.before.len() + s.after.len()) as f64;
+    assert!(
+        per_req_budget > 11.0,
+        "VM cores carry the vhost work: {per_req_budget}"
+    );
 }
 
 #[test]

@@ -39,15 +39,24 @@ fn control_plane_creates_and_tears_down_client_devices() {
     let mut reg = DeviceRegistry::new();
     // The I/O hypervisor provisions a net + blk device for client 5.
     for (i, kind) in [DeviceKind::Net, DeviceKind::Blk].into_iter().enumerate() {
-        reg.create(DeviceId { client: 5, device: i as u16 }, DeviceSpec { kind, backing: i })
-            .unwrap();
+        reg.create(
+            DeviceId {
+                client: 5,
+                device: i as u16,
+            },
+            DeviceSpec { kind, backing: i },
+        )
+        .unwrap();
     }
     assert_eq!(reg.len(), 2);
 
     // The create command travels to the IOclient as a real control message.
     let msg = VrioMsg::new(
         VrioMsgKind::CtrlCreateDevice,
-        DeviceId { client: 5, device: 0 },
+        DeviceId {
+            client: 5,
+            device: 0,
+        },
         0,
         bytes::Bytes::from_static(b"net"),
     );
@@ -66,8 +75,11 @@ fn identical_service_for_every_client_flavor() {
     // The vRIO data path is flavor-oblivious: same testbed, same numbers.
     // (This is the paper's §5 heterogeneity claim: the I/O hypervisor
     // neither knows nor cares what runs at the client.)
-    let baseline_gbps =
-        netperf_stream(TestbedConfig::simple(IoModel::Vrio, 1), SimDuration::millis(20)).gbps;
+    let baseline_gbps = netperf_stream(
+        TestbedConfig::simple(IoModel::Vrio, 1),
+        SimDuration::millis(20),
+    )
+    .gbps;
     for flavor in [
         ClientFlavor::KvmGuest,
         ClientFlavor::EsxiGuest,
@@ -76,16 +88,19 @@ fn identical_service_for_every_client_flavor() {
     ] {
         let client = IoClient::new(0, flavor);
         // Flavor influences migration capability but never the data path.
-        let gbps =
-            netperf_stream(TestbedConfig::simple(IoModel::Vrio, 1), SimDuration::millis(20)).gbps;
+        let gbps = netperf_stream(
+            TestbedConfig::simple(IoModel::Vrio, 1),
+            SimDuration::millis(20),
+        )
+        .gbps;
         assert!(
             (gbps - baseline_gbps).abs() < 1e-9,
             "flavor {flavor:?} changed the data path"
         );
-        assert_eq!(client.flavor().is_virtualized(), matches!(
-            flavor,
-            ClientFlavor::KvmGuest | ClientFlavor::EsxiGuest
-        ));
+        assert_eq!(
+            client.flavor().is_virtualized(),
+            matches!(flavor, ClientFlavor::KvmGuest | ClientFlavor::EsxiGuest)
+        );
     }
 }
 

@@ -1,12 +1,13 @@
 //! Property tests spanning the transport and block substrates: the §4.5
 //! reliability protocol delivers exactly-once completion under arbitrary
-//! loss/delay/duplication patterns, on top of the block gate's
+//! loss/delay/duplication/reordering patterns, on top of the block gate's
 //! one-request-per-block invariant.
 
 use proptest::prelude::*;
 use vrio::{BlockRetx, ResponseAction, RetxConfig, TimeoutAction};
 use vrio_block::RequestId;
-use vrio_sim::SimDuration;
+use vrio_net::{GeConfig, GilbertElliott};
+use vrio_sim::{SimDuration, SimRng, SimTime};
 
 /// What the adversarial channel does to each (re)transmission.
 #[derive(Debug, Clone, Copy)]
@@ -19,6 +20,10 @@ enum Fate {
     DeliverLate,
     /// Response is duplicated.
     DeliverTwice,
+    /// Responses reorder: the timer fires, the retransmission's response
+    /// arrives first, and the original attempt's response straggles in
+    /// after the request already completed.
+    Reorder,
 }
 
 fn fate_strategy() -> impl Strategy<Value = Fate> {
@@ -27,7 +32,30 @@ fn fate_strategy() -> impl Strategy<Value = Fate> {
         2 => Just(Fate::Lose),
         1 => Just(Fate::DeliverLate),
         1 => Just(Fate::DeliverTwice),
+        1 => Just(Fate::Reorder),
     ]
+}
+
+/// A Gilbert–Elliott channel parameterization drawn from the regime where
+/// the Bad state is reachable, escapable, and meaningfully lossier than
+/// Good — i.e. a *bursty* channel rather than i.i.d. loss.
+fn ge_strategy() -> impl Strategy<Value = GeConfig> {
+    (1u64..200, 20u64..500, 0u64..100, 500u64..1000).prop_map(|(p, r, lg, lb)| GeConfig {
+        p_good_to_bad: p as f64 / 1000.0,
+        p_bad_to_good: r as f64 / 1000.0,
+        loss_good: lg as f64 / 1000.0,
+        loss_bad: lb as f64 / 1000.0,
+    })
+}
+
+/// A monotone clock for driving the transport outside the event engine.
+struct Clock(SimTime);
+
+impl Clock {
+    fn tick(&mut self) -> SimTime {
+        self.0 += SimDuration::micros(100);
+        self.0
+    }
 }
 
 proptest! {
@@ -43,13 +71,15 @@ proptest! {
         let cfg = RetxConfig {
             initial_timeout: SimDuration::millis(10),
             max_attempts: 4,
+            ..RetxConfig::default()
         };
         let mut retx = BlockRetx::new(cfg);
+        let mut clock = Clock(SimTime::ZERO);
         let mut outcomes = 0u32;
 
         for (i, seq) in fates.chunks(4).enumerate() {
             let req = RequestId(i as u64);
-            let (mut wire, _) = retx.send(req);
+            let (mut wire, _) = retx.send(req, clock.tick());
             let mut done = false;
             // Play at most 4 channel decisions for this request.
             for &fate in seq {
@@ -57,7 +87,7 @@ proptest! {
                 match fate {
                     Fate::Deliver => {
                         prop_assert_eq!(
-                            retx.on_response(wire),
+                            retx.on_response(wire, clock.tick()),
                             ResponseAction::Accept { guest_req: req }
                         );
                         outcomes += 1;
@@ -65,17 +95,20 @@ proptest! {
                     }
                     Fate::DeliverTwice => {
                         prop_assert_eq!(
-                            retx.on_response(wire),
+                            retx.on_response(wire, clock.tick()),
                             ResponseAction::Accept { guest_req: req }
                         );
                         // The duplicate must be filtered.
-                        prop_assert_eq!(retx.on_response(wire), ResponseAction::Stale);
+                        prop_assert_eq!(
+                            retx.on_response(wire, clock.tick()),
+                            ResponseAction::Stale
+                        );
                         outcomes += 1;
                         done = true;
                     }
-                    Fate::Lose | Fate::DeliverLate => {
+                    Fate::Lose | Fate::DeliverLate | Fate::Reorder => {
                         let old_wire = wire;
-                        match retx.on_timeout(wire) {
+                        match retx.on_timeout(wire, clock.tick()) {
                             TimeoutAction::Retransmit { new_wire_id, .. } => {
                                 wire = new_wire_id;
                             }
@@ -88,7 +121,25 @@ proptest! {
                         }
                         if matches!(fate, Fate::DeliverLate) && !done {
                             // The superseded response straggles in: stale.
-                            prop_assert_eq!(retx.on_response(old_wire), ResponseAction::Stale);
+                            prop_assert_eq!(
+                                retx.on_response(old_wire, clock.tick()),
+                                ResponseAction::Stale
+                            );
+                        }
+                        if matches!(fate, Fate::Reorder) && !done {
+                            // The retransmission's response overtakes the
+                            // original attempt's: accept the new, then the
+                            // old straggler arrives after completion.
+                            prop_assert_eq!(
+                                retx.on_response(wire, clock.tick()),
+                                ResponseAction::Accept { guest_req: req }
+                            );
+                            prop_assert_eq!(
+                                retx.on_response(old_wire, clock.tick()),
+                                ResponseAction::Stale
+                            );
+                            outcomes += 1;
+                            done = true;
                         }
                     }
                 }
@@ -99,7 +150,7 @@ proptest! {
             // If the channel never delivered and attempts remain, drain via
             // timeouts until the protocol settles.
             while !done {
-                match retx.on_timeout(wire) {
+                match retx.on_timeout(wire, clock.tick()) {
                     TimeoutAction::Retransmit { new_wire_id, .. } => wire = new_wire_id,
                     TimeoutAction::DeviceError { .. } => {
                         outcomes += 1;
@@ -119,37 +170,108 @@ proptest! {
         );
     }
 
-    /// Timeouts always double, regardless of interleaving with other
-    /// requests.
+    /// Timeouts always double (up to the configured cap), regardless of
+    /// interleaving with other requests.
     #[test]
     fn backoff_doubles_per_request(attempts in 2u32..7, others in 0usize..5) {
-        let cfg = RetxConfig { initial_timeout: SimDuration::millis(10), max_attempts: attempts };
+        let cfg = RetxConfig {
+            initial_timeout: SimDuration::millis(10),
+            max_attempts: attempts,
+            ..RetxConfig::default()
+        };
         let mut retx = BlockRetx::new(cfg);
+        let mut clock = Clock(SimTime::ZERO);
         // Interleave unrelated requests to perturb wire-id allocation.
         let noise: Vec<(u64, RequestId)> = (0..others)
             .map(|i| {
                 let req = RequestId(1000 + i as u64);
-                (retx.send(req).0, req)
+                (retx.send(req, clock.tick()).0, req)
             })
             .collect();
-        let (mut wire, mut t) = retx.send(RequestId(1));
+        let (mut wire, mut t) = retx.send(RequestId(1), clock.tick());
         let mut expect = 10u64;
         loop {
             prop_assert_eq!(t, SimDuration::millis(expect));
-            match retx.on_timeout(wire) {
+            match retx.on_timeout(wire, clock.tick()) {
                 TimeoutAction::Retransmit { new_wire_id, timeout } => {
                     wire = new_wire_id;
                     t = timeout;
-                    expect *= 2;
+                    expect = (expect * 2).min(retx.config().max_rto.as_nanos() / 1_000_000);
                 }
                 TimeoutAction::DeviceError { .. } => break,
                 TimeoutAction::Stale => prop_assert!(false),
             }
         }
-        prop_assert_eq!(expect, 10 * (1 << (attempts - 1)));
+        prop_assert_eq!(expect, (10 * (1u64 << (attempts - 1))).min(1000));
         // The unrelated requests were untouched by the backoff storm.
         for (w, req) in noise {
-            prop_assert_eq!(retx.on_response(w), ResponseAction::Accept { guest_req: req });
+            prop_assert_eq!(
+                retx.on_response(w, clock.tick()),
+                ResponseAction::Accept { guest_req: req }
+            );
         }
+    }
+
+    /// Exactly-once completion survives *bursty* loss: instead of i.i.d.
+    /// fates, the channel is a Gilbert–Elliott two-state Markov chain, so
+    /// losses cluster — consecutive transmissions of the same request tend
+    /// to die together, which is precisely the regime that exhausts naive
+    /// fixed-retry schemes.
+    #[test]
+    fn exactly_once_completion_under_bursty_loss(
+        ge_cfg in ge_strategy(),
+        seed in any::<u64>(),
+        requests in 5u64..40,
+    ) {
+        let ge_cfg = ge_cfg.validated().map_err(|e| {
+            TestCaseError::fail(format!("strategy produced invalid config: {e}"))
+        })?;
+        let mut channel = GilbertElliott::new(ge_cfg);
+        let mut rng = SimRng::seed_from(seed);
+        let mut retx = BlockRetx::new(RetxConfig {
+            initial_timeout: SimDuration::millis(10),
+            max_attempts: 6,
+            ..RetxConfig::default()
+        });
+        let mut clock = Clock(SimTime::ZERO);
+        let mut outcomes = 0u64;
+        let mut losses = 0u64;
+
+        for i in 0..requests {
+            let req = RequestId(i);
+            let (mut wire, _) = retx.send(req, clock.tick());
+            loop {
+                if channel.step(&mut rng) {
+                    // The channel ate this transmission: only the timer fires.
+                    losses += 1;
+                    match retx.on_timeout(wire, clock.tick()) {
+                        TimeoutAction::Retransmit { new_wire_id, .. } => wire = new_wire_id,
+                        TimeoutAction::DeviceError { guest_req } => {
+                            prop_assert_eq!(guest_req, req);
+                            outcomes += 1;
+                            break;
+                        }
+                        TimeoutAction::Stale => prop_assert!(false, "live timer was stale"),
+                    }
+                } else {
+                    prop_assert_eq!(
+                        retx.on_response(wire, clock.tick()),
+                        ResponseAction::Accept { guest_req: req }
+                    );
+                    outcomes += 1;
+                    break;
+                }
+            }
+        }
+
+        prop_assert_eq!(outcomes, requests, "exactly one outcome per request");
+        prop_assert_eq!(retx.outstanding(), 0);
+        prop_assert_eq!(retx.stats.completed + retx.stats.device_errors, requests);
+        // Attempt accounting closes: every attempt was either eaten by the
+        // channel (and timed out) or was the one that completed its request.
+        prop_assert_eq!(
+            retx.stats.sent + retx.stats.retransmissions,
+            losses + retx.stats.completed
+        );
     }
 }
