@@ -1,0 +1,76 @@
+//! CI validator for the JSON artifacts `repro` emits.
+//!
+//! ```text
+//! checkjson FILE                        # must parse as JSON
+//! checkjson FILE --chrome               # must be a Chrome trace-event array
+//! checkjson FILE --require models.vrio.breakdown.stage_sum_us ...
+//! ```
+//!
+//! `--chrome` checks the document is a non-empty array whose elements all
+//! carry the `ph`/`ts`/`pid`/`tid`/`name` keys Perfetto's loader requires.
+//! Each `--require` takes a dotted path that must resolve through nested
+//! objects. Exits 0 when every check passes, 1 otherwise.
+
+use vrio_trace::Json;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("checkjson: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file: Option<String> = None;
+    let mut chrome = false;
+    let mut requires: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--chrome" => chrome = true,
+            "--require" => match it.next() {
+                Some(p) => requires.push(p),
+                None => fail("--require needs a dotted path argument"),
+            },
+            _ if a.starts_with("--") => fail(&format!("unknown flag {a}")),
+            _ if file.is_none() => file = Some(a),
+            _ => fail("more than one input file given"),
+        }
+    }
+    let Some(file) = file else {
+        fail("usage: checkjson FILE [--chrome] [--require dotted.path]...");
+    };
+
+    let text = std::fs::read_to_string(&file)
+        .unwrap_or_else(|e| fail(&format!("cannot read {file}: {e}")));
+    let doc =
+        Json::parse(&text).unwrap_or_else(|e| fail(&format!("{file} is not valid JSON: {e}")));
+
+    if chrome {
+        let arr = doc
+            .as_array()
+            .unwrap_or_else(|| fail(&format!("{file}: top level is not an array")));
+        if arr.is_empty() {
+            fail(&format!("{file}: trace array is empty"));
+        }
+        for (i, ev) in arr.iter().enumerate() {
+            for key in ["ph", "ts", "pid", "tid", "name"] {
+                if ev.get(key).is_none() {
+                    fail(&format!("{file}: event {i} is missing \"{key}\""));
+                }
+            }
+        }
+        println!("{file}: valid chrome trace, {} events", arr.len());
+    }
+
+    for path in &requires {
+        if doc.get_path(path).is_none() {
+            fail(&format!("{file}: required path \"{path}\" not found"));
+        }
+    }
+    if !requires.is_empty() {
+        println!("{file}: all {} required paths present", requires.len());
+    }
+    if !chrome && requires.is_empty() {
+        println!("{file}: valid JSON");
+    }
+}

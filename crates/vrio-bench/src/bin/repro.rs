@@ -5,9 +5,60 @@
 //! repro --all            # everything (full preset)
 //! repro --quick --all    # everything, short runs
 //! repro --fig7 --tab3    # selected experiments
+//! repro --quick --tab3 --trace /tmp/t --json /tmp/j
+//!                        # ...plus the instrumented observability pass:
+//!                        # TRACE_tab3.json (Perfetto) and BENCH_tab3.json
 //! ```
 
 use vrio_bench::*;
+use vrio_trace::Json;
+
+/// Tracks every file written so the run can list them at exit, and turns
+/// write failures into a clear message instead of a panic.
+#[derive(Default)]
+struct Outputs {
+    written: Vec<String>,
+}
+
+impl Outputs {
+    fn ensure_dir(dir: &str) {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("repro: cannot create output directory {dir}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    fn write(&mut self, path: String, content: &str) {
+        if let Err(e) = std::fs::write(&path, content) {
+            eprintln!("repro: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        self.written.push(path);
+    }
+
+    fn report(&self) {
+        if !self.written.is_empty() {
+            println!("\nfiles written:");
+            for f in &self.written {
+                println!("  {f}");
+            }
+        }
+    }
+}
+
+/// Re-tags a `BENCH_*` document's `experiment` key. The instrumented pass
+/// itself is experiment-independent (it is the canonical RR lifecycle), so
+/// it runs once and is stamped per selected experiment.
+fn with_experiment(mut doc: Json, name: &str) -> Json {
+    if let Json::Obj(ref mut pairs) = doc {
+        for (k, v) in pairs.iter_mut() {
+            if k == "experiment" {
+                *v = Json::str(name);
+            }
+        }
+    }
+    doc
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -18,18 +69,25 @@ fn main() {
         ReproConfig::full()
     };
 
-    // --out DIR: additionally write each report to DIR/<experiment>.txt.
-    let out_dir = args.iter().position(|a| a == "--out").map(|i| {
-        let dir = args.get(i + 1).cloned().unwrap_or_else(|| {
-            eprintln!("--out requires a directory argument");
-            std::process::exit(2);
-        });
-        args.drain(i..=i + 1);
-        dir
-    });
-    if let Some(dir) = &out_dir {
-        std::fs::create_dir_all(dir).expect("create output directory");
+    // --out/--trace/--json DIR: each takes a directory argument and is
+    // removed from the argument list before experiment selection.
+    let mut dir_flag = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            let dir = args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{flag} requires a directory argument");
+                std::process::exit(2);
+            });
+            args.drain(i..=i + 1);
+            dir
+        })
+    };
+    let out_dir = dir_flag("--out");
+    let trace_dir = dir_flag("--trace");
+    let json_dir = dir_flag("--json");
+    for dir in [&out_dir, &trace_dir, &json_dir].into_iter().flatten() {
+        Outputs::ensure_dir(dir);
     }
+    let mut outputs = Outputs::default();
 
     let all = args.iter().any(|a| a == "--all") || args.iter().all(|a| a == "--quick");
 
@@ -68,15 +126,29 @@ fn main() {
         }
     }
 
+    // The instrumented observability pass (5 traced RR runs) is computed
+    // lazily, at most once, when --trace/--json ask for its artifacts.
+    let mut obs: Option<ObsReport> = None;
+
     let mut ran = 0;
     for (flag, run) in &experiments {
         if want(flag) {
             let report = run();
             println!("{}", "=".repeat(74));
             println!("{report}");
+            let name = flag.trim_start_matches("--");
             if let Some(dir) = &out_dir {
-                let name = flag.trim_start_matches("--");
-                std::fs::write(format!("{dir}/{name}.txt"), &report).expect("write report file");
+                outputs.write(format!("{dir}/{name}.txt"), &report);
+            }
+            if trace_dir.is_some() || json_dir.is_some() {
+                let rep = obs.get_or_insert_with(|| latency_breakdown(rc, "all"));
+                if let Some(dir) = &trace_dir {
+                    outputs.write(format!("{dir}/TRACE_{name}.json"), &rep.chrome);
+                }
+                if let Some(dir) = &json_dir {
+                    let doc = with_experiment(rep.json.clone(), name);
+                    outputs.write(format!("{dir}/BENCH_{name}.json"), &doc.render_pretty());
+                }
             }
             ran += 1;
         }
@@ -85,4 +157,9 @@ fn main() {
         eprintln!("nothing selected; try --all or one of {}", known.join(" "));
         std::process::exit(2);
     }
+    if let Some(rep) = &obs {
+        println!("{}", "=".repeat(74));
+        println!("{}", rep.text);
+    }
+    outputs.report();
 }

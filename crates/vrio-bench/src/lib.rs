@@ -10,10 +10,12 @@
 #![warn(missing_docs)]
 
 mod cost_exps;
+mod obs;
 mod report;
 mod sys_exps;
 
 pub use cost_exps::{fig1, fig2, fig3, tab1, tab2};
+pub use obs::{latency_breakdown, ObsReport};
 pub use report::{downsample, f, render_reliability, render_table, sparkline};
 pub use sys_exps::{
     failover, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig5, fig7, fig8, fig9, hetero,

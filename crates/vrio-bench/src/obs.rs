@@ -1,0 +1,145 @@
+//! The instrumented observability pass: traced netperf RR runs across all
+//! five I/O models, producing the machine-readable `BENCH_*.json` latency
+//! breakdown and a Perfetto-loadable Chrome trace.
+//!
+//! Where the rest of this crate reproduces the paper's *numbers*, this
+//! module reproduces its *accounting*: per-request lifecycle spans decompose
+//! the end-to-end RR latency into stage components (guest enqueue → kick →
+//! wire → worker pickup → backend → interrupt → completion), whose means sum
+//! exactly to the end-to-end mean by construction.
+
+use vrio::TestbedConfig;
+use vrio_hv::IoModel;
+use vrio_trace::{
+    render_chrome_trace, Json, MetricsRegistry, Stage, TraceConfig, TraceExport,
+    REPORT_SCHEMA_VERSION,
+};
+use vrio_workloads::netperf_rr;
+
+use crate::report::{f, render_table};
+use crate::sys_exps::ReproConfig;
+
+/// Everything the instrumented pass produces: a human-readable stage table,
+/// the stable-schema JSON report, and the Chrome trace-event document.
+#[derive(Debug)]
+pub struct ObsReport {
+    /// Plain-text per-model stage breakdown table.
+    pub text: String,
+    /// The `BENCH_*.json` document (schema [`REPORT_SCHEMA_VERSION`]).
+    pub json: Json,
+    /// Chrome trace-event JSON array (load in Perfetto / `chrome://tracing`).
+    pub chrome: String,
+}
+
+/// Runs one traced netperf RR pass per I/O model and assembles the latency
+/// breakdown report.
+///
+/// `experiment` only tags the JSON document (`"experiment"` key); the
+/// instrumented workload is always the canonical single-VM RR loop, the
+/// lifecycle every model shares.
+pub fn latency_breakdown(rc: ReproConfig, experiment: &str) -> ObsReport {
+    let mut exports: Vec<TraceExport> = Vec::new();
+    let mut models: Vec<(String, Json)> = Vec::new();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    for model in IoModel::ALL {
+        let mut c = TestbedConfig::simple(model, 1);
+        c.trace = TraceConfig::memory();
+        let r = netperf_rr(c, rc.duration / 2);
+
+        let mut metrics = MetricsRegistry::new();
+        r.counters.record(&mut metrics);
+        r.reliability.record(&mut metrics);
+
+        let breakdown = r.trace.breakdown();
+        let kb = breakdown
+            .kind("net_rr")
+            .expect("traced RR run records net_rr spans");
+
+        let mut row = vec![model.to_string()];
+        for s in Stage::ALL {
+            row.push(f(kb.stage_mean_us(s)));
+        }
+        row.push(f(kb.total.mean()));
+        rows.push(row);
+
+        models.push((
+            model.name().to_string(),
+            Json::obj(vec![
+                ("mean_latency_us", Json::Num(r.mean_latency_us)),
+                ("requests_per_sec", Json::Num(r.requests_per_sec)),
+                ("breakdown", kb.to_json()),
+                ("metrics", metrics.to_json()),
+            ]),
+        ));
+        exports.push(r.trace.export());
+    }
+
+    let mut headers: Vec<String> = vec!["I/O model".to_string()];
+    headers.extend(Stage::ALL.iter().map(|s| s.name().to_string()));
+    headers.push("total".to_string());
+    let header_refs: Vec<&str> = headers.iter().map(|h| h.as_str()).collect();
+    let mut text =
+        String::from("Latency breakdown — mean usec per request-response, by lifecycle stage\n\n");
+    text.push_str(&render_table(&header_refs, &rows));
+    text.push_str("\nstage means sum exactly to the end-to-end mean by construction\n");
+
+    let json = Json::obj(vec![
+        ("schema_version", Json::int(REPORT_SCHEMA_VERSION)),
+        ("experiment", Json::str(experiment)),
+        ("workload", Json::str("netperf_rr")),
+        (
+            "duration_ms",
+            Json::Num((rc.duration / 2).as_secs_f64() * 1e3),
+        ),
+        ("models", Json::Obj(models)),
+    ]);
+
+    let chrome = render_chrome_trace(&exports);
+
+    ObsReport { text, json, chrome }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_sums_and_schema_hold() {
+        let rc = ReproConfig {
+            duration: vrio_sim::SimDuration::millis(20),
+            tail_duration: vrio_sim::SimDuration::millis(20),
+        };
+        let rep = latency_breakdown(rc, "smoke");
+        // Stable top-level schema.
+        assert_eq!(
+            rep.json.get("schema_version").and_then(Json::as_f64),
+            Some(REPORT_SCHEMA_VERSION as f64)
+        );
+        let models = rep.json.get("models").expect("models key");
+        for model in IoModel::ALL {
+            let m = models.get(model.name()).expect("per-model entry");
+            let mean = m
+                .get_path("breakdown.mean_latency_us")
+                .and_then(Json::as_f64)
+                .unwrap();
+            let sum = m
+                .get_path("breakdown.stage_sum_us")
+                .and_then(Json::as_f64)
+                .unwrap();
+            assert!(
+                (sum - mean).abs() <= 0.01 * mean,
+                "{model}: stage sum {sum} vs mean {mean}"
+            );
+        }
+        // The chrome document is a valid event array.
+        let doc = Json::parse(&rep.chrome).unwrap();
+        let arr = doc.as_array().unwrap();
+        assert!(arr.len() > 100);
+        for ev in arr.iter().take(50) {
+            for key in ["ph", "ts", "pid", "tid", "name"] {
+                assert!(ev.get(key).is_some(), "missing {key}");
+            }
+        }
+    }
+}

@@ -152,8 +152,8 @@ pub fn tab4(rc: ReproConfig) -> String {
     ];
     for model in [IoModel::Optimum, IoModel::Elvis, IoModel::Vrio] {
         let c = cfg(model, 1).with_tails();
-        let mut r = netperf_rr(c, rc.tail_duration);
-        let p = tail_percentiles(&mut r.histogram);
+        let r = netperf_rr(c, rc.tail_duration);
+        let p = tail_percentiles(&r.histogram);
         for (i, &(_, v)) in p.iter().enumerate() {
             rows[i].push(f(v));
         }

@@ -97,6 +97,15 @@ impl EventCounters {
         self.iohost_interrupts += other.iohost_interrupts;
     }
 
+    /// Folds these counters into a metrics registry under `events.*`.
+    pub fn record(&self, m: &mut vrio_trace::MetricsRegistry) {
+        m.counter_add("events.sync_exits", self.sync_exits);
+        m.counter_add("events.guest_interrupts", self.guest_interrupts);
+        m.counter_add("events.interrupt_injections", self.interrupt_injections);
+        m.counter_add("events.host_interrupts", self.host_interrupts);
+        m.counter_add("events.iohost_interrupts", self.iohost_interrupts);
+    }
+
     /// Divides all counters by `n` (for per-request averages).
     pub fn per_request(&self, n: u64) -> EventCounters {
         assert!(n > 0);
@@ -166,6 +175,28 @@ impl ReliabilityCounters {
         self.injected_losses += other.injected_losses;
         self.injected_delay_spikes += other.injected_delay_spikes;
         self.injected_duplicates += other.injected_duplicates;
+    }
+
+    /// Folds these counters into a metrics registry under `reliability.*`.
+    pub fn record(&self, m: &mut vrio_trace::MetricsRegistry) {
+        m.counter_add("reliability.block_sent", self.block_sent);
+        m.counter_add("reliability.block_completed", self.block_completed);
+        m.counter_add("reliability.retransmissions", self.retransmissions);
+        m.counter_add("reliability.device_errors", self.device_errors);
+        m.counter_add("reliability.stale_responses", self.stale_responses);
+        m.counter_add("reliability.rtt_samples", self.rtt_samples);
+        m.counter_add("reliability.heartbeats_sent", self.heartbeats_sent);
+        m.counter_add("reliability.heartbeat_acks", self.heartbeat_acks);
+        m.counter_add("reliability.probes_missed", self.probes_missed);
+        m.counter_add("reliability.failovers", self.failovers);
+        m.counter_add("reliability.failbacks", self.failbacks);
+        m.counter_add("reliability.channel_drops", self.channel_drops);
+        m.counter_add("reliability.injected_losses", self.injected_losses);
+        m.counter_add(
+            "reliability.injected_delay_spikes",
+            self.injected_delay_spikes,
+        );
+        m.counter_add("reliability.injected_duplicates", self.injected_duplicates);
     }
 }
 

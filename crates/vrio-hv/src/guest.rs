@@ -105,6 +105,12 @@ impl GuestCpu {
         self.busy.busy()
     }
 
+    /// The VCPU's completed busy intervals `(start, end)`, for replay as a
+    /// per-vCPU "thread" track in Chrome-trace exports.
+    pub fn busy_intervals(&self) -> &[(SimTime, SimTime)] {
+        self.busy.intervals()
+    }
+
     /// Utilization over `[0, horizon)`.
     pub fn utilization(&self, horizon: SimTime) -> f64 {
         self.busy.utilization(horizon)

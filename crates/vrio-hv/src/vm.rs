@@ -10,7 +10,7 @@ use bytes::Bytes;
 use vrio_block::{BlockKind, BlockRequest, RequestId};
 use vrio_virtio::{
     BlkHdr, BlkReqKind, DescChain, DeviceQueue, DriverQueue, GuestAddr, GuestMemory, NetHdr,
-    QueueError, VirtqueueLayout, BLK_HDR_SIZE, BLK_S_OK, NET_HDR_SIZE,
+    QueueError, RingOps, VirtqueueLayout, BLK_HDR_SIZE, BLK_S_OK, NET_HDR_SIZE,
 };
 
 use crate::guest::GuestCpu;
@@ -271,6 +271,19 @@ impl Vm {
     /// The blk device's submit/complete counters.
     pub fn blk_counters(&self) -> (u64, u64) {
         (self.blk.submitted, self.blk.completed)
+    }
+
+    /// Aggregated virtqueue operation counters across all of this VM's
+    /// queues (net tx/rx and blk, driver and device halves), for the
+    /// observability layer's `virtio.*` metrics.
+    pub fn ring_ops(&self) -> RingOps {
+        let mut ops = self.net.tx_drv.ops();
+        ops.add(&self.net.tx_dev.ops());
+        ops.add(&self.net.rx_drv.ops());
+        ops.add(&self.net.rx_dev.ops());
+        ops.add(&self.blk.drv.ops());
+        ops.add(&self.blk.dev.ops());
+        ops
     }
 
     // ---- net front-end (guest side) -------------------------------------

@@ -14,7 +14,8 @@
 //! at all — wiring the injector into an existing simulation leaves every
 //! established RNG stream untouched until a knob is actually turned on.
 
-use vrio_sim::{SimDuration, SimRng};
+use vrio_sim::{SimDuration, SimRng, SimTime};
+use vrio_trace::Tracer;
 
 /// Parameters of the two-state Gilbert–Elliott loss chain.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -209,6 +210,10 @@ pub struct FaultInjector {
     ge: Option<GilbertElliott>,
     /// Accounting, exposed for reliability reports.
     pub stats: FaultStats,
+    /// Observe-only trace hook: injections emit instant markers on this
+    /// tracer (inert by default). Never draws randomness.
+    tracer: Tracer,
+    tracer_tid: u32,
 }
 
 impl FaultInjector {
@@ -219,12 +224,22 @@ impl FaultInjector {
             config,
             ge: config.ge.map(GilbertElliott::new),
             stats: FaultStats::default(),
+            tracer: Tracer::off(),
+            tracer_tid: 0,
         }
     }
 
     /// The configuration in force.
     pub fn config(&self) -> FaultConfig {
         self.config
+    }
+
+    /// Attaches a tracer: subsequent `*_at` injections emit instant trace
+    /// markers on track `tid`. Purely observational — attaching a tracer
+    /// never changes which faults fire.
+    pub fn set_tracer(&mut self, tracer: Tracer, tid: u32) {
+        self.tracer = tracer;
+        self.tracer_tid = tid;
     }
 
     /// Offers one frame to the bursty-loss model; `true` means drop it.
@@ -268,6 +283,39 @@ impl FaultInjector {
         let dup = rng.chance(self.config.duplicate_prob);
         if dup {
             self.stats.duplicates += 1;
+        }
+        dup
+    }
+
+    /// [`FaultInjector::drop_frame`] plus an instant `fault_loss` trace
+    /// marker when the frame is dropped. Identical RNG behaviour.
+    pub fn drop_frame_at(&mut self, rng: &mut SimRng, now: SimTime) -> bool {
+        let lost = self.drop_frame(rng);
+        if lost {
+            self.tracer.instant("fault_loss", self.tracer_tid, now);
+        }
+        lost
+    }
+
+    /// [`FaultInjector::traversal_delay`] plus an instant
+    /// `fault_delay_spike` trace marker when a spike fires. Identical RNG
+    /// behaviour.
+    pub fn traversal_delay_at(&mut self, rng: &mut SimRng, now: SimTime) -> SimDuration {
+        let d = self.traversal_delay(rng);
+        if !d.is_zero() {
+            self.tracer
+                .instant("fault_delay_spike", self.tracer_tid, now);
+        }
+        d
+    }
+
+    /// [`FaultInjector::duplicate_response`] plus an instant
+    /// `fault_duplicate` trace marker when a duplication fires. Identical
+    /// RNG behaviour.
+    pub fn duplicate_response_at(&mut self, rng: &mut SimRng, now: SimTime) -> bool {
+        let dup = self.duplicate_response(rng);
+        if dup {
+            self.tracer.instant("fault_duplicate", self.tracer_tid, now);
         }
         dup
     }

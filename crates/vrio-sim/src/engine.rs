@@ -65,6 +65,8 @@ pub struct Engine<W> {
     seq: u64,
     fired: u64,
     queue: BinaryHeap<Scheduled<W>>,
+    /// Observe-only hook fired once per event (see [`Engine::set_probe`]).
+    probe: Option<Box<dyn FnMut(SimTime)>>,
 }
 
 impl<W> Default for Engine<W> {
@@ -81,7 +83,25 @@ impl<W> Engine<W> {
             seq: 0,
             fired: 0,
             queue: BinaryHeap::new(),
+            probe: None,
         }
+    }
+
+    /// Installs an observe-only probe called with the firing time of every
+    /// event, just before its callback runs (the tracing layer's event-fire
+    /// hook). The probe cannot schedule events or touch the world, so it
+    /// cannot perturb the simulation; replacing or clearing it does not
+    /// affect reproducibility.
+    pub fn set_probe<F>(&mut self, f: F)
+    where
+        F: FnMut(SimTime) + 'static,
+    {
+        self.probe = Some(Box::new(f));
+    }
+
+    /// Removes the event probe.
+    pub fn clear_probe(&mut self) {
+        self.probe = None;
     }
 
     /// The current simulated time.
@@ -149,6 +169,9 @@ impl<W> Engine<W> {
                 debug_assert!(ev.at >= self.now);
                 self.now = ev.at;
                 self.fired += 1;
+                if let Some(probe) = &mut self.probe {
+                    probe(ev.at);
+                }
                 (ev.f)(world, self);
                 true
             }

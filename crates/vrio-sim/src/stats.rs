@@ -2,6 +2,8 @@
 //! percentiles (Table 4), and busy-time tracking for per-core CPU
 //! utilization traces (Figure 15).
 
+use std::cell::{Cell, RefCell};
+
 use crate::time::{SimDuration, SimTime};
 
 /// Streaming mean / variance / min / max (Welford's algorithm).
@@ -78,19 +80,26 @@ impl OnlineStats {
         self.variance().sqrt()
     }
 
-    /// Smallest sample (0 if empty).
+    /// Smallest sample.
+    ///
+    /// Returns `f64::NAN` on an empty accumulator (rather than leaking the
+    /// `+∞` seed or a misleading `0.0`): an empty extremum has no meaningful
+    /// value, and NaN propagates loudly through downstream arithmetic while
+    /// comparisons against it are always false.
     pub fn min(&self) -> f64 {
         if self.count == 0 {
-            0.0
+            f64::NAN
         } else {
             self.min
         }
     }
 
-    /// Largest sample (0 if empty).
+    /// Largest sample.
+    ///
+    /// Returns `f64::NAN` on an empty accumulator; see [`OnlineStats::min`].
     pub fn max(&self) -> f64 {
         if self.count == 0 {
-            0.0
+            f64::NAN
         } else {
             self.max
         }
@@ -116,23 +125,27 @@ impl OnlineStats {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Histogram {
-    samples: Vec<f64>,
-    sorted: bool,
+    /// Sample store behind interior mutability: percentile queries are
+    /// logically reads, so they lazily sort in place through the `RefCell`
+    /// and take `&self`. The simulation is single-threaded, and no borrow
+    /// is held across user code, so the runtime borrow can never conflict.
+    samples: RefCell<Vec<f64>>,
+    sorted: Cell<bool>,
 }
 
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
         Histogram {
-            samples: Vec::new(),
-            sorted: true,
+            samples: RefCell::new(Vec::new()),
+            sorted: Cell::new(true),
         }
     }
 
     /// Adds a sample.
     pub fn push(&mut self, x: f64) {
-        self.samples.push(x);
-        self.sorted = false;
+        self.samples.get_mut().push(x);
+        self.sorted.set(false);
     }
 
     /// Adds a duration sample in microseconds.
@@ -142,45 +155,51 @@ impl Histogram {
 
     /// Number of samples.
     pub fn count(&self) -> usize {
-        self.samples.len()
+        self.samples.borrow().len()
     }
 
     /// Returns `true` if no samples were recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.samples.borrow().is_empty()
     }
 
     /// Sample mean (0 if empty).
     pub fn mean(&self) -> f64 {
-        if self.samples.is_empty() {
+        let samples = self.samples.borrow();
+        if samples.is_empty() {
             0.0
         } else {
-            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+            samples.iter().sum::<f64>() / samples.len() as f64
         }
     }
 
-    fn ensure_sorted(&mut self) {
-        if !self.sorted {
+    fn ensure_sorted(&self) {
+        if !self.sorted.get() {
             self.samples
+                .borrow_mut()
                 .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in histogram"));
-            self.sorted = true;
+            self.sorted.set(true);
         }
     }
 
     /// The `p`-th percentile (nearest-rank method), `p` in `[0, 100]`.
     /// Returns 0 if empty.
-    pub fn percentile(&mut self, p: f64) -> f64 {
-        if self.samples.is_empty() {
+    ///
+    /// The first query after a push sorts the samples (cached until the
+    /// next push), so read-style accessors take `&self`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        self.ensure_sorted();
+        let samples = self.samples.borrow();
+        if samples.is_empty() {
             return 0.0;
         }
-        self.ensure_sorted();
-        let n = self.samples.len();
+        let n = samples.len();
         let rank = ((p / 100.0) * n as f64).ceil() as usize;
-        self.samples[rank.clamp(1, n) - 1]
+        samples[rank.clamp(1, n) - 1]
     }
 
     /// The largest sample (0 if empty).
-    pub fn max(&mut self) -> f64 {
+    pub fn max(&self) -> f64 {
         self.percentile(100.0)
     }
 }
@@ -265,6 +284,13 @@ impl BusyTracker {
         self.busy.as_secs_f64() / horizon.as_secs_f64()
     }
 
+    /// The completed busy intervals `(start, end)`, contiguous work
+    /// coalesced. Observability consumers replay these as per-core "busy"
+    /// slices on Chrome-trace thread tracks.
+    pub fn intervals(&self) -> &[(SimTime, SimTime)] {
+        &self.intervals
+    }
+
     /// Busy fraction per window of width `window` over `[0, horizon)`;
     /// the trace behind the paper's Figure 15 CPU plots.
     pub fn utilization_trace(&self, horizon: SimTime, window: SimDuration) -> Vec<f64> {
@@ -300,7 +326,9 @@ mod tests {
     fn online_stats_basics() {
         let mut s = OnlineStats::new();
         assert_eq!(s.mean(), 0.0);
-        assert_eq!(s.min(), 0.0);
+        // Empty extrema are NaN, not the infinity seeds (or a fake 0.0).
+        assert!(s.min().is_nan());
+        assert!(s.max().is_nan());
         s.push(1.0);
         s.push(3.0);
         assert_eq!(s.count(), 2);
@@ -326,7 +354,7 @@ mod tests {
 
     #[test]
     fn histogram_empty_is_zero() {
-        let mut h = Histogram::new();
+        let h = Histogram::new();
         assert_eq!(h.percentile(50.0), 0.0);
         assert_eq!(h.max(), 0.0);
         assert!(h.is_empty());

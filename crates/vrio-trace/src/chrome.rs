@@ -1,0 +1,112 @@
+//! Chrome trace-event JSON export (the "JSON array format" accepted by
+//! Perfetto and `chrome://tracing`).
+//!
+//! Each [`TraceExport`] becomes one *process* in the trace (pid = testbed /
+//! `IoModel`); VM vCPUs, sidecore workers and per-VM request tracks are
+//! *threads* within it. Timestamps are microseconds (Chrome's unit) derived
+//! from integer simulation nanoseconds.
+
+use crate::json::Json;
+use crate::tracer::{EventPhase, TraceExport};
+
+fn us(nanos: u64) -> Json {
+    Json::Num(nanos as f64 / 1000.0)
+}
+
+/// Renders one or more tracer exports as a Chrome trace-event JSON array.
+///
+/// The output is a single JSON array of event objects, each carrying the
+/// `ph`/`ts`/`pid`/`tid`/`name` keys Perfetto's loader requires: `"M"`
+/// metadata events naming processes and threads, `"X"` complete events for
+/// slices, and `"i"` instant events for markers.
+pub fn render_chrome_trace(exports: &[TraceExport]) -> String {
+    let mut events: Vec<Json> = Vec::new();
+    for ex in exports {
+        events.push(Json::obj(vec![
+            ("ph", Json::str("M")),
+            ("name", Json::str("process_name")),
+            ("pid", Json::int(ex.pid as u64)),
+            ("tid", Json::int(0)),
+            ("ts", Json::int(0)),
+            (
+                "args",
+                Json::obj(vec![("name", Json::str(&ex.process_name))]),
+            ),
+        ]));
+        for (tid, tname) in &ex.thread_names {
+            events.push(Json::obj(vec![
+                ("ph", Json::str("M")),
+                ("name", Json::str("thread_name")),
+                ("pid", Json::int(ex.pid as u64)),
+                ("tid", Json::int(*tid as u64)),
+                ("ts", Json::int(0)),
+                ("args", Json::obj(vec![("name", Json::str(tname))])),
+            ]));
+        }
+        for ev in &ex.events {
+            let mut pairs = vec![
+                (
+                    "ph",
+                    Json::str(match ev.phase {
+                        EventPhase::Complete => "X",
+                        EventPhase::Instant => "i",
+                    }),
+                ),
+                ("name", Json::str(ev.name)),
+                ("cat", Json::str("vrio")),
+                ("pid", Json::int(ex.pid as u64)),
+                ("tid", Json::int(ev.tid as u64)),
+                ("ts", us(ev.ts.as_nanos())),
+            ];
+            match ev.phase {
+                EventPhase::Complete => {
+                    pairs.push(("dur", us(ev.dur.as_nanos())));
+                }
+                EventPhase::Instant => {
+                    // Thread-scoped instant marker.
+                    pairs.push(("s", Json::str("t")));
+                }
+            }
+            if ev.req != 0 {
+                pairs.push(("args", Json::obj(vec![("req", Json::int(ev.req))])));
+            }
+            events.push(Json::obj(pairs));
+        }
+    }
+    Json::Arr(events).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::{Stage, TraceConfig, Tracer};
+    use vrio_sim::SimTime;
+
+    #[test]
+    fn export_is_valid_event_array() {
+        let t = Tracer::new(&TraceConfig::memory_with_capacity(64));
+        t.set_process(3, "vrio");
+        t.set_thread_name(1000, "vm0 requests");
+        let s = t.begin("rr", 1000, Stage::GuestEnqueue, SimTime::from_nanos(100));
+        t.mark(s, Stage::Wire, SimTime::from_nanos(600));
+        t.end(s, SimTime::from_nanos(2100));
+        t.instant("sync_exit", 1000, SimTime::from_nanos(150));
+
+        let text = render_chrome_trace(&[t.export()]);
+        let doc = Json::parse(&text).unwrap();
+        let arr = doc.as_array().expect("top-level array");
+        assert!(arr.len() >= 5);
+        for ev in arr {
+            for key in ["ph", "ts", "pid", "tid", "name"] {
+                assert!(ev.get(key).is_some(), "event missing {key}: {ev:?}");
+            }
+        }
+        // The request slice spans the whole lifetime in microseconds.
+        let rr = arr
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("rr"))
+            .unwrap();
+        assert_eq!(rr.get("ts").and_then(Json::as_f64), Some(0.1));
+        assert_eq!(rr.get("dur").and_then(Json::as_f64), Some(2.0));
+    }
+}

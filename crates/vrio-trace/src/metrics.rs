@@ -1,0 +1,126 @@
+//! A registry of named counters, gauges and log-bucketed histograms.
+//!
+//! Experiments populate a [`MetricsRegistry`] from the testbed's event /
+//! reliability / virtqueue counters and export it inside `BENCH_*.json`
+//! reports, giving future PRs a stable machine-readable perf trajectory.
+//! Names are dotted paths (`"virtio.kicks"`, `"retx.timeouts"`); the
+//! registry stores them in sorted order so rendered output is deterministic.
+
+use std::collections::BTreeMap;
+
+use crate::hist::LogHistogram;
+use crate::json::Json;
+
+/// Named counters (u64), gauges (f64) and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, LogHistogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the named counter (creating it at zero).
+    pub fn counter_add(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets the named gauge.
+    pub fn gauge_set(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Current value of a gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, created empty on first use.
+    pub fn hist_mut(&mut self, name: &str) -> &mut LogHistogram {
+        self.hists.entry(name.to_string()).or_default()
+    }
+
+    /// The named histogram, if any samples were recorded under it.
+    pub fn hist(&self, name: &str) -> Option<&LogHistogram> {
+        self.hists.get(name)
+    }
+
+    /// Iterates counters in sorted-name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates gauges in sorted-name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Renders the registry as a JSON object with stable key order:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {name:
+    /// {count, mean, p50, p99, max}}}`.
+    pub fn to_json(&self) -> Json {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::int(*v)))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Num(*v)))
+            .collect();
+        let hists = self
+            .hists
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    Json::obj(vec![
+                        ("count", Json::int(h.count())),
+                        ("mean", Json::Num(h.mean())),
+                        ("p50", Json::Num(h.percentile(50.0))),
+                        ("p99", Json::Num(h.percentile(99.0))),
+                        ("max", Json::Num(if h.is_empty() { 0.0 } else { h.max() })),
+                    ]),
+                )
+            })
+            .collect();
+        Json::Obj(vec![
+            ("counters".to_string(), Json::Obj(counters)),
+            ("gauges".to_string(), Json::Obj(gauges)),
+            ("histograms".to_string(), Json::Obj(hists)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("a.exits", 3);
+        m.counter_add("a.exits", 2);
+        m.gauge_set("util", 0.75);
+        m.hist_mut("lat").push(10.0);
+        assert_eq!(m.counter("a.exits"), 5);
+        assert_eq!(m.gauge("util"), Some(0.75));
+        let j = m.to_json();
+        assert!(j.get_path("counters.a.exits").is_none()); // dotted names are flat keys
+        assert!(j.get("counters").unwrap().get("a.exits").is_some());
+        assert!(j.get_path("histograms").is_some());
+        // Rendered output must be parseable JSON.
+        assert!(Json::parse(&j.render()).is_ok());
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests: [`LogHistogram`] against the exact-sample
+//! [`vrio_sim::Histogram`] it replaces on hot percentile paths.
+//!
+//! The contract under test: for any sample set and any percentile, the
+//! log-bucketed estimate agrees with the exact nearest-rank answer to within
+//! [`LogHistogram::RELATIVE_ERROR_BOUND`] (plus the documented absolute
+//! slack of `1e-9` for sub-`MIN_TRACKED` samples that land in the underflow
+//! bucket), and the side-tracked moments (count, mean, extremes) are exact.
+
+use proptest::prelude::*;
+use vrio_sim::Histogram;
+use vrio_trace::LogHistogram;
+
+const PERCENTILES: [f64; 7] = [0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0];
+
+/// Asserts the two histograms agree at every probed percentile.
+fn check_agreement(exact: &Histogram, log: &LogHistogram) -> Result<(), TestCaseError> {
+    for p in PERCENTILES {
+        let e = exact.percentile(p);
+        let l = log.percentile(p);
+        let rel = if e == 0.0 {
+            (l - e).abs()
+        } else {
+            (l - e).abs() / e.abs()
+        };
+        prop_assert!(
+            rel <= LogHistogram::RELATIVE_ERROR_BOUND || (l - e).abs() <= 1e-9,
+            "p{p}: exact {e} vs log {l} (rel {rel})"
+        );
+    }
+    Ok(())
+}
+
+/// A positive sample spanning ~21 orders of magnitude: `m/1000 · 10^exp`
+/// with `m ∈ [1, 10^6)`, `exp ∈ [-12, 9)`.
+fn sample_strategy() -> impl Strategy<Value = f64> {
+    (1u64..1_000_000, -12i32..9).prop_map(|(m, exp)| (m as f64 / 1.0e3) * 10f64.powi(exp))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn percentiles_agree_with_exact_histogram(
+        samples in proptest::collection::vec(sample_strategy(), 1..400),
+    ) {
+        let mut exact = Histogram::new();
+        let mut log = LogHistogram::new();
+        for &s in &samples {
+            exact.push(s);
+            log.push(s);
+        }
+        prop_assert_eq!(log.count(), samples.len() as u64);
+        check_agreement(&exact, &log)?;
+        // Count and mean are tracked exactly on the side.
+        let exact_mean = exact.mean();
+        let rel = (log.mean() - exact_mean).abs() / exact_mean.abs().max(1e-300);
+        prop_assert!(rel <= 1e-9, "mean: exact {} vs log {}", exact_mean, log.mean());
+        // Extremes are exact (p0/p100 short-circuit to tracked min/max).
+        prop_assert_eq!(log.percentile(100.0), exact.max());
+    }
+
+    #[test]
+    fn narrow_range_percentiles_agree(
+        samples in proptest::collection::vec(1u64..100_000, 1..400),
+    ) {
+        // Latency-like data: a narrow band of microsecond-scale values where
+        // many samples share a bucket.
+        let mut exact = Histogram::new();
+        let mut log = LogHistogram::new();
+        for &s in &samples {
+            let v = s as f64 / 100.0;
+            exact.push(v);
+            log.push(v);
+        }
+        check_agreement(&exact, &log)?;
+    }
+}
+
+#[test]
+fn empty_histograms_agree() {
+    let exact = Histogram::new();
+    let log = LogHistogram::new();
+    for p in PERCENTILES {
+        assert_eq!(exact.percentile(p), 0.0);
+        assert_eq!(log.percentile(p), 0.0);
+    }
+    assert_eq!(log.mean(), exact.mean());
+    assert!(log.min().is_nan());
+    assert!(log.max().is_nan());
+}
+
+#[test]
+fn single_sample_agrees_everywhere() {
+    for v in [1e-15, 4.2e-9, 0.001, 33.7, 1e9, 7.3e18] {
+        let mut exact = Histogram::new();
+        let mut log = LogHistogram::new();
+        exact.push(v);
+        log.push(v);
+        for p in PERCENTILES {
+            assert_eq!(log.percentile(p), exact.percentile(p), "v={v} p={p}");
+        }
+    }
+}
+
+#[test]
+fn extreme_magnitudes_agree_at_the_extremes() {
+    // Values beyond the bucket table in both directions: interior ranks may
+    // clamp, but the extremes (and thus p0/p100) stay exact.
+    let values = [1e-30, 1e-12, 1.0, 1e15, 1e30];
+    let mut exact = Histogram::new();
+    let mut log = LogHistogram::new();
+    for v in values {
+        exact.push(v);
+        log.push(v);
+    }
+    assert_eq!(log.percentile(0.0), exact.percentile(0.0));
+    assert_eq!(log.percentile(100.0), exact.percentile(100.0));
+    assert_eq!(log.count(), values.len() as u64);
+}

@@ -64,6 +64,6 @@ pub use features::{Feature, FeatureSet};
 pub use mem::{GuestAddr, GuestMemory, MemError};
 pub use net::{NetHdr, GSO_NONE, GSO_TCPV4, NET_HDR_SIZE};
 pub use ring::{
-    vring_need_event, DescChain, DeviceQueue, DriverQueue, QueueError, UsedElem, VirtqueueLayout,
-    DESC_F_NEXT, DESC_F_WRITE,
+    vring_need_event, DescChain, DeviceQueue, DriverQueue, QueueError, RingOps, UsedElem,
+    VirtqueueLayout, DESC_F_NEXT, DESC_F_WRITE,
 };

@@ -200,6 +200,40 @@ fn write_desc(
     Ok(())
 }
 
+/// Operation counters for one side of a virtqueue, for the observability
+/// layer's `virtio.*` metrics. Driver-side fields accumulate on a
+/// [`DriverQueue`], device-side fields on a [`DeviceQueue`]; [`RingOps::add`]
+/// folds them together for a whole-device view.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RingOps {
+    /// Chains published on the avail ring ([`DriverQueue::add_chain`]).
+    pub chains_published: u64,
+    /// Completions reaped from the used ring ([`DriverQueue::poll_used`]).
+    pub used_reaped: u64,
+    /// Device notifications due per EVENT_IDX
+    /// ([`DriverQueue::should_notify_device`] returning `true`).
+    pub driver_kicks: u64,
+    /// Chains popped from the avail ring ([`DeviceQueue::pop_avail`]).
+    pub chains_popped: u64,
+    /// Completions pushed on the used ring ([`DeviceQueue::push_used`]).
+    pub used_pushed: u64,
+    /// Driver interrupts due per EVENT_IDX
+    /// ([`DeviceQueue::should_signal_driver`] returning `true`).
+    pub driver_signals: u64,
+}
+
+impl RingOps {
+    /// Accumulates another counter set into this one.
+    pub fn add(&mut self, other: &RingOps) {
+        self.chains_published += other.chains_published;
+        self.used_reaped += other.used_reaped;
+        self.driver_kicks += other.driver_kicks;
+        self.chains_popped += other.chains_popped;
+        self.used_pushed += other.used_pushed;
+        self.driver_signals += other.driver_signals;
+    }
+}
+
 /// A completion reaped from the used ring.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UsedElem {
@@ -252,6 +286,7 @@ pub struct DriverQueue {
     /// The avail index as of the driver's last device notification
     /// (EVENT_IDX suppression state).
     last_notified_avail: u16,
+    ops: RingOps,
 }
 
 impl DriverQueue {
@@ -265,12 +300,18 @@ impl DriverQueue {
             avail_idx: 0,
             last_used_idx: 0,
             last_notified_avail: 0,
+            ops: RingOps::default(),
         }
     }
 
     /// The queue layout.
     pub fn layout(&self) -> &VirtqueueLayout {
         &self.layout
+    }
+
+    /// Driver-side operation counters accumulated since creation.
+    pub fn ops(&self) -> RingOps {
+        self.ops
     }
 
     /// Number of free descriptors.
@@ -332,6 +373,7 @@ impl DriverQueue {
         mem.write_u16_le(self.layout.avail_ring_addr(slot), head)?;
         self.avail_idx = self.avail_idx.wrapping_add(1);
         mem.write_u16_le(self.layout.avail_idx_addr(), self.avail_idx)?;
+        self.ops.chains_published += 1;
         Ok(head)
     }
 
@@ -343,6 +385,7 @@ impl DriverQueue {
         let need = vring_need_event(avail_event, self.avail_idx, self.last_notified_avail);
         if need {
             self.last_notified_avail = self.avail_idx;
+            self.ops.driver_kicks += 1;
         }
         Ok(need)
     }
@@ -380,6 +423,7 @@ impl DriverQueue {
                 cur = read_desc(mem, &self.layout, cur)?.next;
             }
         }
+        self.ops.used_reaped += 1;
         Ok(Some(UsedElem { head, written }))
     }
 }
@@ -443,6 +487,7 @@ pub struct DeviceQueue {
     /// The used index as of the device's last interrupt (EVENT_IDX
     /// suppression state).
     last_signaled_used: u16,
+    ops: RingOps,
 }
 
 impl DeviceQueue {
@@ -453,12 +498,18 @@ impl DeviceQueue {
             last_avail_idx: 0,
             used_idx: 0,
             last_signaled_used: 0,
+            ops: RingOps::default(),
         }
     }
 
     /// The queue layout.
     pub fn layout(&self) -> &VirtqueueLayout {
         &self.layout
+    }
+
+    /// Device-side operation counters accumulated since creation.
+    pub fn ops(&self) -> RingOps {
+        self.ops
     }
 
     /// Whether the driver has published chains we have not popped yet.
@@ -517,6 +568,7 @@ impl DeviceQueue {
             }
             cur = d.next;
         }
+        self.ops.chains_popped += 1;
         Ok(Some(chain))
     }
 
@@ -528,6 +580,7 @@ impl DeviceQueue {
         let need = vring_need_event(used_event, self.used_idx, self.last_signaled_used);
         if need {
             self.last_signaled_used = self.used_idx;
+            self.ops.driver_signals += 1;
         }
         Ok(need)
     }
@@ -553,6 +606,7 @@ impl DeviceQueue {
         mem.write_u32_le(a.offset(4), written)?;
         self.used_idx = self.used_idx.wrapping_add(1);
         mem.write_u16_le(self.layout.used_idx_addr(), self.used_idx)?;
+        self.ops.used_pushed += 1;
         Ok(())
     }
 }
@@ -819,6 +873,29 @@ mod tests {
         assert_eq!(c.head, h);
         dev.push_used(&mut mem, c.head, 0).unwrap();
         assert!(dev.should_signal_driver(&mem).unwrap());
+    }
+
+    #[test]
+    fn ring_ops_count_operations() {
+        let (mut mem, mut drv, mut dev) = setup(8);
+        for _ in 0..3 {
+            drv.add_chain(
+                &mut mem,
+                &[(GuestAddr(0x4000), 4)],
+                &[(GuestAddr(0x5000), 4)],
+            )
+            .unwrap();
+        }
+        while let Some(c) = dev.pop_avail(&mem).unwrap() {
+            dev.push_used(&mut mem, c.head, 4).unwrap();
+        }
+        while drv.poll_used(&mem).unwrap().is_some() {}
+        let mut total = drv.ops();
+        total.add(&dev.ops());
+        assert_eq!(total.chains_published, 3);
+        assert_eq!(total.chains_popped, 3);
+        assert_eq!(total.used_pushed, 3);
+        assert_eq!(total.used_reaped, 3);
     }
 
     #[test]

@@ -13,8 +13,9 @@
 
 use vrio::{blk_request, HasTestbed, Testbed, TestbedConfig};
 use vrio_block::{BlockRequest, RequestId};
-use vrio_hv::IoModel;
+use vrio_hv::{IoModel, ReliabilityCounters};
 use vrio_sim::{Engine, SimDuration, SimTime};
+use vrio_trace::Tracer;
 
 use bytes::Bytes;
 use std::cell::Cell;
@@ -66,6 +67,10 @@ pub struct FilebenchResult {
     /// Per-backend-core utilization traces in 1 ms windows (Fig 15's
     /// curves).
     pub backend_traces: Vec<Vec<f64>>,
+    /// Aggregated reliability accounting for the run.
+    pub reliability: ReliabilityCounters,
+    /// The run's tracer handle (inert when the config left tracing off).
+    pub trace: Tracer,
 }
 
 struct FbWorld {
@@ -274,6 +279,13 @@ pub fn run_filebench_with(
         bursty: matches!(personality, Personality::Webserver { bursty: true }),
     };
     let mut eng: Engine<FbWorld> = Engine::new();
+    // Observe-only probe: count engine event firings on the tracer. The
+    // probe neither schedules nor draws randomness, so enabling it keeps
+    // the run bit-identical.
+    if world.tb.trace.enabled() {
+        let t = world.tb.trace.clone();
+        eng.set_probe(move |_| t.on_engine_event());
+    }
 
     for vm in 0..num_vms {
         match personality {
@@ -338,6 +350,7 @@ pub fn run_filebench_with(
         w.measuring = true
     });
     eng.run(&mut world);
+    world.tb.export_thread_tracks();
 
     let horizon = deadline;
     let window = SimDuration::millis(1);
@@ -364,6 +377,8 @@ pub fn run_filebench_with(
             .iter()
             .map(|b| b.busy.utilization_trace(horizon, window))
             .collect(),
+        reliability: world.tb.reliability_report(),
+        trace: world.tb.trace.clone(),
     }
 }
 

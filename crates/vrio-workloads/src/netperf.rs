@@ -3,8 +3,9 @@
 
 use bytes::Bytes;
 use vrio::{net_request_response, stream_batch, HasTestbed, Testbed, TestbedConfig};
-use vrio_hv::EventCounters;
+use vrio_hv::{EventCounters, ReliabilityCounters};
 use vrio_sim::{Engine, Histogram, SimDuration, SimTime};
+use vrio_trace::Tracer;
 
 /// Results of a netperf RR run.
 #[derive(Debug)]
@@ -21,6 +22,11 @@ pub struct RrResult {
     pub contention: f64,
     /// Accumulated Table 3 event counters.
     pub counters: EventCounters,
+    /// Aggregated reliability accounting for the run.
+    pub reliability: ReliabilityCounters,
+    /// The run's tracer handle (inert when the config left tracing off):
+    /// buffered events, open/ended spans, and the latency breakdown.
+    pub trace: Tracer,
 }
 
 struct RrWorld {
@@ -66,6 +72,13 @@ pub fn netperf_rr(config: TestbedConfig, duration: SimDuration) -> RrResult {
         deadline,
     };
     let mut eng: Engine<RrWorld> = Engine::new();
+    // Observe-only probe: count engine event firings on the tracer. The
+    // probe neither schedules nor draws randomness, so enabling it keeps
+    // the run bit-identical.
+    if world.tb.trace.enabled() {
+        let t = world.tb.trace.clone();
+        eng.set_probe(move |_| t.on_engine_event());
+    }
 
     fn issue(w: &mut RrWorld, eng: &mut Engine<RrWorld>, vm: usize, app: SimDuration) {
         net_request_response(
@@ -100,6 +113,7 @@ pub fn netperf_rr(config: TestbedConfig, duration: SimDuration) -> RrResult {
         }
     });
     eng.run(&mut world);
+    world.tb.export_thread_tracks();
 
     let mean = world.hist.mean();
     RrResult {
@@ -108,6 +122,8 @@ pub fn netperf_rr(config: TestbedConfig, duration: SimDuration) -> RrResult {
         completed: world.completed,
         contention: world.tb.backend_contention(),
         counters: world.tb.counters,
+        reliability: world.tb.reliability_report(),
+        trace: world.tb.trace.clone(),
         histogram: world.hist,
     }
 }
@@ -209,7 +225,7 @@ pub fn netperf_stream(config: TestbedConfig, duration: SimDuration) -> StreamRes
 
 /// Convenience: a latency percentile table from an RR histogram
 /// (the paper's Table 4 rows).
-pub fn tail_percentiles(hist: &mut Histogram) -> [(f64, f64); 4] {
+pub fn tail_percentiles(hist: &Histogram) -> [(f64, f64); 4] {
     [
         (99.9, hist.percentile(99.9)),
         (99.99, hist.percentile(99.99)),

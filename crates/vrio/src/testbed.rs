@@ -21,6 +21,7 @@ use vrio_hv::ReliabilityCounters;
 use vrio_hv::{CostModel, EventCounters, IoModel, Vm, VmId};
 use vrio_net::{segment_message, FaultConfig, FaultInjector, Reassembler, MTU_VRIO_JUMBO};
 use vrio_sim::{BusyTracker, Engine, SimDuration, SimRng, SimTime};
+use vrio_trace::{SpanId, Stage, TraceConfig, Tracer};
 
 use crate::health::{HealthConfig, HealthMonitor, Outage};
 use crate::interpose::{Direction, InterpositionChain, Verdict};
@@ -126,6 +127,10 @@ pub enum Step {
     RingPush(usize),
     /// Mark the packet picked up by its backend (occupancy −1).
     RingPop(usize),
+    /// Record a stage transition on an open trace span. Processed inline
+    /// (never scheduled), so pushing marks into a flow perturbs neither
+    /// event ordering nor RNG streams — traced runs stay bit-identical.
+    Mark(SpanId, Stage),
 }
 
 /// A flow-completion continuation.
@@ -197,6 +202,10 @@ pub fn run_steps<W: HasTestbed>(
                 let p = &mut w.tb().backends[b].pending;
                 *p = p.saturating_sub(1);
             }
+            Step::Mark(span, stage) => {
+                let now = eng.now();
+                w.tb().trace.mark(span, stage, now);
+            }
         }
     }
 }
@@ -263,6 +272,10 @@ pub struct TestbedConfig {
     /// spikes, response duplication. Disabled by default, and a disabled
     /// injector draws no randomness at all.
     pub faults: FaultConfig,
+    /// Request-lifecycle tracing. `Off` by default; enabling it is
+    /// observe-only — the tracer draws no randomness and schedules no
+    /// events, so traced runs are bit-identical to untraced ones.
+    pub trace: TraceConfig,
 }
 
 impl TestbedConfig {
@@ -292,6 +305,7 @@ impl TestbedConfig {
             iohost_outages: Vec::new(),
             health: HealthConfig::default(),
             faults: FaultConfig::default(),
+            trace: TraceConfig::off(),
         }
     }
 
@@ -336,6 +350,20 @@ pub struct BlkOutcome {
     pub status: u8,
     /// Data read (for reads).
     pub data: Bytes,
+}
+
+/// Chrome-trace track (tid) reserved for channel fault-injection markers.
+pub const TRACK_FAULTS: u32 = 900;
+/// Base tid of the per-VM request-lifecycle tracks (`base + vm`).
+pub const TRACK_REQ_BASE: u32 = 1000;
+/// Base tid of the per-VM VCPU busy tracks (`base + vm`).
+pub const TRACK_VCPU_BASE: u32 = 2000;
+/// Base tid of the per-backend (sidecore/worker) busy tracks (`base + i`).
+pub const TRACK_WORKER_BASE: u32 = 3000;
+
+/// The trace track carrying VM `vm`'s request-lifecycle spans.
+pub fn req_track(vm: usize) -> u32 {
+    TRACK_REQ_BASE + vm as u32
 }
 
 /// The instantiated rack.
@@ -387,6 +415,8 @@ pub struct Testbed {
     next_msg_id: u32,
     /// Reassembler at the IOhost (exercised on large messages).
     pub reassembler: Reassembler,
+    /// Request-lifecycle tracer (inert unless the config enables it).
+    pub trace: Tracer,
 }
 
 impl Testbed {
@@ -422,11 +452,29 @@ impl Testbed {
         let health = (0..config.num_vmhosts)
             .map(|h| HealthMonitor::new(h as u32, health_cfg))
             .collect();
-        let faults = FaultInjector::new(config.faults.validated().expect("invalid fault config"));
+        let mut faults =
+            FaultInjector::new(config.faults.validated().expect("invalid fault config"));
         // A separate stream keyed off the seed: fault draws never consume
         // from (or shift) the workload stream.
         let fault_rng = SimRng::seed_from(config.seed ^ 0xFA17);
         let outages = config.outage_schedule();
+        let trace = Tracer::new(&config.trace);
+        if trace.enabled() {
+            let pid = IoModel::ALL
+                .iter()
+                .position(|m| *m == config.model)
+                .unwrap_or(0) as u32;
+            trace.set_process(pid, config.model.name());
+            trace.set_thread_name(TRACK_FAULTS, "channel faults");
+            for vm in 0..config.num_vms {
+                trace.set_thread_name(req_track(vm), &format!("vm{vm} requests"));
+                trace.set_thread_name(TRACK_VCPU_BASE + vm as u32, &format!("vm{vm} vcpu"));
+            }
+            for b in 0..n_backends {
+                trace.set_thread_name(TRACK_WORKER_BASE + b as u32, &format!("backend{b}"));
+            }
+            faults.set_tracer(trace.clone(), TRACK_FAULTS);
+        }
         let _ = &mut rng;
         Testbed {
             rng,
@@ -454,6 +502,7 @@ impl Testbed {
             channel_drops: 0,
             next_msg_id: 1,
             reassembler: Reassembler::new(),
+            trace,
             config,
         }
     }
@@ -545,20 +594,21 @@ impl Testbed {
     }
 
     /// Offers one vRIO frame arrival to the fault injector's bursty-loss
-    /// model; `true` means the channel ate it.
-    fn fault_drop(&mut self) -> bool {
-        self.faults.drop_frame(&mut self.fault_rng)
+    /// model; `true` means the channel ate it. Injections emit instant
+    /// trace markers stamped `now` when tracing is on.
+    fn fault_drop(&mut self, now: SimTime) -> bool {
+        self.faults.drop_frame_at(&mut self.fault_rng, now)
     }
 
     /// Draws the injected extra delay for one VMhost/IOhost channel
     /// traversal (zero unless delay spikes are enabled).
-    fn fault_delay(&mut self) -> SimDuration {
-        self.faults.traversal_delay(&mut self.fault_rng)
+    fn fault_delay(&mut self, now: SimTime) -> SimDuration {
+        self.faults.traversal_delay_at(&mut self.fault_rng, now)
     }
 
     /// Draws whether one block response gets duplicated in flight.
-    fn fault_duplicate(&mut self) -> bool {
-        self.faults.duplicate_response(&mut self.fault_rng)
+    fn fault_duplicate(&mut self, now: SimTime) -> bool {
+        self.faults.duplicate_response_at(&mut self.fault_rng, now)
     }
 
     /// Aggregates the run's reliability accounting: retransmission and
@@ -754,6 +804,12 @@ pub fn net_request_response<W: HasTestbed>(
     let costs = tb.config.costs.clone();
     let host = tb.vm_host[vm];
     let t0 = eng.now();
+    // Lifecycle span: stage transitions ride the step list as inline
+    // `Step::Mark`s, so tracing never reorders events or touches RNG.
+    let tracing = tb.trace.enabled();
+    let span = tb
+        .trace
+        .begin("net_rr", req_track(vm), Stage::Generator, t0);
     let response_slot: Rc<RefCell<Bytes>> = Rc::new(RefCell::new(Bytes::new()));
     let req_wire = req.len() + 64; // headers on the wire
     let resp_wire = resp_len + 64;
@@ -767,6 +823,9 @@ pub fn net_request_response<W: HasTestbed>(
     // 1. Generator sends the request.
     let gen_work = tb.jitter(costs.generator_stack) + tb.gen_extra(vm);
     s.push_back(Step::Charge(CoreRef::Gen(vm), gen_work));
+    if tracing {
+        s.push_back(Step::Mark(span, Stage::Wire));
+    }
     s.push_back(Step::Charge(CoreRef::HostLink(host), tb.wire(req_wire)));
     s.push_back(Step::Fixed(tb.config.hop_latency));
 
@@ -783,18 +842,27 @@ pub fn net_request_response<W: HasTestbed>(
                 tb.vms[vm].net_recv().expect("recv").expect("delivered");
                 tb.vms[vm].net_refill_rx().expect("refill");
             })));
+            if tracing {
+                s.push_back(Step::Mark(span, Stage::Interrupt));
+            }
             let w1 = tb.jitter(costs.guest_interrupt + costs.guest_stack_rx);
             s.push_back(Step::ChargeVm(vm, w1));
         }
         IoModel::Elvis => {
             s.push_back(Step::Fixed(costs.nic_dma));
             s.push_back(Step::Count(CounterKind::HostIntr));
+            if tracing {
+                s.push_back(Step::Mark(span, Stage::Backend));
+            }
             let w_irq = tb.jitter(costs.host_interrupt);
             s.push_back(Step::Charge(CoreRef::Backend(backend), w_irq));
             let (fwd, icost) = tb.interpose(Direction::Inbound, req.clone());
             let w_be = tb.jitter(costs.elvis_backend_net) + icost;
             s.push_back(Step::Charge(CoreRef::Backend(backend), w_be));
-            let Some(fwd) = fwd else { return }; // firewalled: flow ends
+            let Some(fwd) = fwd else {
+                tb.trace.abort(span);
+                return; // firewalled: flow ends
+            };
             s.push_back(Step::Do(Box::new(move |tb| {
                 tb.vms[vm].net_deliver_rx(&fwd).expect("rx posted");
                 tb.vms[vm].net_recv().expect("recv").expect("delivered");
@@ -802,6 +870,9 @@ pub fn net_request_response<W: HasTestbed>(
             })));
             s.push_back(Step::Fixed(costs.eli_delivery));
             s.push_back(Step::Count(CounterKind::GuestIntr));
+            if tracing {
+                s.push_back(Step::Mark(span, Stage::Interrupt));
+            }
             let w1 = tb.jitter(costs.guest_interrupt + costs.guest_stack_rx);
             s.push_back(Step::ChargeVm(vm, w1));
         }
@@ -816,7 +887,7 @@ pub fn net_request_response<W: HasTestbed>(
                 if tb.iohost_failed(now)
                     || tb.backends[backend].pending > cap
                     || tb.rng.chance(tb.config.channel_loss)
-                    || tb.fault_drop()
+                    || tb.fault_drop(now)
                 {
                     tb.channel_drops += 1;
                     tb.backends[backend].pending -= 1;
@@ -825,6 +896,9 @@ pub fn net_request_response<W: HasTestbed>(
                 }
                 true
             })));
+            if tracing {
+                s.push_back(Step::Mark(span, Stage::WorkerPickup));
+            }
             if model == IoModel::VrioNoPoll {
                 s.push_back(Step::Count(CounterKind::IohostIntr));
                 let w_irq = tb.jitter(costs.host_interrupt);
@@ -833,10 +907,16 @@ pub fn net_request_response<W: HasTestbed>(
                 s.push_back(Step::Pickup(backend));
             }
             s.push_back(Step::RingPop(backend));
+            if tracing {
+                s.push_back(Step::Mark(span, Stage::Backend));
+            }
             // Worker: interpose, encapsulate as a vRIO NetRx message, and
             // retransmit toward the VMhost (real protocol bytes).
             let (fwd, icost) = tb.interpose(Direction::Inbound, req.clone());
-            let Some(fwd) = fwd else { return };
+            let Some(fwd) = fwd else {
+                tb.trace.abort(span);
+                return;
+            };
             let msg = VrioMsg::new(
                 VrioMsgKind::NetRx,
                 DeviceId {
@@ -858,13 +938,16 @@ pub fn net_request_response<W: HasTestbed>(
                     costs.host_interrupt,
                 ));
             }
+            if tracing {
+                s.push_back(Step::Mark(span, Stage::Wire));
+            }
             s.push_back(Step::Fixed(costs.nic_dma));
             s.push_back(Step::Charge(
                 CoreRef::IohostLink,
                 tb.wire(encoded.len() + 54),
             ));
             s.push_back(Step::Fixed(tb.config.hop_latency));
-            s.push_back(Step::Fixed(tb.fault_delay()));
+            s.push_back(Step::Fixed(tb.fault_delay(t0)));
             s.push_back(Step::Fixed(costs.nic_dma));
             s.push_back(Step::Fixed(costs.eli_delivery));
             s.push_back(Step::Count(CounterKind::GuestIntr));
@@ -876,18 +959,27 @@ pub fn net_request_response<W: HasTestbed>(
                 tb.vms[vm].net_recv().expect("recv").expect("delivered");
                 tb.vms[vm].net_refill_rx().expect("refill");
             })));
+            if tracing {
+                s.push_back(Step::Mark(span, Stage::Interrupt));
+            }
             let w1 = tb.jitter(costs.guest_interrupt + costs.vrio_decap + costs.guest_stack_rx);
             s.push_back(Step::ChargeVm(vm, w1));
         }
         IoModel::Baseline => {
             s.push_back(Step::Fixed(costs.nic_dma));
             s.push_back(Step::Count(CounterKind::HostIntr));
+            if tracing {
+                s.push_back(Step::Mark(span, Stage::Backend));
+            }
             let w_irq = tb.jitter(costs.host_interrupt);
             s.push_back(Step::Charge(CoreRef::Backend(backend), w_irq));
             let (fwd, icost) = tb.interpose(Direction::Inbound, req.clone());
             let w_be = tb.jitter(costs.vhost_wakeup + costs.vhost_backend) + icost;
             s.push_back(Step::Charge(CoreRef::Backend(backend), w_be));
-            let Some(fwd) = fwd else { return };
+            let Some(fwd) = fwd else {
+                tb.trace.abort(span);
+                return;
+            };
             s.push_back(Step::Do(Box::new(move |tb| {
                 tb.vms[vm].net_deliver_rx(&fwd).expect("rx posted");
                 tb.vms[vm].net_recv().expect("recv").expect("delivered");
@@ -900,14 +992,23 @@ pub fn net_request_response<W: HasTestbed>(
             ));
             s.push_back(Step::Count(CounterKind::GuestIntr));
             s.push_back(Step::Count(CounterKind::Exit)); // EOI exit
+            if tracing {
+                s.push_back(Step::Mark(span, Stage::Interrupt));
+            }
             let w1 = tb.jitter(costs.guest_interrupt + costs.exit + costs.guest_stack_rx);
             s.push_back(Step::ChargeVm(vm, w1));
         }
     }
 
     // 3. Guest application work + transmit of the response.
+    if tracing {
+        s.push_back(Step::Mark(span, Stage::AppWork));
+    }
     let w_app = tb.jitter(app_time);
     s.push_back(Step::ChargeVm(vm, w_app));
+    if tracing {
+        s.push_back(Step::Mark(span, Stage::Kick));
+    }
     let resp_payload = Bytes::from(vec![0x5Au8; resp_len]);
     {
         let resp_payload = resp_payload.clone();
@@ -943,7 +1044,13 @@ pub fn net_request_response<W: HasTestbed>(
             s.push_back(Step::ChargeVmAsync(vm, costs.guest_interrupt));
         }
         IoModel::Elvis => {
+            if tracing {
+                s.push_back(Step::Mark(span, Stage::WorkerPickup));
+            }
             s.push_back(Step::Fixed(costs.poll_pickup));
+            if tracing {
+                s.push_back(Step::Mark(span, Stage::Backend));
+            }
             let w_be = tb.jitter(costs.elvis_backend_net) * packets;
             s.push_back(Step::Charge(CoreRef::Backend(backend_out), w_be));
             s.push_back(Step::Do(fetch_and_complete_tx(
@@ -969,13 +1076,16 @@ pub fn net_request_response<W: HasTestbed>(
                 response_slot.clone(),
                 None,
             )));
+            if tracing {
+                s.push_back(Step::Mark(span, Stage::Wire));
+            }
             s.push_back(Step::Fixed(costs.nic_dma));
             s.push_back(Step::Charge(
                 CoreRef::HostLink(host),
                 tb.wire(resp_wire + 54),
             ));
             s.push_back(Step::Fixed(tb.config.hop_latency));
-            s.push_back(Step::Fixed(tb.fault_delay()));
+            s.push_back(Step::Fixed(tb.fault_delay(t0)));
             s.push_back(Step::Fixed(costs.nic_dma));
             s.push_back(Step::RingPush(backend_out));
             s.push_back(Step::Gate(Box::new(move |tb, now| {
@@ -983,7 +1093,7 @@ pub fn net_request_response<W: HasTestbed>(
                 if tb.iohost_failed(now)
                     || tb.backends[backend_out].pending > cap
                     || tb.rng.chance(tb.config.channel_loss)
-                    || tb.fault_drop()
+                    || tb.fault_drop(now)
                 {
                     tb.channel_drops += 1;
                     tb.backends[backend_out].pending -= 1;
@@ -992,6 +1102,9 @@ pub fn net_request_response<W: HasTestbed>(
                 }
                 true
             })));
+            if tracing {
+                s.push_back(Step::Mark(span, Stage::WorkerPickup));
+            }
             if model == IoModel::VrioNoPoll {
                 // Interrupt-driven IOhost: the response arrives as several
                 // jumbo fragments, each raising an interrupt that also
@@ -1005,6 +1118,9 @@ pub fn net_request_response<W: HasTestbed>(
                 s.push_back(Step::Pickup(backend_out));
             }
             s.push_back(Step::RingPop(backend_out));
+            if tracing {
+                s.push_back(Step::Mark(span, Stage::Backend));
+            }
             // The worker re-segments the message into `packets` wire
             // packets for the outside world; per-packet work is batched.
             let w_worker = tb.jitter(costs.vrio_worker_net + costs.reassemble_per_frag)
@@ -1037,6 +1153,9 @@ pub fn net_request_response<W: HasTestbed>(
             s.push_back(Step::Fixed(costs.nic_dma));
         }
         IoModel::Baseline => {
+            if tracing {
+                s.push_back(Step::Mark(span, Stage::Backend));
+            }
             let w_be = tb.jitter(costs.vhost_wakeup + costs.vhost_backend) * packets;
             s.push_back(Step::Charge(CoreRef::Backend(backend_out), w_be));
             s.push_back(Step::Do(fetch_and_complete_tx(
@@ -1067,8 +1186,14 @@ pub fn net_request_response<W: HasTestbed>(
     }
 
     // 5. Wire back to the generator and receive.
+    if tracing {
+        s.push_back(Step::Mark(span, Stage::Wire));
+    }
     s.push_back(Step::Charge(CoreRef::HostLink(host), tb.wire(resp_wire)));
     s.push_back(Step::Fixed(tb.config.hop_latency));
+    if tracing {
+        s.push_back(Step::Mark(span, Stage::Completion));
+    }
     let gen_rx = tb.jitter(costs.generator_stack) + tb.gen_extra(vm);
     s.push_back(Step::Charge(CoreRef::Gen(vm), gen_rx));
     let tail = tb.tail_extra();
@@ -1081,7 +1206,9 @@ pub fn net_request_response<W: HasTestbed>(
         eng,
         s,
         Box::new(move |w, eng| {
-            let latency = eng.now() - t0;
+            let now = eng.now();
+            let latency = now - t0;
+            w.tb().trace.end(span, now);
             let response = response_slot.borrow().clone();
             done(w, eng, RrOutcome { latency, response });
         }),
@@ -1105,12 +1232,19 @@ fn fallback_request_response<W: HasTestbed>(
     let costs = tb.config.costs.clone();
     let host = tb.vm_host[vm];
     let t0 = eng.now();
+    let tracing = tb.trace.enabled();
+    let span = tb
+        .trace
+        .begin("net_rr_fallback", req_track(vm), Stage::Generator, t0);
     let response_slot: Rc<RefCell<Bytes>> = Rc::new(RefCell::new(Bytes::new()));
     let packets = (resp_len.div_ceil(1448)).max(1) as u64;
     let mut s: VecDeque<Step> = VecDeque::new();
 
     let gen_work = tb.jitter(costs.generator_stack) + tb.gen_extra(vm);
     s.push_back(Step::Charge(CoreRef::Gen(vm), gen_work));
+    if tracing {
+        s.push_back(Step::Mark(span, Stage::Wire));
+    }
     s.push_back(Step::Charge(
         CoreRef::HostLink(host),
         tb.wire(req.len() + 64),
@@ -1119,6 +1253,9 @@ fn fallback_request_response<W: HasTestbed>(
     s.push_back(Step::Fixed(costs.nic_dma));
     // Inbound: interrupt + vhost pass + injection, all on the VM core.
     s.push_back(Step::Count(CounterKind::HostIntr));
+    if tracing {
+        s.push_back(Step::Mark(span, Stage::Backend));
+    }
     let w_in = tb.jitter(
         costs.host_interrupt + costs.vhost_wakeup + costs.vhost_backend + costs.interrupt_injection,
     );
@@ -1134,9 +1271,18 @@ fn fallback_request_response<W: HasTestbed>(
     }
     s.push_back(Step::Count(CounterKind::GuestIntr));
     s.push_back(Step::Count(CounterKind::Exit)); // EOI
+    if tracing {
+        s.push_back(Step::Mark(span, Stage::Interrupt));
+    }
     let w_rx = tb.jitter(costs.guest_interrupt + costs.exit + costs.guest_stack_rx);
     s.push_back(Step::ChargeVm(vm, w_rx));
+    if tracing {
+        s.push_back(Step::Mark(span, Stage::AppWork));
+    }
     s.push_back(Step::ChargeVm(vm, tb.jitter(app_time)));
+    if tracing {
+        s.push_back(Step::Mark(span, Stage::Kick));
+    }
     let resp_payload = Bytes::from(vec![0x5Au8; resp_len]);
     {
         let resp_payload = resp_payload.clone();
@@ -1164,11 +1310,17 @@ fn fallback_request_response<W: HasTestbed>(
         (costs.host_interrupt + costs.interrupt_injection + costs.guest_interrupt + costs.exit)
             * packets,
     ));
+    if tracing {
+        s.push_back(Step::Mark(span, Stage::Wire));
+    }
     s.push_back(Step::Charge(
         CoreRef::HostLink(host),
         tb.wire(resp_len + 64),
     ));
     s.push_back(Step::Fixed(tb.config.hop_latency));
+    if tracing {
+        s.push_back(Step::Mark(span, Stage::Completion));
+    }
     let gen_rx = tb.jitter(costs.generator_stack) + tb.gen_extra(vm);
     s.push_back(Step::Charge(CoreRef::Gen(vm), gen_rx));
 
@@ -1177,7 +1329,9 @@ fn fallback_request_response<W: HasTestbed>(
         eng,
         s,
         Box::new(move |w, eng| {
-            let latency = eng.now() - t0;
+            let now = eng.now();
+            let latency = now - t0;
+            w.tb().trace.end(span, now);
             let response = response_slot.borrow().clone();
             done(w, eng, RrOutcome { latency, response });
         }),
@@ -1228,6 +1382,13 @@ pub fn stream_batch<W: HasTestbed>(
     let costs = tb.config.costs.clone();
     let host = tb.vm_host[vm];
     let bytes = msgs * msg_bytes;
+    let t0 = eng.now();
+    // Coarse three-stage span: guest batch production, backend+wire
+    // traversal, generator-side receive.
+    let tracing = tb.trace.enabled();
+    let span = tb
+        .trace
+        .begin("stream_batch", req_track(vm), Stage::GuestEnqueue, t0);
     let mut s: VecDeque<Step> = VecDeque::new();
 
     // Guest produces the batch.
@@ -1238,6 +1399,9 @@ pub fn stream_batch<W: HasTestbed>(
         _ => {}
     }
     s.push_back(Step::ChargeVm(vm, per_msg * msgs));
+    if tracing {
+        s.push_back(Step::Mark(span, Stage::Backend));
+    }
 
     // Backend processing + wire path.
     let backend = tb.pick_backend(vm);
@@ -1285,6 +1449,9 @@ pub fn stream_batch<W: HasTestbed>(
         }
     }
     s.push_back(Step::Fixed(tb.config.hop_latency));
+    if tracing {
+        s.push_back(Step::Mark(span, Stage::Completion));
+    }
 
     // Generator machine + core receive the batch.
     let gm_work = SimDuration::for_bytes_at_gbps(bytes, costs.gen_machine_gbps);
@@ -1294,7 +1461,16 @@ pub fn stream_batch<W: HasTestbed>(
         costs.stream_gen_per_msg * msgs,
     ));
 
-    run_steps(w, eng, s, Box::new(move |w, eng| done(w, eng)));
+    run_steps(
+        w,
+        eng,
+        s,
+        Box::new(move |w, eng| {
+            let now = eng.now();
+            w.tb().trace.end(span, now);
+            done(w, eng)
+        }),
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -1322,6 +1498,10 @@ pub fn blk_request<W: HasTestbed>(
     );
     let t0 = eng.now();
     let costs = w.tb().config.costs.clone();
+    let span = w
+        .tb()
+        .trace
+        .begin("blk", req_track(vm), Stage::GuestEnqueue, t0);
 
     // The front-end publishes the request on the real virtio ring; the
     // local back-end half (sidecore/vhost/transport) fetches it at once.
@@ -1366,7 +1546,7 @@ pub fn blk_request<W: HasTestbed>(
                 prologue,
                 Box::new(move |w, eng| {
                     let _ = ds;
-                    local_blk_backend(w, eng, vm, req2, hs, t0, dc);
+                    local_blk_backend(w, eng, vm, req2, hs, t0, span, dc);
                 }),
             );
         }
@@ -1390,9 +1570,10 @@ pub fn blk_request<W: HasTestbed>(
                         hs.clone(),
                         ds,
                         t0,
+                        span,
                         dc.clone(),
                     );
-                    arm_retx_timer(w, eng, vm, req2, wire_id, timeout, hs, t0, dc);
+                    arm_retx_timer(w, eng, vm, req2, wire_id, timeout, hs, t0, span, dc);
                 }),
             );
         }
@@ -1410,13 +1591,18 @@ fn local_blk_backend<W: HasTestbed>(
     req: BlockRequest,
     head_slot: Rc<RefCell<u16>>,
     t0: SimTime,
+    span: SpanId,
     done_cell: BlkDoneCell<W>,
 ) {
     let tb = w.tb();
     let model = tb.config.model;
     let costs = tb.config.costs.clone();
     let backend = tb.pick_backend(vm);
+    let tracing = tb.trace.enabled();
     let mut s: VecDeque<Step> = VecDeque::new();
+    if tracing {
+        s.push_back(Step::Mark(span, Stage::Backend));
+    }
 
     // Interposition is charged on the data actually moved: the payload of
     // writes, the data returned by reads.
@@ -1456,6 +1642,9 @@ fn local_blk_backend<W: HasTestbed>(
         BlockKind::Flush => 0,
     };
     let svc = tb.config.block_profile.service_time(req.kind, bytes);
+    if tracing {
+        s.push_back(Step::Mark(span, Stage::Device));
+    }
     s.push_back(Step::Charge(CoreRef::Disk(vm), svc));
     let req2 = req.clone();
     let read_out: Rc<RefCell<Bytes>> = Rc::new(RefCell::new(Bytes::new()));
@@ -1477,6 +1666,9 @@ fn local_blk_backend<W: HasTestbed>(
     }
 
     // Completion pass back to the guest.
+    if tracing {
+        s.push_back(Step::Mark(span, Stage::Interrupt));
+    }
     match model {
         IoModel::Elvis => {
             let w_done = tb.jitter(costs.elvis_backend_blk) / 2;
@@ -1520,11 +1712,13 @@ fn local_blk_backend<W: HasTestbed>(
                 .find(|c| c.id == req.id)
                 .expect("own completion");
             if let Some(done) = done_cell.borrow_mut().take() {
+                let now = eng.now();
+                w.tb().trace.end(span, now);
                 done(
                     w,
                     eng,
                     BlkOutcome {
-                        latency: eng.now() - t0,
+                        latency: now - t0,
                         status: c.status,
                         data: c.data,
                     },
@@ -1570,13 +1764,18 @@ fn vrio_blk_attempt<W: HasTestbed>(
     head_slot: Rc<RefCell<u16>>,
     data_slot: Rc<RefCell<Bytes>>,
     t0: SimTime,
+    span: SpanId,
     done_cell: BlkDoneCell<W>,
 ) {
     let tb = w.tb();
     let model = tb.config.model;
     let costs = tb.config.costs.clone();
     let host = tb.vm_host[vm];
+    let tracing = tb.trace.enabled();
     let mut s: VecDeque<Step> = VecDeque::new();
+    if tracing {
+        s.push_back(Step::Mark(span, Stage::Encap));
+    }
 
     // Transport: encapsulate (real bytes) and segment if needed.
     let payload = data_slot.borrow().clone();
@@ -1596,13 +1795,16 @@ fn vrio_blk_attempt<W: HasTestbed>(
     let frags = vrio_net::fragment_count(encoded.len().max(1), MTU_VRIO_JUMBO) as u64;
     let w_tx = tb.jitter(costs.vrio_encap) + costs.segment_per_frag * frags;
     s.push_back(Step::ChargeVm(vm, w_tx));
+    if tracing {
+        s.push_back(Step::Mark(span, Stage::Wire));
+    }
     s.push_back(Step::Fixed(costs.nic_dma));
     s.push_back(Step::Charge(
         CoreRef::HostLink(host),
         tb.wire(encoded.len() + 54),
     ));
     s.push_back(Step::Fixed(tb.config.hop_latency));
-    s.push_back(Step::Fixed(tb.fault_delay()));
+    s.push_back(Step::Fixed(tb.fault_delay(t0)));
     s.push_back(Step::Fixed(costs.nic_dma));
 
     // Arrival at the IOhost: loss / ring-overflow gate.
@@ -1615,7 +1817,7 @@ fn vrio_blk_attempt<W: HasTestbed>(
         if tb.iohost_failed(now)
             || tb.backends[backend].pending > cap
             || tb.rng.chance(tb.config.channel_loss)
-            || tb.fault_drop()
+            || tb.fault_drop(now)
         {
             tb.channel_drops += 1;
             tb.backends[backend].pending -= 1;
@@ -1624,6 +1826,9 @@ fn vrio_blk_attempt<W: HasTestbed>(
         }
         true
     })));
+    if tracing {
+        s.push_back(Step::Mark(span, Stage::WorkerPickup));
+    }
     if model == IoModel::VrioNoPoll {
         s.push_back(Step::Count(CounterKind::IohostIntr));
         s.push_back(Step::Charge(
@@ -1634,6 +1839,9 @@ fn vrio_blk_attempt<W: HasTestbed>(
         s.push_back(Step::Pickup(backend));
     }
     s.push_back(Step::RingPop(backend));
+    if tracing {
+        s.push_back(Step::Mark(span, Stage::Backend));
+    }
 
     // Worker: reassemble, decode, interpose, execute on the remote store.
     // Interposition cost is charged on the data moved (write payload or
@@ -1665,6 +1873,9 @@ fn vrio_blk_attempt<W: HasTestbed>(
         BlockKind::Flush => 0,
     };
     let svc = tb.config.block_profile.service_time(req.kind, bytes);
+    if tracing {
+        s.push_back(Step::Mark(span, Stage::Device));
+    }
     s.push_back(Step::Charge(CoreRef::Disk(vm), svc));
     let read_out: Rc<RefCell<Bytes>> = Rc::new(RefCell::new(Bytes::new()));
     {
@@ -1714,6 +1925,9 @@ fn vrio_blk_attempt<W: HasTestbed>(
     let resp_frags = vrio_net::fragment_count(resp_len.max(1), MTU_VRIO_JUMBO) as u64;
     // The response pass is short: the request's reassembled buffer is
     // reused and the NIC's TSO does the segmentation (section 4.4).
+    if tracing {
+        s.push_back(Step::Mark(span, Stage::Backend));
+    }
     let w_resp = tb.jitter(costs.vrio_worker_blk) / 4 + costs.segment_per_frag * resp_frags;
     s.push_back(Step::Charge(CoreRef::Backend(backend), w_resp));
     if model == IoModel::VrioNoPoll {
@@ -1723,12 +1937,15 @@ fn vrio_blk_attempt<W: HasTestbed>(
             costs.host_interrupt,
         ));
     }
+    if tracing {
+        s.push_back(Step::Mark(span, Stage::Wire));
+    }
     s.push_back(Step::Charge(
         CoreRef::IohostLink,
         tb.wire(resp_len + 54 + 24),
     ));
     s.push_back(Step::Fixed(tb.config.hop_latency));
-    s.push_back(Step::Fixed(tb.fault_delay()));
+    s.push_back(Step::Fixed(tb.fault_delay(t0)));
     s.push_back(Step::Fixed(costs.nic_dma));
 
     // Transport receive: stale filtering, then guest completion.
@@ -1738,7 +1955,7 @@ fn vrio_blk_attempt<W: HasTestbed>(
             ResponseAction::Accept { .. }
         )
     })));
-    if tb.fault_duplicate() {
+    if tb.fault_duplicate(t0) {
         // The channel duplicated the response frame: the copy hits the
         // transport right behind the original and must filter as stale —
         // the guest never sees a second completion.
@@ -1750,6 +1967,9 @@ fn vrio_blk_attempt<W: HasTestbed>(
     }
     s.push_back(Step::Fixed(costs.eli_delivery));
     s.push_back(Step::Count(CounterKind::GuestIntr));
+    if tracing {
+        s.push_back(Step::Mark(span, Stage::Interrupt));
+    }
     let w_guest = tb.jitter(
         costs.guest_interrupt
             + costs.vrio_decap
@@ -1775,11 +1995,13 @@ fn vrio_blk_attempt<W: HasTestbed>(
                 .find(|c| c.id == req_id)
                 .expect("own completion");
             if let Some(done) = done_cell.borrow_mut().take() {
+                let now = eng.now();
+                w.tb().trace.end(span, now);
                 done(
                     w,
                     eng,
                     BlkOutcome {
-                        latency: eng.now() - t0,
+                        latency: now - t0,
                         status: c.status,
                         data: c.data,
                     },
@@ -1800,6 +2022,7 @@ fn arm_retx_timer<W: HasTestbed>(
     timeout: SimDuration,
     head_slot: Rc<RefCell<u16>>,
     t0: SimTime,
+    span: SpanId,
     done_cell: BlkDoneCell<W>,
 ) {
     let _ = w;
@@ -1810,6 +2033,8 @@ fn arm_retx_timer<W: HasTestbed>(
                 new_wire_id,
                 timeout,
             } => {
+                let now = eng.now();
+                w.tb().trace.instant("retx", req_track(vm), now);
                 let data = Rc::new(RefCell::new(match req.kind {
                     BlockKind::Write => req.data.clone(),
                     _ => Bytes::new(),
@@ -1823,6 +2048,7 @@ fn arm_retx_timer<W: HasTestbed>(
                     head_slot.clone(),
                     data,
                     t0,
+                    span,
                     done_cell.clone(),
                 );
                 arm_retx_timer(
@@ -1834,6 +2060,7 @@ fn arm_retx_timer<W: HasTestbed>(
                     timeout,
                     head_slot,
                     t0,
+                    span,
                     done_cell,
                 );
             }
@@ -1849,11 +2076,15 @@ fn arm_retx_timer<W: HasTestbed>(
                     .find(|c| c.id == req.id)
                     .expect("own completion");
                 if let Some(done) = done_cell.borrow_mut().take() {
+                    let now = eng.now();
+                    let tb = w.tb();
+                    tb.trace.instant("blk_device_error", req_track(vm), now);
+                    tb.trace.end(span, now);
                     done(
                         w,
                         eng,
                         BlkOutcome {
-                            latency: eng.now() - t0,
+                            latency: now - t0,
                             status: c.status,
                             data: c.data,
                         },
@@ -1868,6 +2099,46 @@ impl Testbed {
     /// Resets the Table 3 counters (for per-request accounting tests).
     pub fn reset_counters(&mut self) {
         self.counters = EventCounters::default();
+    }
+
+    /// Replays the VCPU and backend busy intervals into the tracer as
+    /// per-core "thread" tracks (Chrome trace `tid`s
+    /// [`TRACK_VCPU_BASE`]` + vm` and [`TRACK_WORKER_BASE`]` + backend`).
+    /// Call once at end of run, after the engine has drained; a no-op when
+    /// tracing is off.
+    pub fn export_thread_tracks(&self) {
+        if !self.trace.enabled() {
+            return;
+        }
+        for (i, vm) in self.vms.iter().enumerate() {
+            let tid = TRACK_VCPU_BASE + i as u32;
+            for &(start, end) in vm.cpu.busy_intervals() {
+                self.trace.slice("vcpu_busy", tid, start, end);
+            }
+        }
+        for (b, be) in self.backends.iter().enumerate() {
+            let tid = TRACK_WORKER_BASE + b as u32;
+            for &(start, end) in be.busy.intervals() {
+                self.trace.slice("backend_busy", tid, start, end);
+            }
+        }
+    }
+
+    /// Folds the run's Table 3 event counters, reliability counters, and
+    /// per-ring operation counts into a metrics registry.
+    pub fn record_metrics(&self, m: &mut vrio_trace::MetricsRegistry) {
+        self.counters.record(m);
+        self.reliability_report().record(m);
+        let mut ops = vrio_virtio::RingOps::default();
+        for vm in &self.vms {
+            ops.add(&vm.ring_ops());
+        }
+        m.counter_add("rings.chains_published", ops.chains_published);
+        m.counter_add("rings.used_reaped", ops.used_reaped);
+        m.counter_add("rings.driver_kicks", ops.driver_kicks);
+        m.counter_add("rings.chains_popped", ops.chains_popped);
+        m.counter_add("rings.used_pushed", ops.used_pushed);
+        m.counter_add("rings.driver_signals", ops.driver_signals);
     }
 }
 

@@ -12,6 +12,23 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> trace/report smoke test"
+SMOKE=$(mktemp -d)
+cargo run --release -q -p vrio-bench --bin repro -- \
+    --quick --tab3 --trace "$SMOKE/trace" --json "$SMOKE/json" > /dev/null
+cargo run --release -q -p vrio-bench --bin checkjson -- \
+    "$SMOKE/trace/TRACE_tab3.json" --chrome
+cargo run --release -q -p vrio-bench --bin checkjson -- \
+    "$SMOKE/json/BENCH_tab3.json" \
+    --require schema_version \
+    --require models.optimum.breakdown.stage_sum_us \
+    --require models.vrio.breakdown.stages.wire.mean_us \
+    --require models.baseline.metrics.counters
+rm -rf "$SMOKE"
+
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
