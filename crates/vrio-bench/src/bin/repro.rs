@@ -8,6 +8,11 @@
 //! repro --quick --tab3 --trace /tmp/t --json /tmp/j
 //!                        # ...plus the instrumented observability pass:
 //!                        # TRACE_tab3.json (Perfetto) and BENCH_tab3.json
+//! repro --quick --sweep smoke --threads 4 --json benches
+//!                        # the parallel sweep engine: expands the named
+//!                        # grid, runs it across 4 OS threads, and emits
+//!                        # BENCH_sweep_smoke.json (byte-identical for any
+//!                        # thread count)
 //! ```
 
 use vrio_bench::*;
@@ -69,27 +74,40 @@ fn main() {
         ReproConfig::full()
     };
 
-    // --out/--trace/--json DIR: each takes a directory argument and is
-    // removed from the argument list before experiment selection.
-    let mut dir_flag = |flag: &str| {
+    // --out/--trace/--json DIR, --sweep SPEC, --threads N: each takes a
+    // value argument and is removed from the argument list before
+    // experiment selection.
+    let mut value_flag = |flag: &str| {
         args.iter().position(|a| a == flag).map(|i| {
-            let dir = args.get(i + 1).cloned().unwrap_or_else(|| {
-                eprintln!("{flag} requires a directory argument");
+            let v = args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{flag} requires an argument");
                 std::process::exit(2);
             });
             args.drain(i..=i + 1);
-            dir
+            v
         })
     };
-    let out_dir = dir_flag("--out");
-    let trace_dir = dir_flag("--trace");
-    let json_dir = dir_flag("--json");
+    let out_dir = value_flag("--out");
+    let trace_dir = value_flag("--trace");
+    let json_dir = value_flag("--json");
+    let sweep_name = value_flag("--sweep");
+    let threads: usize = value_flag("--threads")
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--threads requires a positive integer, got {v}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(4);
     for dir in [&out_dir, &trace_dir, &json_dir].into_iter().flatten() {
         Outputs::ensure_dir(dir);
     }
     let mut outputs = Outputs::default();
 
-    let all = args.iter().any(|a| a == "--all") || args.iter().all(|a| a == "--quick");
+    // `--quick` alone still means "run everything", but a bare sweep
+    // invocation runs only the sweep.
+    let all = args.iter().any(|a| a == "--all")
+        || (sweep_name.is_none() && args.iter().all(|a| a == "--quick"));
 
     let want = |flag: &str| all || args.iter().any(|a| a == flag);
 
@@ -152,6 +170,27 @@ fn main() {
             }
             ran += 1;
         }
+    }
+    // The parallel sweep engine: expand the named grid, run it across OS
+    // threads, emit the schema-versioned BENCH_sweep_*.json. The document
+    // is byte-identical for every --threads value (CI diffs 1 vs 4).
+    if let Some(name) = &sweep_name {
+        let spec = SweepSpec::named(name, rc).unwrap_or_else(|e| {
+            eprintln!("repro: {e}");
+            std::process::exit(2);
+        });
+        let sweep = run_sweep(&spec, threads, true).unwrap_or_else(|e| {
+            eprintln!("repro: {e}");
+            std::process::exit(2);
+        });
+        println!("{}", "=".repeat(74));
+        println!("{}", sweep.render_text());
+        let dir = json_dir.clone().unwrap_or_else(|| ".".to_string());
+        outputs.write(
+            format!("{dir}/BENCH_sweep_{}.json", spec.name),
+            &sweep.to_json().render_pretty(),
+        );
+        ran += 1;
     }
     if ran == 0 {
         eprintln!("nothing selected; try --all or one of {}", known.join(" "));

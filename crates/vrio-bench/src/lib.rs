@@ -12,11 +12,17 @@
 mod cost_exps;
 mod obs;
 mod report;
+mod sweep;
 mod sys_exps;
 
 pub use cost_exps::{fig1, fig2, fig3, tab1, tab2};
 pub use obs::{latency_breakdown, ObsReport};
 pub use report::{downsample, f, render_reliability, render_table, sparkline};
+pub use sweep::{
+    run_scenario, run_sweep, ConsolidationPoint, EfficiencyPoint, EfficiencySeries, Scenario,
+    ScenarioResult, SweepError, SweepResult, SweepSpec, SweepWorkload, KNOWN_SPECS,
+    SWEEP_SCHEMA_VERSION,
+};
 pub use sys_exps::{
     failover, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig5, fig7, fig8, fig9, hetero,
     retx_validation, tab3, tab4, ReproConfig,

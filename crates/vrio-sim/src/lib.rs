@@ -62,6 +62,6 @@ mod stats;
 mod time;
 
 pub use engine::{Engine, EventFn};
-pub use rng::SimRng;
+pub use rng::{scenario_seed, SimRng};
 pub use stats::{BusyTracker, Histogram, OnlineStats};
 pub use time::{SimDuration, SimTime};

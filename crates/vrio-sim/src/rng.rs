@@ -122,6 +122,40 @@ impl SimRng {
     }
 }
 
+/// Derives a per-scenario seed from a base seed and a scenario key.
+///
+/// Parallel sweeps give every scenario its own RNG stream seeded as
+/// `scenario_seed(base, key)`, so a scenario's results depend only on
+/// `(base, key)` — never on which thread ran it, in what order, or what
+/// other scenarios the sweep contained. FNV-1a over the key mixed with the
+/// base seed, finalized splitmix-style so nearby keys land far apart.
+///
+/// # Examples
+///
+/// ```
+/// use vrio_sim::scenario_seed;
+///
+/// let a = scenario_seed(1, "rr/vrio/w2/v4/b64");
+/// assert_eq!(a, scenario_seed(1, "rr/vrio/w2/v4/b64")); // deterministic
+/// assert_ne!(a, scenario_seed(2, "rr/vrio/w2/v4/b64")); // base matters
+/// assert_ne!(a, scenario_seed(1, "rr/vrio/w1/v4/b64")); // key matters
+/// ```
+pub fn scenario_seed(base: u64, key: &str) -> u64 {
+    const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = FNV_OFFSET ^ base;
+    for b in key.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    // splitmix64 finalizer: avalanche the hash so single-character key
+    // differences flip about half the seed bits.
+    let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +223,31 @@ mod tests {
             let v = rng.uniform();
             assert!((0.0..1.0).contains(&v));
         }
+    }
+
+    #[test]
+    fn scenario_seeds_are_stable_and_distinct() {
+        // Stable across calls and platforms (a committed baseline depends
+        // on these exact values never drifting).
+        assert_eq!(scenario_seed(1, "a"), scenario_seed(1, "a"));
+        let keys = [
+            "rr/vrio/w1/v1/b64",
+            "rr/vrio/w2/v1/b64",
+            "rr/elvis/w1/v1/b64",
+            "",
+        ];
+        let mut seeds: Vec<u64> = keys.iter().map(|k| scenario_seed(7, k)).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), keys.len(), "seed collision across keys");
+        // An RNG seeded per scenario is usable cross-thread: the seed is
+        // plain data and SimRng is Send.
+        fn assert_send<T: Send>() {}
+        assert_send::<SimRng>();
+        let s = scenario_seed(3, "x");
+        std::thread::spawn(move || SimRng::seed_from(s).uniform())
+            .join()
+            .unwrap();
     }
 
     #[test]

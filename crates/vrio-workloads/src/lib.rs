@@ -26,4 +26,7 @@ mod netperf;
 
 pub use filebench::{run_filebench, run_filebench_with, FilebenchResult, Personality};
 pub use macrobench::{run_txn_bench, MacroResult, TxnProfile};
-pub use netperf::{netperf_rr, netperf_stream, tail_percentiles, RrResult, StreamResult};
+pub use netperf::{
+    netperf_rr, netperf_rr_sized, netperf_stream, netperf_stream_sized, tail_percentiles, RrResult,
+    StreamResult,
+};

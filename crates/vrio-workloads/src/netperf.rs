@@ -60,6 +60,16 @@ impl HasTestbed for RrWorld {
 /// assert!(r.mean_latency_us > 20.0 && r.mean_latency_us < 45.0);
 /// ```
 pub fn netperf_rr(config: TestbedConfig, duration: SimDuration) -> RrResult {
+    netperf_rr_sized(config, duration, 1)
+}
+
+/// [`netperf_rr`] with a configurable response size in bytes (the sweep
+/// engine's message-size axis). `resp_len = 1` is the classic 1-byte RR.
+pub fn netperf_rr_sized(config: TestbedConfig, duration: SimDuration, resp_len: usize) -> RrResult {
+    assert!(
+        resp_len > 0,
+        "netperf RR response must be at least one byte"
+    );
     let app_time = SimDuration::micros(4); // netperf server-side work
     let warmup = duration / 10;
     let deadline = SimTime::ZERO + warmup + duration;
@@ -80,13 +90,13 @@ pub fn netperf_rr(config: TestbedConfig, duration: SimDuration) -> RrResult {
         eng.set_probe(move |_| t.on_engine_event());
     }
 
-    fn issue(w: &mut RrWorld, eng: &mut Engine<RrWorld>, vm: usize, app: SimDuration) {
+    fn issue(w: &mut RrWorld, eng: &mut Engine<RrWorld>, vm: usize, app: SimDuration, resp: usize) {
         net_request_response(
             w,
             eng,
             vm,
             Bytes::from_static(b"?"),
-            1,
+            resp,
             app,
             move |w, eng, outcome| {
                 if w.measuring {
@@ -94,14 +104,14 @@ pub fn netperf_rr(config: TestbedConfig, duration: SimDuration) -> RrResult {
                     w.completed += 1;
                 }
                 if eng.now() < w.deadline {
-                    issue(w, eng, vm, app);
+                    issue(w, eng, vm, app, resp);
                 }
             },
         );
     }
 
     for vm in 0..num_vms {
-        issue(&mut world, &mut eng, vm, app_time);
+        issue(&mut world, &mut eng, vm, app_time, resp_len);
     }
     // End of warmup: reset all measurement state.
     eng.schedule_at(SimTime::ZERO + warmup, move |w: &mut RrWorld, _| {
@@ -169,9 +179,22 @@ impl HasTestbed for StreamWorld {
 /// assert!(r.gbps > 0.5, "one VM streams about a gigabit: {}", r.gbps);
 /// ```
 pub fn netperf_stream(config: TestbedConfig, duration: SimDuration) -> StreamResult {
-    const MSG_BYTES: u64 = 64; // the paper's 64B stress size
+    netperf_stream_sized(config, duration, 64) // the paper's 64B stress size
+}
+
+/// [`netperf_stream`] with a configurable message size in bytes (the sweep
+/// engine's message-size axis).
+pub fn netperf_stream_sized(
+    config: TestbedConfig,
+    duration: SimDuration,
+    msg_bytes: u64,
+) -> StreamResult {
     const BATCH: u64 = 256; // ring-batch granularity
     const WINDOW: usize = 4; // batches in flight per VM
+    assert!(
+        msg_bytes > 0,
+        "netperf stream message must be at least one byte"
+    );
 
     let warmup = duration / 10;
     let deadline = SimTime::ZERO + warmup + duration;
@@ -185,20 +208,20 @@ pub fn netperf_stream(config: TestbedConfig, duration: SimDuration) -> StreamRes
     };
     let mut eng: Engine<StreamWorld> = Engine::new();
 
-    fn pump(w: &mut StreamWorld, eng: &mut Engine<StreamWorld>, vm: usize) {
-        stream_batch(w, eng, vm, BATCH, MSG_BYTES, move |w, eng| {
+    fn pump(w: &mut StreamWorld, eng: &mut Engine<StreamWorld>, vm: usize, msg_bytes: u64) {
+        stream_batch(w, eng, vm, BATCH, msg_bytes, move |w, eng| {
             if w.measuring {
                 w.delivered_msgs += BATCH;
             }
             if eng.now() < w.deadline {
-                pump(w, eng, vm);
+                pump(w, eng, vm, msg_bytes);
             }
         });
     }
 
     for vm in 0..num_vms {
         for _ in 0..WINDOW {
-            pump(&mut world, &mut eng, vm);
+            pump(&mut world, &mut eng, vm, msg_bytes);
         }
     }
     eng.schedule_at(SimTime::ZERO + warmup, move |w: &mut StreamWorld, _| {
@@ -207,7 +230,7 @@ pub fn netperf_stream(config: TestbedConfig, duration: SimDuration) -> StreamRes
     });
     eng.run(&mut world);
 
-    let bits = world.delivered_msgs * MSG_BYTES * 8;
+    let bits = world.delivered_msgs * msg_bytes * 8;
     let gbps = bits as f64 / duration.as_secs_f64() / 1e9;
     let busy = world.tb.vmside_busy() - world.busy_at_warmup;
     let ghz = world.tb.config.costs.core_ghz;

@@ -330,7 +330,55 @@ impl TestbedConfig {
         self.tail_model = true;
         self
     }
+
+    // -----------------------------------------------------------------
+    // Scenario-builder API: chainable knobs for constructing the grid of
+    // configurations a parallel sweep expands. `TestbedConfig` is plain
+    // data (`Send`), so a spec built on the coordinator thread crosses
+    // into a worker thread, which constructs its private `Testbed` there
+    // — scenario isolation by construction.
+    // -----------------------------------------------------------------
+
+    /// Sets the RNG seed (sweeps derive one per scenario via
+    /// [`vrio_sim::scenario_seed`]).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of backend cores: total IOhost workers for vRIO,
+    /// per-VMhost sidecores/vhost cores for the local models.
+    pub fn with_backend_cores(mut self, cores: usize) -> Self {
+        self.backend_cores = cores;
+        self
+    }
+
+    /// Sets the number of VMhosts.
+    pub fn with_vmhosts(mut self, n: usize) -> Self {
+        self.num_vmhosts = n;
+        self
+    }
+
+    /// Sets the log-normal service-time jitter sigma.
+    pub fn with_jitter(mut self, sigma: f64) -> Self {
+        self.service_jitter = sigma;
+        self
+    }
+
+    /// Sets the link bandwidth in Gbps.
+    pub fn with_link_gbps(mut self, gbps: f64) -> Self {
+        self.link_gbps = gbps;
+        self
+    }
 }
+
+// A worker thread must be able to receive a scenario's config and build
+// its testbed locally; this trips at compile time if a non-`Send` field
+// (an `Rc`, a raw pointer) ever sneaks into the spec types.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<TestbedConfig>();
+};
 
 /// Outcome of one network request-response.
 #[derive(Debug, Clone)]

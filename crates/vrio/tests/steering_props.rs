@@ -25,7 +25,7 @@ proptest! {
     #[test]
     fn affinity_and_accounting_invariants(
         ops in proptest::collection::vec(op_strategy(), 1..300),
-        workers in 1usize..6,
+        workers in 1usize..=8,
     ) {
         let mut s = Steering::new(workers);
         // Shadow state: per-device queue of (worker) for in-flight packets.
@@ -75,9 +75,93 @@ proptest! {
     }
 
     #[test]
+    fn fifo_designation_survives_interleaved_batches_and_completes(
+        rounds in proptest::collection::vec(
+            (
+                // One round: a batch of device ids to split, then how many
+                // completions to retire before the next batch arrives.
+                proptest::collection::vec(0u32..10, 0..40),
+                0usize..60,
+            ),
+            1..12,
+        ),
+        workers in 1usize..=8,
+    ) {
+        // The invariant the parallel sweep varies across its worker axis
+        // (§4.1): for each device D, while a still-unprocessed packet of D
+        // is designated for worker W, subsequent packets of D land on W
+        // too — across split_batch boundaries and interleaved completes.
+        let mut s = Steering::new(workers);
+        // Shadow: per-device FIFO of (worker, global sequence number).
+        let mut inflight: HashMap<u32, Vec<(WorkerId, u64)>> = HashMap::new();
+        let mut seq = 0u64;
+
+        for (devices, completions) in rounds {
+            let batch: Vec<(DeviceId, u64)> = devices
+                .iter()
+                .map(|&c| {
+                    seq += 1;
+                    (DeviceId { client: c, device: 0 }, seq)
+                })
+                .collect();
+            let subs = s.split_batch(batch);
+            prop_assert_eq!(subs.len(), workers);
+            for (w, sub) in subs.iter().enumerate() {
+                for &(d, tag) in sub {
+                    let q = inflight.entry(d.client).or_default();
+                    if let Some(&(prev, _)) = q.last() {
+                        prop_assert_eq!(
+                            WorkerId(w), prev,
+                            "device {} moved from {:?} mid-flight", d.client, prev
+                        );
+                    }
+                    q.push((WorkerId(w), tag));
+                }
+            }
+            // Per-worker sub-batches preserve each device's arrival order.
+            for sub in &subs {
+                let mut last_of: HashMap<u32, u64> = HashMap::new();
+                for &(d, tag) in sub {
+                    if let Some(&prev) = last_of.get(&d.client) {
+                        prop_assert!(prev < tag, "device {} reordered", d.client);
+                    }
+                    last_of.insert(d.client, tag);
+                }
+            }
+            // Retire completions oldest-first, round-robin over devices
+            // that still have in-flight packets (an arbitrary but valid
+            // schedule: completions may interleave across devices).
+            for i in 0..completions {
+                let with_inflight: Vec<u32> = {
+                    let mut v: Vec<u32> = inflight
+                        .iter()
+                        .filter(|(_, q)| !q.is_empty())
+                        .map(|(&c, _)| c)
+                        .collect();
+                    v.sort_unstable();
+                    v
+                };
+                if with_inflight.is_empty() {
+                    break;
+                }
+                let c = with_inflight[i % with_inflight.len()];
+                inflight.get_mut(&c).unwrap().remove(0);
+                s.complete(DeviceId { client: c, device: 0 });
+            }
+        }
+        // Final accounting agrees with the shadow state.
+        for (&c, q) in &inflight {
+            prop_assert_eq!(
+                s.inflight_of(DeviceId { client: c, device: 0 }),
+                q.len() as u64
+            );
+        }
+    }
+
+    #[test]
     fn batch_split_covers_every_packet_once(
         devices in proptest::collection::vec(0u32..8, 1..120),
-        workers in 1usize..5,
+        workers in 1usize..=8,
     ) {
         let mut s = Steering::new(workers);
         let batch: Vec<(DeviceId, usize)> = devices

@@ -26,6 +26,29 @@ cargo run --release -q -p vrio-bench --bin checkjson -- \
     --require models.baseline.metrics.counters
 rm -rf "$SMOKE"
 
+echo "==> determinism gate: identical reruns"
+DET=$(mktemp -d)
+cargo run --release -q -p vrio-bench --bin repro -- \
+    --quick --tab3 --json "$DET/run1" > /dev/null
+cargo run --release -q -p vrio-bench --bin repro -- \
+    --quick --tab3 --json "$DET/run2" > /dev/null
+diff "$DET/run1/BENCH_tab3.json" "$DET/run2/BENCH_tab3.json" \
+    || { echo "FAIL: BENCH_tab3.json differs between identical runs"; exit 1; }
+
+echo "==> determinism gate: sweep is thread-count invariant"
+cargo run --release -q -p vrio-bench --bin repro -- \
+    --quick --sweep smoke --threads 1 --json "$DET/t1" > /dev/null 2> /dev/null
+cargo run --release -q -p vrio-bench --bin repro -- \
+    --quick --sweep smoke --threads 4 --json "$DET/t4" > /dev/null 2> /dev/null
+diff "$DET/t1/BENCH_sweep_smoke.json" "$DET/t4/BENCH_sweep_smoke.json" \
+    || { echo "FAIL: sweep JSON differs between --threads 1 and --threads 4"; exit 1; }
+
+echo "==> perf regression gate: sweep vs committed baseline"
+cargo run --release -q -p vrio-bench --bin checkbench -- \
+    "$DET/t4/BENCH_sweep_smoke.json" \
+    --baseline benches/baseline.json --tolerance 0.15
+rm -rf "$DET"
+
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 
