@@ -13,6 +13,10 @@
 //!                        # grid, runs it across 4 OS threads, and emits
 //!                        # BENCH_sweep_smoke.json (byte-identical for any
 //!                        # thread count)
+//! repro --quick --tab3 --oracle --json /tmp/j
+//!                        # ...with the simulation oracle: every run is
+//!                        # checked against the conservation invariants
+//!                        # (observe-only — the output bytes are identical)
 //! ```
 
 use vrio_bench::*;
@@ -99,6 +103,13 @@ fn main() {
             })
         })
         .unwrap_or(4);
+    // --oracle: run the instrumented pass and any sweep with the
+    // simulation oracle enabled (observe-only; panics on violation).
+    let oracle = {
+        let n = args.len();
+        args.retain(|a| a != "--oracle");
+        args.len() != n
+    };
     for dir in [&out_dir, &trace_dir, &json_dir].into_iter().flatten() {
         Outputs::ensure_dir(dir);
     }
@@ -159,7 +170,7 @@ fn main() {
                 outputs.write(format!("{dir}/{name}.txt"), &report);
             }
             if trace_dir.is_some() || json_dir.is_some() {
-                let rep = obs.get_or_insert_with(|| latency_breakdown(rc, "all"));
+                let rep = obs.get_or_insert_with(|| latency_breakdown_checked(rc, "all", oracle));
                 if let Some(dir) = &trace_dir {
                     outputs.write(format!("{dir}/TRACE_{name}.json"), &rep.chrome);
                 }
@@ -175,10 +186,11 @@ fn main() {
     // threads, emit the schema-versioned BENCH_sweep_*.json. The document
     // is byte-identical for every --threads value (CI diffs 1 vs 4).
     if let Some(name) = &sweep_name {
-        let spec = SweepSpec::named(name, rc).unwrap_or_else(|e| {
+        let mut spec = SweepSpec::named(name, rc).unwrap_or_else(|e| {
             eprintln!("repro: {e}");
             std::process::exit(2);
         });
+        spec.oracle = oracle;
         let sweep = run_sweep(&spec, threads, true).unwrap_or_else(|e| {
             eprintln!("repro: {e}");
             std::process::exit(2);

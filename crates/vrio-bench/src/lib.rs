@@ -16,7 +16,7 @@ mod sweep;
 mod sys_exps;
 
 pub use cost_exps::{fig1, fig2, fig3, tab1, tab2};
-pub use obs::{latency_breakdown, ObsReport};
+pub use obs::{latency_breakdown, latency_breakdown_checked, ObsReport};
 pub use report::{downsample, f, render_reliability, render_table, sparkline};
 pub use sweep::{
     run_scenario, run_sweep, ConsolidationPoint, EfficiencyPoint, EfficiencySeries, Scenario,

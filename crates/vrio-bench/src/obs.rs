@@ -8,7 +8,7 @@
 //! wire → worker pickup → backend → interrupt → completion), whose means sum
 //! exactly to the end-to-end mean by construction.
 
-use vrio::TestbedConfig;
+use vrio::{OracleConfig, TestbedConfig};
 use vrio_hv::IoModel;
 use vrio_trace::{
     render_chrome_trace, Json, MetricsRegistry, Stage, TraceConfig, TraceExport,
@@ -38,6 +38,14 @@ pub struct ObsReport {
 /// instrumented workload is always the canonical single-VM RR loop, the
 /// lifecycle every model shares.
 pub fn latency_breakdown(rc: ReproConfig, experiment: &str) -> ObsReport {
+    latency_breakdown_checked(rc, experiment, false)
+}
+
+/// [`latency_breakdown`] with the simulation oracle optionally enabled
+/// (`repro --oracle`): every traced run is additionally checked against the
+/// conservation invariants and panics on any violation. The oracle is
+/// observe-only, so the produced report is byte-identical either way.
+pub fn latency_breakdown_checked(rc: ReproConfig, experiment: &str, oracle: bool) -> ObsReport {
     let mut exports: Vec<TraceExport> = Vec::new();
     let mut models: Vec<(String, Json)> = Vec::new();
     let mut rows: Vec<Vec<String>> = Vec::new();
@@ -45,7 +53,13 @@ pub fn latency_breakdown(rc: ReproConfig, experiment: &str) -> ObsReport {
     for model in IoModel::ALL {
         let mut c = TestbedConfig::simple(model, 1);
         c.trace = TraceConfig::memory();
+        if oracle {
+            c.oracle = OracleConfig::on();
+        }
         let r = netperf_rr(c, rc.duration / 2);
+        if oracle {
+            r.oracle.assert_clean(model.name());
+        }
 
         let mut metrics = MetricsRegistry::new();
         r.counters.record(&mut metrics);

@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use vrio::TestbedConfig;
+use vrio::{OracleConfig, TestbedConfig};
 use vrio_hv::IoModel;
 use vrio_sim::{scenario_seed, SimDuration};
 use vrio_trace::{Json, MetricsRegistry};
@@ -88,6 +88,10 @@ pub struct SweepSpec {
     /// Log-normal service-jitter sigma applied to every scenario (breaks
     /// closed-loop phase lock, as the figure experiments do).
     pub service_jitter: f64,
+    /// Run every scenario with the simulation oracle enabled and assert it
+    /// clean. The oracle is observe-only, so results (and the rendered
+    /// JSON) are byte-identical either way.
+    pub oracle: bool,
 }
 
 /// Errors from sweep-spec validation and lookup.
@@ -187,6 +191,7 @@ impl SweepSpec {
             base_seed: 1,
             duration: rc.duration / 4,
             service_jitter: 0.02,
+            oracle: false,
         }
     }
 
@@ -203,6 +208,7 @@ impl SweepSpec {
             base_seed: 1,
             duration: rc.duration / 2,
             service_jitter: 0.02,
+            oracle: false,
         }
     }
 
@@ -219,6 +225,7 @@ impl SweepSpec {
             base_seed: 1,
             duration: rc.duration / 2,
             service_jitter: 0.02,
+            oracle: false,
         }
     }
 
@@ -278,6 +285,7 @@ impl SweepSpec {
                                 seed: 0,
                                 duration: self.duration,
                                 service_jitter: self.service_jitter,
+                                oracle: self.oracle,
                             };
                             let key = s.key();
                             if !seen.insert(key.clone()) {
@@ -319,6 +327,8 @@ pub struct Scenario {
     pub duration: SimDuration,
     /// Service-jitter sigma.
     pub service_jitter: f64,
+    /// Run with the (observe-only) simulation oracle and assert it clean.
+    pub oracle: bool,
 }
 
 impl Scenario {
@@ -337,10 +347,14 @@ impl Scenario {
 
     /// The testbed configuration this scenario runs.
     pub fn config(&self) -> TestbedConfig {
-        TestbedConfig::simple(self.model, self.vms)
+        let mut c = TestbedConfig::simple(self.model, self.vms)
             .with_backend_cores(self.workers)
             .with_seed(self.seed)
-            .with_jitter(self.service_jitter)
+            .with_jitter(self.service_jitter);
+        if self.oracle {
+            c.oracle = OracleConfig::on();
+        }
+        c
     }
 }
 
@@ -379,6 +393,9 @@ pub fn run_scenario(s: &Scenario) -> ScenarioResult {
     match s.workload {
         SweepWorkload::Rr => {
             let r = netperf_rr_sized(s.config(), s.duration, s.msg_bytes as usize);
+            if s.oracle {
+                r.oracle.assert_clean(&key);
+            }
             ScenarioResult {
                 scenario: s.clone(),
                 key,
@@ -395,6 +412,9 @@ pub fn run_scenario(s: &Scenario) -> ScenarioResult {
         }
         SweepWorkload::Stream => {
             let r = netperf_stream_sized(s.config(), s.duration, s.msg_bytes);
+            if s.oracle {
+                r.oracle.assert_clean(&key);
+            }
             ScenarioResult {
                 scenario: s.clone(),
                 key,
@@ -863,6 +883,7 @@ mod tests {
             base_seed: 1,
             duration: SimDuration::millis(4),
             service_jitter: 0.02,
+            oracle: false,
         }
     }
 

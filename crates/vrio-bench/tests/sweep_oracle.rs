@@ -1,0 +1,97 @@
+//! Sweep-level metamorphic and oracle properties: the deterministic sweep
+//! engine's results must be a pure function of each scenario's identity
+//! (invariant under axis permutation), and enabling the simulation oracle
+//! must leave the rendered `BENCH_sweep_*.json` document byte-identical.
+
+use vrio_bench::{run_sweep, ReproConfig, SweepSpec, SweepWorkload};
+use vrio_hv::IoModel;
+use vrio_sim::SimDuration;
+
+fn tiny_spec() -> SweepSpec {
+    SweepSpec {
+        name: "tiny".into(),
+        workloads: vec![SweepWorkload::Rr, SweepWorkload::Stream],
+        models: vec![IoModel::Vrio, IoModel::Elvis],
+        workers: vec![1, 2],
+        vms: vec![1, 2],
+        msg_bytes: vec![64],
+        base_seed: 7,
+        duration: SimDuration::millis(4),
+        service_jitter: 0.02,
+        oracle: false,
+    }
+}
+
+#[test]
+fn sweep_results_are_invariant_under_scenario_permutation() {
+    // Each scenario is seeded from (base_seed, key), never from its grid
+    // position — so permuting the axis vectors reorders the result list
+    // but must not change any scenario's numbers.
+    let forward = run_sweep(&tiny_spec(), 2, false).unwrap();
+
+    let mut reversed_spec = tiny_spec();
+    reversed_spec.workloads.reverse();
+    reversed_spec.models.reverse();
+    reversed_spec.workers.reverse();
+    reversed_spec.vms.reverse();
+    let reversed = run_sweep(&reversed_spec, 2, false).unwrap();
+
+    assert_eq!(forward.results.len(), reversed.results.len());
+    for r in &forward.results {
+        let twin = reversed
+            .results
+            .iter()
+            .find(|t| t.key == r.key)
+            .unwrap_or_else(|| panic!("permuted sweep lost scenario {}", r.key));
+        assert_eq!(
+            r.throughput.to_bits(),
+            twin.throughput.to_bits(),
+            "{}: throughput changed under permutation",
+            r.key
+        );
+        assert_eq!(r.completed, twin.completed, "{}: completed", r.key);
+        assert_eq!(
+            r.mean_latency_us.map(f64::to_bits),
+            twin.mean_latency_us.map(f64::to_bits),
+            "{}: mean latency",
+            r.key
+        );
+        assert_eq!(
+            r.p999_us.map(f64::to_bits),
+            twin.p999_us.map(f64::to_bits),
+            "{}: p99.9",
+            r.key
+        );
+    }
+}
+
+#[test]
+fn oracle_enabled_sweep_renders_byte_identical_json() {
+    // `repro --sweep ... --oracle` checks every scenario against the
+    // conservation invariants (run_scenario panics on violation, so this
+    // test doubles as "the tiny grid runs clean") without changing a
+    // single output byte.
+    let plain = run_sweep(&tiny_spec(), 2, false).unwrap();
+    let mut spec = tiny_spec();
+    spec.oracle = true;
+    let checked = run_sweep(&spec, 2, false).unwrap();
+    assert_eq!(
+        plain.to_json().render_pretty(),
+        checked.to_json().render_pretty(),
+        "oracle-enabled sweep changed the rendered JSON"
+    );
+}
+
+#[test]
+fn smoke_spec_runs_clean_under_the_oracle() {
+    // The CI gate's exact configuration: the named smoke grid with the
+    // oracle asserting every scenario clean.
+    let rc = ReproConfig {
+        duration: SimDuration::millis(8),
+        tail_duration: SimDuration::millis(8),
+    };
+    let mut spec = SweepSpec::smoke(rc);
+    spec.oracle = true;
+    let sweep = run_sweep(&spec, 4, false).unwrap();
+    assert!(!sweep.results.is_empty());
+}

@@ -1,0 +1,50 @@
+//! Golden-file test for the Table 3 event counters: the per-request
+//! virtualization-event accounting is fully deterministic, so the rendered
+//! table must match `tests/golden/tab3_quick.txt` byte for byte. A
+//! mismatch fails with a line-by-line diff naming exactly which model's
+//! counters moved.
+//!
+//! To refresh after an intentional counter change, run a binary printing
+//! `tab3(ReproConfig { duration: 120ms, tail_duration: 120ms })` and
+//! commit the new file — and justify the counter change in the PR, since
+//! Table 3 is the paper's central cost claim.
+
+use vrio_bench::{tab3, ReproConfig};
+use vrio_sim::SimDuration;
+
+#[test]
+fn tab3_counters_match_the_committed_golden_file() {
+    let rc = ReproConfig {
+        duration: SimDuration::millis(120),
+        tail_duration: SimDuration::millis(120),
+    };
+    let actual = tab3(rc);
+    let expected = include_str!("golden/tab3_quick.txt");
+    if actual == expected {
+        return;
+    }
+    let mut diff = String::new();
+    let mut exp_lines = expected.lines();
+    let mut act_lines = actual.lines();
+    let mut n = 0usize;
+    loop {
+        n += 1;
+        match (exp_lines.next(), act_lines.next()) {
+            (None, None) => break,
+            (e, a) if e == a => continue,
+            (e, a) => {
+                diff.push_str(&format!(
+                    "  line {n}:\n    golden: {}\n    actual: {}\n",
+                    e.unwrap_or("<end of file>"),
+                    a.unwrap_or("<end of file>"),
+                ));
+            }
+        }
+    }
+    panic!(
+        "Table 3 output diverged from tests/golden/tab3_quick.txt — the \
+         per-request event counters changed:\n{diff}\
+         If the change is intentional, regenerate the golden file and \
+         explain the counter delta in the PR."
+    );
+}

@@ -33,4 +33,4 @@ pub use costs::CostModel;
 pub use counters::{table3_expected, EventCounters, IoModel, ReliabilityCounters};
 pub use eli::{MsrBitmap, MSR_X2APIC_EOI, MSR_X2APIC_ICR, MSR_X2APIC_TPR};
 pub use guest::GuestCpu;
-pub use vm::{BlkCompletion, DeviceError, VirtioBlkDevice, VirtioNetDevice, Vm, VmId};
+pub use vm::{BlkCompletion, DeviceError, QueueAudit, VirtioBlkDevice, VirtioNetDevice, Vm, VmId};

@@ -223,6 +223,41 @@ impl VirtioBlkDevice {
     }
 }
 
+/// A point-in-time snapshot of one virtqueue (driver half plus device
+/// half), produced by [`Vm::ring_audit`] for external invariant checkers.
+///
+/// The snapshot is pure observation: taking it reads counters only and
+/// cannot perturb the queue. Note that `in_flight_chains` counts *chains*
+/// (publish-to-reap units) while `free_descriptors` counts *descriptors*;
+/// a chain may span several descriptors, so the two are related by
+/// inequalities, not an exact sum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueAudit {
+    /// Which queue this is (`"net-tx"`, `"net-rx"`, `"blk"`).
+    pub name: &'static str,
+    /// Ring size in descriptors.
+    pub capacity: u16,
+    /// Descriptors currently on the driver's free list.
+    pub free_descriptors: usize,
+    /// Chains published but not yet reaped by the driver.
+    pub in_flight_chains: u16,
+    /// Operation counters of the driver half.
+    pub driver: RingOps,
+    /// Operation counters of the device half.
+    pub device: RingOps,
+}
+
+fn audit_queue(name: &'static str, drv: &DriverQueue, dev: &DeviceQueue) -> QueueAudit {
+    QueueAudit {
+        name,
+        capacity: drv.layout().size,
+        free_descriptors: drv.free_descriptors(),
+        in_flight_chains: drv.in_flight(),
+        driver: drv.ops(),
+        device: dev.ops(),
+    }
+}
+
 /// A completed block request as the guest sees it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlkCompletion {
@@ -284,6 +319,17 @@ impl Vm {
         ops.add(&self.blk.drv.ops());
         ops.add(&self.blk.dev.ops());
         ops
+    }
+
+    /// Snapshots every virtqueue of this VM for descriptor-conservation
+    /// checking (net tx, net rx, blk). Observation only — reads counters,
+    /// never touches ring state.
+    pub fn ring_audit(&self) -> [QueueAudit; 3] {
+        [
+            audit_queue("net-tx", &self.net.tx_drv, &self.net.tx_dev),
+            audit_queue("net-rx", &self.net.rx_drv, &self.net.rx_dev),
+            audit_queue("blk", &self.blk.drv, &self.blk.dev),
+        ]
     }
 
     // ---- net front-end (guest side) -------------------------------------

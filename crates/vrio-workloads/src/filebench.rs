@@ -11,7 +11,7 @@
 //! switches "two orders of magnitude" more often and lose to vRIO at two
 //! reader/writer pairs.
 
-use vrio::{blk_request, HasTestbed, Testbed, TestbedConfig};
+use vrio::{blk_request, HasTestbed, Oracle, Testbed, TestbedConfig};
 use vrio_block::{BlockRequest, RequestId};
 use vrio_hv::{IoModel, ReliabilityCounters};
 use vrio_sim::{Engine, SimDuration, SimTime};
@@ -71,6 +71,8 @@ pub struct FilebenchResult {
     pub reliability: ReliabilityCounters,
     /// The run's tracer handle (inert when the config left tracing off).
     pub trace: Tracer,
+    /// The run's oracle handle (inert when the config left it off).
+    pub oracle: Oracle,
 }
 
 struct FbWorld {
@@ -282,9 +284,13 @@ pub fn run_filebench_with(
     // Observe-only probe: count engine event firings on the tracer. The
     // probe neither schedules nor draws randomness, so enabling it keeps
     // the run bit-identical.
-    if world.tb.trace.enabled() {
+    if world.tb.trace.enabled() || world.tb.oracle.enabled() {
         let t = world.tb.trace.clone();
-        eng.set_probe(move |_| t.on_engine_event());
+        let o = world.tb.oracle.clone();
+        eng.set_probe(move |now| {
+            t.on_engine_event();
+            o.on_engine_event(now);
+        });
     }
 
     for vm in 0..num_vms {
@@ -351,6 +357,7 @@ pub fn run_filebench_with(
     });
     eng.run(&mut world);
     world.tb.export_thread_tracks();
+    world.tb.oracle.finish();
 
     let horizon = deadline;
     let window = SimDuration::millis(1);
@@ -379,6 +386,7 @@ pub fn run_filebench_with(
             .collect(),
         reliability: world.tb.reliability_report(),
         trace: world.tb.trace.clone(),
+        oracle: world.tb.oracle.clone(),
     }
 }
 

@@ -2,7 +2,7 @@
 //! stream throughput benchmark (paper §5, Figures 7–11 and 13).
 
 use bytes::Bytes;
-use vrio::{net_request_response, stream_batch, HasTestbed, Testbed, TestbedConfig};
+use vrio::{net_request_response, stream_batch, HasTestbed, Oracle, Testbed, TestbedConfig};
 use vrio_hv::{EventCounters, ReliabilityCounters};
 use vrio_sim::{Engine, Histogram, SimDuration, SimTime};
 use vrio_trace::Tracer;
@@ -27,6 +27,9 @@ pub struct RrResult {
     /// The run's tracer handle (inert when the config left tracing off):
     /// buffered events, open/ended spans, and the latency breakdown.
     pub trace: Tracer,
+    /// The run's oracle handle (inert when the config left it off):
+    /// invariant check counts and any recorded violations.
+    pub oracle: Oracle,
 }
 
 struct RrWorld {
@@ -85,9 +88,13 @@ pub fn netperf_rr_sized(config: TestbedConfig, duration: SimDuration, resp_len: 
     // Observe-only probe: count engine event firings on the tracer. The
     // probe neither schedules nor draws randomness, so enabling it keeps
     // the run bit-identical.
-    if world.tb.trace.enabled() {
+    if world.tb.trace.enabled() || world.tb.oracle.enabled() {
         let t = world.tb.trace.clone();
-        eng.set_probe(move |_| t.on_engine_event());
+        let o = world.tb.oracle.clone();
+        eng.set_probe(move |now| {
+            t.on_engine_event();
+            o.on_engine_event(now);
+        });
     }
 
     fn issue(w: &mut RrWorld, eng: &mut Engine<RrWorld>, vm: usize, app: SimDuration, resp: usize) {
@@ -124,6 +131,7 @@ pub fn netperf_rr_sized(config: TestbedConfig, duration: SimDuration, resp_len: 
     });
     eng.run(&mut world);
     world.tb.export_thread_tracks();
+    world.tb.oracle.finish();
 
     let mean = world.hist.mean();
     RrResult {
@@ -134,6 +142,7 @@ pub fn netperf_rr_sized(config: TestbedConfig, duration: SimDuration, resp_len: 
         counters: world.tb.counters,
         reliability: world.tb.reliability_report(),
         trace: world.tb.trace.clone(),
+        oracle: world.tb.oracle.clone(),
         histogram: world.hist,
     }
 }
@@ -148,6 +157,8 @@ pub struct StreamResult {
     /// Mean VM-side (VM cores + backend cores) CPU cycles per message —
     /// the paper's Figure 10 metric.
     pub cycles_per_msg: f64,
+    /// The run's oracle handle (inert when the config left it off).
+    pub oracle: Oracle,
 }
 
 struct StreamWorld {
@@ -207,6 +218,10 @@ pub fn netperf_stream_sized(
         busy_at_warmup: SimDuration::ZERO,
     };
     let mut eng: Engine<StreamWorld> = Engine::new();
+    if world.tb.oracle.enabled() {
+        let o = world.tb.oracle.clone();
+        eng.set_probe(move |now| o.on_engine_event(now));
+    }
 
     fn pump(w: &mut StreamWorld, eng: &mut Engine<StreamWorld>, vm: usize, msg_bytes: u64) {
         stream_batch(w, eng, vm, BATCH, msg_bytes, move |w, eng| {
@@ -229,6 +244,7 @@ pub fn netperf_stream_sized(
         w.busy_at_warmup = w.tb.vmside_busy();
     });
     eng.run(&mut world);
+    world.tb.oracle.finish();
 
     let bits = world.delivered_msgs * msg_bytes * 8;
     let gbps = bits as f64 / duration.as_secs_f64() / 1e9;
@@ -243,6 +259,7 @@ pub fn netperf_stream_sized(
         gbps,
         messages: world.delivered_msgs,
         cycles_per_msg,
+        oracle: world.tb.oracle.clone(),
     }
 }
 

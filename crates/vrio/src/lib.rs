@@ -67,6 +67,7 @@ mod dynamic;
 mod health;
 mod interpose;
 mod iohost;
+mod oracle;
 mod proto;
 mod testbed;
 mod transport;
@@ -86,6 +87,7 @@ pub use interpose::{
     RecordReplayService, Verdict,
 };
 pub use iohost::{ControlError, DeviceKind, DeviceRegistry, DeviceSpec, Steering, WorkerId};
+pub use oracle::{FlowToken, Oracle, OracleConfig, OracleReport, Violation};
 pub use proto::{DeviceId, VrioHdr, VrioMsg, VrioMsgKind, VRIO_HDR_SIZE};
 pub use testbed::{
     blk_request, net_request_response, run_steps, stream_batch, BlkOutcome, CoreRef, CounterKind,

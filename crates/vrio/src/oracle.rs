@@ -1,0 +1,845 @@
+//! The simulation oracle: an **observe-only invariant checker** wired into
+//! the testbed flows and the engine probe.
+//!
+//! The testbed's value rests on the claim that every protocol mechanism is
+//! real executable code over real bytes. The oracle turns that claim into
+//! machine-checked *laws* that hold across every flow, model and fault
+//! schedule:
+//!
+//! * **Exactly-once completion** — every request a generator begins is
+//!   completed exactly once (or explicitly dropped by a modeled loss),
+//!   even across retransmission, failover and failback
+//!   ([`Oracle::flow_begin`] / [`Oracle::flow_complete`] /
+//!   [`Oracle::flow_drop`] / [`Oracle::finish`]).
+//! * **Descriptor conservation** — virtqueue push/pop/complete never leaks
+//!   or duplicates ring slots, checked against live
+//!   [`vrio_virtio::RingOps`] counters at every lifecycle mark
+//!   ([`Oracle::audit_queue`]).
+//! * **Byte conservation** — payloads survive encapsulation → wire →
+//!   decapsulation unchanged, including the fake-TCP TSO
+//!   segmentation/reassembly path ([`Oracle::check_bytes`]).
+//! * **Per-device FIFO steering** — a device's requests never migrate to a
+//!   different IOhost worker while any are in flight
+//!   ([`Oracle::steer_assign`] / [`Oracle::steer_release`]).
+//! * **Monotone causality** — lifecycle marks within a span never run
+//!   backwards in time, and neither does the engine clock
+//!   ([`Oracle::on_mark`] / [`Oracle::on_engine_event`]).
+//!
+//! Like the tracer, the oracle is **strictly observe-only**: it owns no
+//! RNG, schedules no events, and every method takes `&self` on a shared
+//! handle, so enabling it is bit-identical to disabling it (asserted under
+//! active fault injection in `tests/oracle.rs`). Violations are recorded,
+//! not panicked, so a run can complete and report everything it found;
+//! [`Oracle::assert_clean`] is the panicking gate for tests and CI.
+//!
+//! To add an invariant: add a recording method on [`Oracle`] (it must draw
+//! no randomness and schedule nothing), call it from the flow or probe
+//! site that observes the relevant state, and give violations a stable
+//! `invariant` name plus a message carrying enough identifiers (VM, queue,
+//! span, counts) to act on.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use vrio_hv::QueueAudit;
+use vrio_sim::SimTime;
+use vrio_trace::{SpanId, Stage};
+
+/// Configuration for the oracle: plain data so [`TestbedConfig`] stays
+/// `Send`; the live handle is built by `Testbed::new`.
+///
+/// [`TestbedConfig`]: crate::TestbedConfig
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OracleConfig {
+    enabled: bool,
+}
+
+impl OracleConfig {
+    /// Oracle disabled (the default): every hook is a no-op.
+    pub fn off() -> Self {
+        OracleConfig { enabled: false }
+    }
+
+    /// Oracle enabled: invariants are checked inline at every hook site.
+    pub fn on() -> Self {
+        OracleConfig { enabled: true }
+    }
+
+    /// Whether this configuration enables the oracle.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+/// Handle to one request in the exactly-once ledger, returned by
+/// [`Oracle::flow_begin`]. Copyable so flows can capture it in event
+/// closures; [`FlowToken::NONE`] is the inert handle returned when the
+/// oracle is off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowToken(u64);
+
+impl FlowToken {
+    /// The inert token (all ledger operations on it are no-ops).
+    pub const NONE: FlowToken = FlowToken(0);
+}
+
+/// One recorded invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable name of the violated invariant class
+    /// (`"exactly-once"`, `"descriptor-conservation"`,
+    /// `"byte-conservation"`, `"fifo-steering"`, `"causality"`).
+    pub invariant: &'static str,
+    /// Human-actionable description: what law broke, where, and the
+    /// observed vs expected values.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.invariant, self.message)
+    }
+}
+
+/// Summary of an oracle run: how much was checked and what broke.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleReport {
+    /// Total individual invariant checks performed.
+    pub checks: u64,
+    /// Flows entered into the exactly-once ledger.
+    pub flows_begun: u64,
+    /// Flows completed exactly once.
+    pub flows_completed: u64,
+    /// Flows explicitly dropped by a modeled loss.
+    pub flows_dropped: u64,
+    /// Recorded violations (capped; see `violations_dropped`).
+    pub violations: Vec<Violation>,
+    /// Violations beyond the recording cap (counted, not stored).
+    pub violations_dropped: u64,
+}
+
+/// How an exactly-once ledger entry was closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Closed {
+    Completed,
+    Dropped,
+}
+
+struct OpenFlow {
+    kind: &'static str,
+    begun: SimTime,
+}
+
+/// Recorded violations are capped to keep a badly broken run from
+/// ballooning; the overflow is still counted.
+const MAX_VIOLATIONS: usize = 256;
+
+#[derive(Default)]
+struct Inner {
+    checks: u64,
+    next_flow: u64,
+    open: HashMap<u64, OpenFlow>,
+    closed: HashMap<u64, (&'static str, Closed)>,
+    flows_begun: u64,
+    flows_completed: u64,
+    flows_dropped: u64,
+    /// Per-device steering state: (requests in flight, owning worker).
+    steer: HashMap<u32, (u64, usize)>,
+    /// Last mark time per live span.
+    span_last: HashMap<SpanId, SimTime>,
+    last_engine_event: Option<SimTime>,
+    violations: Vec<Violation>,
+    violations_dropped: u64,
+}
+
+impl Inner {
+    fn violate(&mut self, invariant: &'static str, message: String) {
+        if self.violations.len() < MAX_VIOLATIONS {
+            self.violations.push(Violation { invariant, message });
+        } else {
+            self.violations_dropped += 1;
+        }
+    }
+}
+
+/// The oracle handle: cheap to clone (all clones share state), inert when
+/// the config left the oracle off. See the [module docs](self) for the
+/// invariant catalog and the observe-only construction.
+#[derive(Clone, Default)]
+pub struct Oracle {
+    inner: Option<Rc<RefCell<Inner>>>,
+}
+
+impl std::fmt::Debug for Oracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => write!(f, "Oracle(off)"),
+            Some(i) => {
+                let i = i.borrow();
+                write!(
+                    f,
+                    "Oracle(checks: {}, violations: {})",
+                    i.checks,
+                    i.violations.len()
+                )
+            }
+        }
+    }
+}
+
+impl Oracle {
+    /// Builds a handle from the configuration.
+    pub fn new(config: &OracleConfig) -> Self {
+        Oracle {
+            inner: config
+                .enabled
+                .then(|| Rc::new(RefCell::new(Inner::default()))),
+        }
+    }
+
+    /// The inert handle (equivalent to `Oracle::new(&OracleConfig::off())`).
+    pub fn off() -> Self {
+        Oracle { inner: None }
+    }
+
+    /// Whether the oracle is recording.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    // ---- exactly-once request ledger ------------------------------------
+
+    /// Enters a new request into the ledger. Call once per generated
+    /// request; the token identifies it for the lifetime of the flow.
+    pub fn flow_begin(&self, kind: &'static str, now: SimTime) -> FlowToken {
+        let Some(inner) = &self.inner else {
+            return FlowToken::NONE;
+        };
+        let mut i = inner.borrow_mut();
+        i.next_flow += 1;
+        i.flows_begun += 1;
+        let token = i.next_flow;
+        i.open.insert(token, OpenFlow { kind, begun: now });
+        FlowToken(token)
+    }
+
+    /// Records that a flow's request or response was lost to a modeled
+    /// drop (firewall, channel loss, IOhost outage) with no retransmission
+    /// to recover it. Closes the ledger entry: a later completion of the
+    /// same flow is a violation.
+    pub fn flow_drop(&self, token: FlowToken, now: SimTime) {
+        self.close_flow(token, now, Closed::Dropped);
+    }
+
+    /// Records a flow completion. Every begun flow must reach exactly one
+    /// of [`Oracle::flow_complete`] / [`Oracle::flow_drop`]; a second
+    /// closure or a completion of an unknown token is a violation.
+    pub fn flow_complete(&self, token: FlowToken, now: SimTime) {
+        self.close_flow(token, now, Closed::Completed);
+    }
+
+    fn close_flow(&self, token: FlowToken, now: SimTime, how: Closed) {
+        let Some(inner) = &self.inner else { return };
+        if token == FlowToken::NONE {
+            return;
+        }
+        let mut i = inner.borrow_mut();
+        i.checks += 1;
+        match i.open.remove(&token.0) {
+            Some(flow) => {
+                if now < flow.begun {
+                    i.violate(
+                        "causality",
+                        format!(
+                            "{} flow {} closed at {:?}, before it began at {:?}",
+                            flow.kind, token.0, now, flow.begun
+                        ),
+                    );
+                }
+                match how {
+                    Closed::Completed => i.flows_completed += 1,
+                    Closed::Dropped => i.flows_dropped += 1,
+                }
+                i.closed.insert(token.0, (flow.kind, how));
+            }
+            None => {
+                let msg = match i.closed.get(&token.0) {
+                    Some((kind, prev)) => format!(
+                        "{kind} flow {} closed twice: already {} and now {} at {now:?} \
+                         — a completion was delivered more than once",
+                        token.0,
+                        match prev {
+                            Closed::Completed => "completed",
+                            Closed::Dropped => "dropped",
+                        },
+                        match how {
+                            Closed::Completed => "completed",
+                            Closed::Dropped => "dropped",
+                        },
+                    ),
+                    None => format!(
+                        "flow {} {} at {now:?} but was never begun — \
+                         a completion appeared out of thin air",
+                        token.0,
+                        match how {
+                            Closed::Completed => "completed",
+                            Closed::Dropped => "dropped",
+                        },
+                    ),
+                };
+                i.violate("exactly-once", msg);
+            }
+        }
+    }
+
+    /// End-of-run ledger audit: every flow still open leaked — it was
+    /// begun but neither completed nor accounted as a modeled drop. Call
+    /// after the engine drains.
+    pub fn finish(&self) {
+        let Some(inner) = &self.inner else { return };
+        let mut i = inner.borrow_mut();
+        i.checks += 1;
+        let mut leaked: Vec<(u64, &'static str, SimTime)> =
+            i.open.iter().map(|(&t, f)| (t, f.kind, f.begun)).collect();
+        leaked.sort_by_key(|&(t, _, _)| t);
+        for (token, kind, begun) in leaked {
+            i.violate(
+                "exactly-once",
+                format!(
+                    "{kind} flow {token} begun at {begun:?} never completed nor dropped \
+                     — the request leaked"
+                ),
+            );
+        }
+        i.open.clear();
+    }
+
+    // ---- descriptor conservation -----------------------------------------
+
+    /// Checks one virtqueue snapshot against the conservation laws:
+    /// nothing is popped before it is published, completed before it is
+    /// popped, or reaped before it is completed; in-flight chains equal
+    /// published minus reaped; and the free list plus in-flight chains
+    /// never exceed the ring (each live chain pins at least one
+    /// descriptor). Called for every VM queue at every lifecycle mark.
+    pub fn audit_queue(&self, vm: usize, q: &QueueAudit) {
+        let Some(inner) = &self.inner else { return };
+        let mut i = inner.borrow_mut();
+        i.checks += 1;
+        let scope = |law: &str| format!("vm{vm}/{}: {law}", q.name);
+        let published = q.driver.chains_published;
+        let popped = q.device.chains_popped;
+        let pushed = q.device.used_pushed;
+        let reaped = q.driver.used_reaped;
+        if popped > published {
+            i.violate(
+                "descriptor-conservation",
+                format!(
+                    "{} (popped {popped} > published {published}) — the device popped a \
+                     chain the driver never published",
+                    scope("chains_popped <= chains_published")
+                ),
+            );
+        }
+        if pushed > popped {
+            i.violate(
+                "descriptor-conservation",
+                format!(
+                    "{} (pushed {pushed} > popped {popped}) — a used element was pushed \
+                     for a chain that was never popped",
+                    scope("used_pushed <= chains_popped")
+                ),
+            );
+        }
+        if reaped > pushed {
+            i.violate(
+                "descriptor-conservation",
+                format!(
+                    "{} (reaped {reaped} > pushed {pushed}) — the driver reaped a \
+                     completion the device never pushed",
+                    scope("used_reaped <= used_pushed")
+                ),
+            );
+        }
+        let in_flight = u64::from(q.in_flight_chains);
+        if published < reaped || published - reaped != in_flight {
+            i.violate(
+                "descriptor-conservation",
+                format!(
+                    "{} (published {published} - reaped {reaped} != in-flight {in_flight}) \
+                     — a ring slot was leaked or duplicated",
+                    scope("in_flight == published - reaped")
+                ),
+            );
+        }
+        let capacity = usize::from(q.capacity);
+        if q.free_descriptors > capacity {
+            i.violate(
+                "descriptor-conservation",
+                format!(
+                    "{} (free {} > capacity {capacity}) — a descriptor was freed twice",
+                    scope("free <= capacity"),
+                    q.free_descriptors
+                ),
+            );
+        }
+        if q.free_descriptors + usize::from(q.in_flight_chains) > capacity {
+            i.violate(
+                "descriptor-conservation",
+                format!(
+                    "{} (free {} + in-flight {} > capacity {capacity}) — an in-flight \
+                     chain's descriptors were returned to the free list early",
+                    scope("free + in_flight <= capacity"),
+                    q.free_descriptors,
+                    q.in_flight_chains
+                ),
+            );
+        }
+    }
+
+    // ---- byte conservation ------------------------------------------------
+
+    /// Checks that a payload survived a transformation pipeline
+    /// byte-for-byte (encapsulation → wire → decapsulation, or TSO
+    /// segmentation → reassembly).
+    pub fn check_bytes(&self, what: &'static str, expected: &[u8], actual: &[u8]) {
+        let Some(inner) = &self.inner else { return };
+        let mut i = inner.borrow_mut();
+        i.checks += 1;
+        if expected == actual {
+            return;
+        }
+        let msg = if expected.len() != actual.len() {
+            format!(
+                "{what}: byte count changed in flight — {} bytes in, {} bytes out",
+                expected.len(),
+                actual.len()
+            )
+        } else {
+            let at = expected
+                .iter()
+                .zip(actual)
+                .position(|(a, b)| a != b)
+                .unwrap_or(0);
+            format!(
+                "{what}: payload corrupted in flight — first difference at byte {at} \
+                 ({:#04x} became {:#04x}) of {}",
+                expected[at],
+                actual[at],
+                expected.len()
+            )
+        };
+        i.violate("byte-conservation", msg);
+    }
+
+    // ---- per-device FIFO steering -----------------------------------------
+
+    /// Records a steering decision: `device`'s next request was assigned
+    /// to `worker`. While the device has requests in flight they must all
+    /// stay on the same worker — otherwise per-device FIFO ordering is
+    /// lost (paper §4.1).
+    pub fn steer_assign(&self, device: u32, worker: usize) {
+        let Some(inner) = &self.inner else { return };
+        let mut i = inner.borrow_mut();
+        i.checks += 1;
+        let (inflight, owner) = i.steer.get(&device).copied().unwrap_or((0, worker));
+        if inflight > 0 && owner != worker {
+            i.violate(
+                "fifo-steering",
+                format!(
+                    "device {device} steered to worker {worker} while {inflight} \
+                     request(s) are in flight on worker {owner} — per-device FIFO \
+                     ordering is broken"
+                ),
+            );
+        }
+        // Track the latest decision so one bug reports once per switch.
+        i.steer.insert(device, (inflight + 1, worker));
+    }
+
+    /// Records a steering completion: one of `device`'s in-flight requests
+    /// finished. A completion with nothing in flight is a violation.
+    pub fn steer_release(&self, device: u32) {
+        let Some(inner) = &self.inner else { return };
+        let mut i = inner.borrow_mut();
+        i.checks += 1;
+        match i.steer.get_mut(&device) {
+            Some((inflight, _)) if *inflight > 0 => *inflight -= 1,
+            _ => i.violate(
+                "fifo-steering",
+                format!(
+                    "device {device} completed a request with none in flight — \
+                     a completion was double-counted"
+                ),
+            ),
+        }
+    }
+
+    // ---- monotone causality -----------------------------------------------
+
+    /// Observes a lifecycle mark. Marks within one span must never run
+    /// backwards in time. Inert spans ([`SpanId::NONE`], tracing off) are
+    /// skipped — they share one id across all flows.
+    pub fn on_mark(&self, span: SpanId, stage: Stage, now: SimTime) {
+        let Some(inner) = &self.inner else { return };
+        if span == SpanId::NONE {
+            return;
+        }
+        let mut i = inner.borrow_mut();
+        i.checks += 1;
+        match i.span_last.get_mut(&span) {
+            Some(last) => {
+                if now < *last {
+                    let prev = *last;
+                    i.violate(
+                        "causality",
+                        format!(
+                            "span {span:?} marked '{stage}' at {now:?}, before its \
+                             previous mark at {prev:?} — lifecycle stages ran backwards"
+                        ),
+                    );
+                } else {
+                    *last = now;
+                }
+            }
+            None => {
+                i.span_last.insert(span, now);
+            }
+        }
+    }
+
+    /// Observes one engine event firing (wired through
+    /// `Engine::set_probe`). The simulated clock must be monotone.
+    pub fn on_engine_event(&self, now: SimTime) {
+        let Some(inner) = &self.inner else { return };
+        let mut i = inner.borrow_mut();
+        i.checks += 1;
+        if let Some(last) = i.last_engine_event {
+            if now < last {
+                i.violate(
+                    "causality",
+                    format!("engine event fired at {now:?}, before the previous at {last:?}"),
+                );
+            }
+        }
+        i.last_engine_event = Some(now);
+    }
+
+    // ---- reporting ---------------------------------------------------------
+
+    /// Total individual invariant checks performed so far.
+    pub fn checks(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |inner| inner.borrow().checks)
+    }
+
+    /// All recorded violations (empty when the oracle is off or clean).
+    pub fn violations(&self) -> Vec<Violation> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |inner| inner.borrow().violations.clone())
+    }
+
+    /// Whether no violation has been recorded.
+    pub fn is_clean(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_none_or(|inner| inner.borrow().violations.is_empty())
+    }
+
+    /// Snapshot of the run's oracle accounting.
+    pub fn report(&self) -> OracleReport {
+        match &self.inner {
+            None => OracleReport {
+                checks: 0,
+                flows_begun: 0,
+                flows_completed: 0,
+                flows_dropped: 0,
+                violations: Vec::new(),
+                violations_dropped: 0,
+            },
+            Some(inner) => {
+                let i = inner.borrow();
+                OracleReport {
+                    checks: i.checks,
+                    flows_begun: i.flows_begun,
+                    flows_completed: i.flows_completed,
+                    flows_dropped: i.flows_dropped,
+                    violations: i.violations.clone(),
+                    violations_dropped: i.violations_dropped,
+                }
+            }
+        }
+    }
+
+    /// Panics with every recorded violation if any exists. The CI gate:
+    /// `context` names the run for the failure message.
+    pub fn assert_clean(&self, context: &str) {
+        let violations = self.violations();
+        if violations.is_empty() {
+            return;
+        }
+        let mut msg = format!(
+            "oracle found {} violation(s) in {context} (after {} checks):\n",
+            violations.len(),
+            self.checks()
+        );
+        for v in &violations {
+            msg.push_str("  - ");
+            msg.push_str(&v.to_string());
+            msg.push('\n');
+        }
+        panic!("{msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrio_virtio::RingOps;
+
+    fn on() -> Oracle {
+        Oracle::new(&OracleConfig::on())
+    }
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + vrio_sim::SimDuration::micros(us)
+    }
+
+    fn healthy_queue() -> QueueAudit {
+        QueueAudit {
+            name: "net-tx",
+            capacity: 256,
+            free_descriptors: 255,
+            in_flight_chains: 1,
+            driver: RingOps {
+                chains_published: 10,
+                used_reaped: 9,
+                driver_kicks: 10,
+                chains_popped: 0,
+                used_pushed: 0,
+                driver_signals: 0,
+            },
+            device: RingOps {
+                chains_published: 0,
+                used_reaped: 0,
+                driver_kicks: 0,
+                chains_popped: 10,
+                used_pushed: 9,
+                driver_signals: 9,
+            },
+        }
+    }
+
+    #[test]
+    fn disabled_oracle_is_inert_and_clean() {
+        let o = Oracle::off();
+        assert!(!o.enabled());
+        let tok = o.flow_begin("x", t(0));
+        assert_eq!(tok, FlowToken::NONE);
+        o.flow_complete(tok, t(1));
+        o.finish();
+        o.audit_queue(0, &healthy_queue());
+        assert_eq!(o.checks(), 0);
+        assert!(o.is_clean());
+        o.assert_clean("inert");
+    }
+
+    #[test]
+    fn clean_lifecycle_records_no_violations() {
+        let o = on();
+        let a = o.flow_begin("net_rr", t(0));
+        let b = o.flow_begin("blk", t(1));
+        o.audit_queue(0, &healthy_queue());
+        o.steer_assign(0, 1);
+        o.steer_release(0);
+        o.check_bytes("wire", b"payload", b"payload");
+        o.flow_complete(a, t(5));
+        o.flow_drop(b, t(6));
+        o.finish();
+        let r = o.report();
+        assert!(o.is_clean(), "{:?}", r.violations);
+        assert_eq!(r.flows_begun, 2);
+        assert_eq!(r.flows_completed, 1);
+        assert_eq!(r.flows_dropped, 1);
+        assert!(r.checks >= 6);
+    }
+
+    // ---- seeded violations: one per invariant class, proving the oracle
+    // fires with an actionable message ------------------------------------
+
+    #[test]
+    fn seeded_double_completion_fires_exactly_once() {
+        let o = on();
+        let tok = o.flow_begin("net_rr", t(0));
+        o.flow_complete(tok, t(5));
+        o.flow_complete(tok, t(9)); // a duplicate completion delivery
+        let v = o.violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "exactly-once");
+        assert!(v[0].message.contains("closed twice"), "{}", v[0].message);
+        assert!(
+            v[0].message.contains("net_rr"),
+            "names the flow kind: {}",
+            v[0].message
+        );
+    }
+
+    #[test]
+    fn seeded_dropped_completion_fires_exactly_once_leak() {
+        let o = on();
+        let kept = o.flow_begin("blk", t(0));
+        let _lost = o.flow_begin("blk", t(1));
+        o.flow_complete(kept, t(5));
+        // `lost`'s completion never arrives and no drop was modeled.
+        o.finish();
+        let v = o.violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "exactly-once");
+        assert!(v[0].message.contains("leaked"), "{}", v[0].message);
+        assert!(v[0].message.contains("blk"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn seeded_corrupt_ring_counters_fire_descriptor_conservation() {
+        let o = on();
+        // The device "completes" a chain it never popped.
+        let mut q = healthy_queue();
+        q.device.used_pushed = q.device.chains_popped + 1;
+        o.audit_queue(3, &q);
+        let v = o.violations();
+        assert!(!v.is_empty());
+        assert_eq!(v[0].invariant, "descriptor-conservation");
+        assert!(v[0].message.contains("vm3/net-tx"), "{}", v[0].message);
+        assert!(v[0].message.contains("never popped"), "{}", v[0].message);
+
+        // A descriptor freed while its chain is still in flight.
+        let o = on();
+        let mut q = healthy_queue();
+        q.free_descriptors = 256;
+        o.audit_queue(0, &q);
+        let v = o.violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("free 256"), "{}", v[0].message);
+
+        // In-flight accounting that disagrees with the ops counters
+        // (a leaked ring slot).
+        let o = on();
+        let mut q = healthy_queue();
+        q.in_flight_chains = 7;
+        o.audit_queue(0, &q);
+        let v = o.violations();
+        assert!(
+            v.iter().any(|v| v.message.contains("leaked or duplicated")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn seeded_truncated_payload_fires_byte_conservation() {
+        let o = on();
+        o.check_bytes("blk tso reassembly", b"0123456789", b"01234");
+        let v = o.violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "byte-conservation");
+        assert!(
+            v[0].message.contains("10 bytes in, 5 bytes out"),
+            "{}",
+            v[0].message
+        );
+
+        let o = on();
+        o.check_bytes("wire", b"abcdef", b"abXdef");
+        let v = o.violations();
+        assert!(
+            v[0].message.contains("first difference at byte 2"),
+            "{}",
+            v[0].message
+        );
+    }
+
+    #[test]
+    fn seeded_worker_migration_fires_fifo_steering() {
+        let o = on();
+        o.steer_assign(7, 0);
+        o.steer_assign(7, 1); // migrates while one request is in flight
+        let v = o.violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "fifo-steering");
+        assert!(v[0].message.contains("device 7"), "{}", v[0].message);
+        assert!(v[0].message.contains("worker 1"), "{}", v[0].message);
+
+        let o = on();
+        o.steer_release(3); // completion with nothing in flight
+        let v = o.violations();
+        assert_eq!(v[0].invariant, "fifo-steering");
+        assert!(v[0].message.contains("none in flight"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn seeded_reordered_marks_fire_causality() {
+        let o = on();
+        let tracer = vrio_trace::Tracer::new(&vrio_trace::TraceConfig::memory());
+        let span = tracer.begin("net_rr", 1000, Stage::Generator, t(10));
+        o.on_mark(span, Stage::GuestEnqueue, t(10));
+        o.on_mark(span, Stage::Wire, t(12));
+        o.on_mark(span, Stage::Backend, t(11)); // runs backwards
+        let v = o.violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "causality");
+        assert!(v[0].message.contains("backwards"), "{}", v[0].message);
+
+        // The engine clock running backwards is also caught.
+        let o = on();
+        o.on_engine_event(t(5));
+        o.on_engine_event(t(4));
+        let v = o.violations();
+        assert_eq!(v[0].invariant, "causality");
+        assert!(v[0].message.contains("engine event"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn inert_spans_are_skipped() {
+        // With tracing off every flow shares SpanId::NONE; interleaved
+        // flows would otherwise look like time travel.
+        let o = on();
+        o.on_mark(SpanId::NONE, Stage::Wire, t(10));
+        o.on_mark(SpanId::NONE, Stage::Wire, t(5));
+        assert!(o.is_clean());
+    }
+
+    #[test]
+    fn assert_clean_panics_with_every_violation_listed() {
+        let o = on();
+        o.check_bytes("a", b"x", b"y");
+        o.steer_release(0);
+        let err =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| o.assert_clean("unit test")))
+                .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("2 violation(s) in unit test"), "{msg}");
+        assert!(msg.contains("[byte-conservation]"), "{msg}");
+        assert!(msg.contains("[fifo-steering]"), "{msg}");
+    }
+
+    #[test]
+    fn violation_recording_is_capped_but_counted() {
+        let o = on();
+        for _ in 0..(MAX_VIOLATIONS + 10) {
+            o.steer_release(0);
+        }
+        let r = o.report();
+        assert_eq!(r.violations.len(), MAX_VIOLATIONS);
+        assert_eq!(r.violations_dropped, 10);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let o = on();
+        let tok = o.clone().flow_begin("x", t(0));
+        o.flow_complete(tok, t(1));
+        o.finish();
+        assert!(o.is_clean());
+        assert_eq!(o.report().flows_completed, 1);
+    }
+}

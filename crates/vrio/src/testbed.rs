@@ -25,6 +25,7 @@ use vrio_trace::{SpanId, Stage, TraceConfig, Tracer};
 
 use crate::health::{HealthConfig, HealthMonitor, Outage};
 use crate::interpose::{Direction, InterpositionChain, Verdict};
+use crate::oracle::{Oracle, OracleConfig};
 use crate::proto::{DeviceId, VrioMsg, VrioMsgKind};
 use crate::transport::{BlockRetx, ResponseAction, RetxConfig, TimeoutAction};
 
@@ -204,7 +205,12 @@ pub fn run_steps<W: HasTestbed>(
             }
             Step::Mark(span, stage) => {
                 let now = eng.now();
-                w.tb().trace.mark(span, stage, now);
+                let tb = w.tb();
+                tb.trace.mark(span, stage, now);
+                if tb.oracle.enabled() {
+                    tb.oracle.on_mark(span, stage, now);
+                    tb.audit_rings();
+                }
             }
         }
     }
@@ -276,6 +282,11 @@ pub struct TestbedConfig {
     /// observe-only — the tracer draws no randomness and schedules no
     /// events, so traced runs are bit-identical to untraced ones.
     pub trace: TraceConfig,
+    /// The simulation oracle (see [`crate::Oracle`]). Off by default;
+    /// like tracing, enabling it is observe-only and bit-identical — the
+    /// oracle owns no RNG and schedules no events, it only checks
+    /// invariants inline at lifecycle marks and flow boundaries.
+    pub oracle: OracleConfig,
 }
 
 impl TestbedConfig {
@@ -306,6 +317,7 @@ impl TestbedConfig {
             health: HealthConfig::default(),
             faults: FaultConfig::default(),
             trace: TraceConfig::off(),
+            oracle: OracleConfig::off(),
         }
     }
 
@@ -465,6 +477,8 @@ pub struct Testbed {
     pub reassembler: Reassembler,
     /// Request-lifecycle tracer (inert unless the config enables it).
     pub trace: Tracer,
+    /// The simulation oracle (inert unless the config enables it).
+    pub oracle: Oracle,
 }
 
 impl Testbed {
@@ -523,6 +537,7 @@ impl Testbed {
             }
             faults.set_tracer(trace.clone(), TRACK_FAULTS);
         }
+        let oracle = Oracle::new(&config.oracle);
         let _ = &mut rng;
         Testbed {
             rng,
@@ -551,7 +566,23 @@ impl Testbed {
             next_msg_id: 1,
             reassembler: Reassembler::new(),
             trace,
+            oracle,
             config,
+        }
+    }
+
+    /// Runs the oracle's descriptor-conservation audit over every VM's
+    /// virtqueues (no-op when the oracle is off). Invoked inline at every
+    /// lifecycle mark, so ring laws are checked continuously while flows
+    /// are mid-flight, not just at quiescence.
+    pub fn audit_rings(&self) {
+        if !self.oracle.enabled() {
+            return;
+        }
+        for vm in &self.vms {
+            for q in vm.ring_audit() {
+                self.oracle.audit_queue(vm.id.0, &q);
+            }
         }
     }
 
@@ -729,7 +760,9 @@ impl Testbed {
                     client: vm as u32,
                     device: 0,
                 };
-                self.steering.assign(dev).0
+                let wid = self.steering.assign(dev);
+                self.oracle.steer_assign(dev.client, wid.0);
+                wid.0
             }
             _ => {
                 // Local models: VMs of a host share its backend cores.
@@ -743,6 +776,7 @@ impl Testbed {
     /// Releases a steering designation after the worker pass (vRIO).
     fn release_backend(&mut self, vm: usize) {
         if matches!(self.config.model, IoModel::Vrio | IoModel::VrioNoPoll) {
+            self.oracle.steer_release(vm as u32);
             self.steering.complete(DeviceId {
                 client: vm as u32,
                 device: 0,
@@ -854,10 +888,11 @@ pub fn net_request_response<W: HasTestbed>(
     let t0 = eng.now();
     // Lifecycle span: stage transitions ride the step list as inline
     // `Step::Mark`s, so tracing never reorders events or touches RNG.
-    let tracing = tb.trace.enabled();
+    let tracing = tb.trace.enabled() || tb.oracle.enabled();
     let span = tb
         .trace
         .begin("net_rr", req_track(vm), Stage::Generator, t0);
+    let flow = tb.oracle.flow_begin("net_rr", t0);
     let response_slot: Rc<RefCell<Bytes>> = Rc::new(RefCell::new(Bytes::new()));
     let req_wire = req.len() + 64; // headers on the wire
     let resp_wire = resp_len + 64;
@@ -909,6 +944,7 @@ pub fn net_request_response<W: HasTestbed>(
             s.push_back(Step::Charge(CoreRef::Backend(backend), w_be));
             let Some(fwd) = fwd else {
                 tb.trace.abort(span);
+                tb.oracle.flow_drop(flow, t0);
                 return; // firewalled: flow ends
             };
             s.push_back(Step::Do(Box::new(move |tb| {
@@ -940,6 +976,7 @@ pub fn net_request_response<W: HasTestbed>(
                     tb.channel_drops += 1;
                     tb.backends[backend].pending -= 1;
                     tb.release_backend(vm);
+                    tb.oracle.flow_drop(flow, now);
                     return false;
                 }
                 true
@@ -963,6 +1000,7 @@ pub fn net_request_response<W: HasTestbed>(
             let (fwd, icost) = tb.interpose(Direction::Inbound, req.clone());
             let Some(fwd) = fwd else {
                 tb.trace.abort(span);
+                tb.oracle.flow_drop(flow, t0);
                 return;
             };
             let msg = VrioMsg::new(
@@ -974,6 +1012,7 @@ pub fn net_request_response<W: HasTestbed>(
                 0,
                 fwd,
             );
+            let fwd_check = msg.payload.clone();
             let encoded = msg.encode();
             let w_worker = tb.jitter(costs.vrio_worker_net + costs.reassemble_per_frag) + icost;
             s.push_back(Step::Charge(CoreRef::Backend(backend), w_worker));
@@ -1003,6 +1042,8 @@ pub fn net_request_response<W: HasTestbed>(
             s.push_back(Step::Do(Box::new(move |tb| {
                 let msg = VrioMsg::decode(encoded).expect("valid vRIO message");
                 assert_eq!(msg.hdr.kind, VrioMsgKind::NetRx);
+                tb.oracle
+                    .check_bytes("net_rr encap->decap", &fwd_check, &msg.payload);
                 tb.vms[vm].net_deliver_rx(&msg.payload).expect("rx posted");
                 tb.vms[vm].net_recv().expect("recv").expect("delivered");
                 tb.vms[vm].net_refill_rx().expect("refill");
@@ -1026,6 +1067,7 @@ pub fn net_request_response<W: HasTestbed>(
             s.push_back(Step::Charge(CoreRef::Backend(backend), w_be));
             let Some(fwd) = fwd else {
                 tb.trace.abort(span);
+                tb.oracle.flow_drop(flow, t0);
                 return;
             };
             s.push_back(Step::Do(Box::new(move |tb| {
@@ -1146,6 +1188,7 @@ pub fn net_request_response<W: HasTestbed>(
                     tb.channel_drops += 1;
                     tb.backends[backend_out].pending -= 1;
                     tb.release_backend(vm);
+                    tb.oracle.flow_drop(flow, now);
                     return false;
                 }
                 true
@@ -1256,7 +1299,9 @@ pub fn net_request_response<W: HasTestbed>(
         Box::new(move |w, eng| {
             let now = eng.now();
             let latency = now - t0;
-            w.tb().trace.end(span, now);
+            let tb = w.tb();
+            tb.trace.end(span, now);
+            tb.oracle.flow_complete(flow, now);
             let response = response_slot.borrow().clone();
             done(w, eng, RrOutcome { latency, response });
         }),
@@ -1280,10 +1325,11 @@ fn fallback_request_response<W: HasTestbed>(
     let costs = tb.config.costs.clone();
     let host = tb.vm_host[vm];
     let t0 = eng.now();
-    let tracing = tb.trace.enabled();
+    let tracing = tb.trace.enabled() || tb.oracle.enabled();
     let span = tb
         .trace
         .begin("net_rr_fallback", req_track(vm), Stage::Generator, t0);
+    let flow = tb.oracle.flow_begin("net_rr_fallback", t0);
     let response_slot: Rc<RefCell<Bytes>> = Rc::new(RefCell::new(Bytes::new()));
     let packets = (resp_len.div_ceil(1448)).max(1) as u64;
     let mut s: VecDeque<Step> = VecDeque::new();
@@ -1379,7 +1425,9 @@ fn fallback_request_response<W: HasTestbed>(
         Box::new(move |w, eng| {
             let now = eng.now();
             let latency = now - t0;
-            w.tb().trace.end(span, now);
+            let tb = w.tb();
+            tb.trace.end(span, now);
+            tb.oracle.flow_complete(flow, now);
             let response = response_slot.borrow().clone();
             done(w, eng, RrOutcome { latency, response });
         }),
@@ -1433,10 +1481,11 @@ pub fn stream_batch<W: HasTestbed>(
     let t0 = eng.now();
     // Coarse three-stage span: guest batch production, backend+wire
     // traversal, generator-side receive.
-    let tracing = tb.trace.enabled();
+    let tracing = tb.trace.enabled() || tb.oracle.enabled();
     let span = tb
         .trace
         .begin("stream_batch", req_track(vm), Stage::GuestEnqueue, t0);
+    let flow = tb.oracle.flow_begin("stream_batch", t0);
     let mut s: VecDeque<Step> = VecDeque::new();
 
     // Guest produces the batch.
@@ -1515,7 +1564,9 @@ pub fn stream_batch<W: HasTestbed>(
         s,
         Box::new(move |w, eng| {
             let now = eng.now();
-            w.tb().trace.end(span, now);
+            let tb = w.tb();
+            tb.trace.end(span, now);
+            tb.oracle.flow_complete(flow, now);
             done(w, eng)
         }),
     );
@@ -1550,6 +1601,7 @@ pub fn blk_request<W: HasTestbed>(
         .tb()
         .trace
         .begin("blk", req_track(vm), Stage::GuestEnqueue, t0);
+    let flow = w.tb().oracle.flow_begin("blk", t0);
 
     // The front-end publishes the request on the real virtio ring; the
     // local back-end half (sidecore/vhost/transport) fetches it at once.
@@ -1566,8 +1618,15 @@ pub fn blk_request<W: HasTestbed>(
         *data_slot.borrow_mut() = payload;
     }
 
-    // Wrap `done` so completion and device-error paths race safely.
-    let done_cell: BlkDoneCell<W> = Rc::new(RefCell::new(Some(Box::new(done))));
+    // Wrap `done` so completion and device-error paths race safely. The
+    // oracle observes the completion exactly when the guest does, whichever
+    // path (response or retx-exhaustion device error) wins the race.
+    let done_cell: BlkDoneCell<W> = Rc::new(RefCell::new(Some(Box::new(
+        move |w: &mut W, eng: &mut Engine<W>, o: BlkOutcome| {
+            w.tb().oracle.flow_complete(flow, eng.now());
+            done(w, eng, o);
+        },
+    ))));
 
     // Guest-side submission CPU.
     let submit_work = {
@@ -1646,7 +1705,7 @@ fn local_blk_backend<W: HasTestbed>(
     let model = tb.config.model;
     let costs = tb.config.costs.clone();
     let backend = tb.pick_backend(vm);
-    let tracing = tb.trace.enabled();
+    let tracing = tb.trace.enabled() || tb.oracle.enabled();
     let mut s: VecDeque<Step> = VecDeque::new();
     if tracing {
         s.push_back(Step::Mark(span, Stage::Backend));
@@ -1819,7 +1878,7 @@ fn vrio_blk_attempt<W: HasTestbed>(
     let model = tb.config.model;
     let costs = tb.config.costs.clone();
     let host = tb.vm_host[vm];
-    let tracing = tb.trace.enabled();
+    let tracing = tb.trace.enabled() || tb.oracle.enabled();
     let mut s: VecDeque<Step> = VecDeque::new();
     if tracing {
         s.push_back(Step::Mark(span, Stage::Encap));
@@ -1839,6 +1898,7 @@ fn vrio_blk_attempt<W: HasTestbed>(
         wire_id,
         Bytes::from(blob),
     );
+    let payload_check = msg.payload.clone();
     let encoded = msg.encode();
     let frags = vrio_net::fragment_count(encoded.len().max(1), MTU_VRIO_JUMBO) as u64;
     let w_tx = tb.jitter(costs.vrio_encap) + costs.segment_per_frag * frags;
@@ -1934,6 +1994,7 @@ fn vrio_blk_attempt<W: HasTestbed>(
             // Messages larger than the channel MTU really segment with the
             // fake-TCP TSO path and reassemble zero-copy at the worker.
             let enc = if enc.len() > MTU_VRIO_JUMBO {
+                let wire_check = enc.clone();
                 let msg_id = tb.fresh_msg_id();
                 let segs = segment_message(enc.clone(), MTU_VRIO_JUMBO, msg_id)
                     .expect("block message within TSO bound");
@@ -1947,7 +2008,10 @@ fn vrio_blk_attempt<W: HasTestbed>(
                         skb = Some(done);
                     }
                 }
-                skb.expect("all fragments offered").linearize()
+                let lin = skb.expect("all fragments offered").linearize();
+                tb.oracle
+                    .check_bytes("blk tso segment->reassemble", &wire_check, &lin);
+                lin
             } else {
                 enc
             };
@@ -1955,6 +2019,8 @@ fn vrio_blk_attempt<W: HasTestbed>(
             let msg = VrioMsg::decode(enc).expect("valid blk message");
             assert_eq!(msg.hdr.kind, VrioMsgKind::BlkReq);
             assert_eq!(msg.hdr.request_id, wire_id);
+            tb.oracle
+                .check_bytes("blk encap->decap", &payload_check, &msg.payload);
             let mut req2 = req2.clone();
             if req2.kind == BlockKind::Write {
                 req2.data = tb.interpose_transform(Direction::Outbound, req2.data);

@@ -1,0 +1,159 @@
+//! Property tests for the §4.6 health state machine: under arbitrary
+//! outage schedules, configurations, and advance interleavings, the
+//! monitor only ever takes documented transitions, never loses a failback
+//! once the outage schedule closes, and behaves identically however the
+//! caller slices the advance.
+
+use proptest::prelude::*;
+use vrio::{HealthConfig, HealthMonitor, HealthState, Outage};
+use vrio_sim::{SimDuration, SimTime};
+
+/// The documented edges of the state machine (module diagram in
+/// `vrio::health`), plus the implicit start state. Threshold-1 configs
+/// collapse the intermediate state: `failover_misses == 1` jumps Healthy
+/// straight to FailedOver, `recovery_acks == 1` skips Probing.
+fn is_valid_edge(config: HealthConfig, from: HealthState, to: HealthState) -> bool {
+    use HealthState::*;
+    match (from, to) {
+        (Healthy, Suspect)
+        | (Suspect, Healthy)
+        | (Suspect, FailedOver)
+        | (FailedOver, Probing)
+        | (Probing, FailedOver)
+        | (Probing, Recovered)
+        | (Recovered, Healthy) => true,
+        (Healthy, FailedOver) => config.failover_misses == 1,
+        (FailedOver, Recovered) => config.recovery_acks == 1,
+        _ => false,
+    }
+}
+
+fn config_strategy() -> impl Strategy<Value = HealthConfig> {
+    (1u64..=5, 1u32..=4, 1u32..=4).prop_map(|(interval_100us, misses, acks)| {
+        HealthConfig {
+            interval: SimDuration::micros(100 * interval_100us),
+            failover_misses: misses,
+            recovery_acks: acks,
+        }
+        .validated()
+        .expect("strategy only draws valid knobs")
+    })
+}
+
+/// Non-overlapping, always-recovering outages: alternating (gap, down)
+/// spans in microseconds.
+fn outages_strategy() -> impl Strategy<Value = Vec<Outage>> {
+    proptest::collection::vec((50u64..5_000, 50u64..5_000), 0..6).prop_map(|spans| {
+        let mut t = SimTime::ZERO;
+        spans
+            .into_iter()
+            .map(|(gap, down)| {
+                let fails_at = t + SimDuration::micros(gap);
+                let recovers_at = fails_at + SimDuration::micros(down);
+                t = recovers_at;
+                Outage {
+                    fails_at,
+                    recovers_at: Some(recovers_at),
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_interleavings_only_take_documented_transitions(
+        config in config_strategy(),
+        outages in outages_strategy(),
+        steps in proptest::collection::vec(1u64..2_000, 1..64),
+    ) {
+        let mut m = HealthMonitor::new(0, config);
+        let mut now = SimTime::ZERO;
+        for us in steps {
+            now += SimDuration::micros(us);
+            m.advance_to(now, &outages);
+        }
+        // Settle: advance far enough past the last recovery for the full
+        // failback streak, whatever the config.
+        let settle = outages
+            .iter()
+            .filter_map(|o| o.recovers_at)
+            .max()
+            .unwrap_or(now)
+            .max(now)
+            + config.interval * (config.failover_misses + config.recovery_acks + 4) as u64;
+        m.advance_to(settle, &outages);
+
+        // 1. Every recorded transition is a documented edge, starting from
+        //    the implicit Healthy.
+        let mut prev = HealthState::Healthy;
+        for &(t, s) in &m.transitions {
+            prop_assert!(
+                is_valid_edge(config, prev, s),
+                "undocumented transition {prev:?} -> {s:?} at {t:?} (log: {:?})",
+                m.transitions
+            );
+            prev = s;
+        }
+        // 2. Timestamps are monotone, and Recovered is a zero-width marker
+        //    immediately superseded by Healthy at the same instant.
+        for w in m.transitions.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "transition log went backwards");
+            if w[0].1 == HealthState::Recovered {
+                prop_assert_eq!(w[1].1, HealthState::Healthy);
+                prop_assert_eq!(w[0].0, w[1].0, "Recovered must not persist");
+            }
+        }
+        prop_assert_ne!(
+            m.transitions.last().map(|&(_, s)| s),
+            Some(HealthState::Recovered),
+            "the log may not end in the transient Recovered state"
+        );
+        // 3. Once every outage has closed, the monitor is back to Healthy
+        //    (via Recovered: one failback per completed failover episode).
+        prop_assert_eq!(m.state(), HealthState::Healthy, "did not return to Healthy");
+        if m.stats.failovers > 0 {
+            prop_assert!(
+                m.stats.failbacks > 0,
+                "{} failovers but no failback after all outages closed",
+                m.stats.failovers
+            );
+        }
+        // 4. Accounting conserves probes.
+        prop_assert_eq!(
+            m.stats.heartbeats_sent,
+            m.stats.acks_received + m.stats.probes_missed
+        );
+    }
+
+    #[test]
+    fn advance_slicing_never_changes_the_outcome(
+        config in config_strategy(),
+        outages in outages_strategy(),
+        cuts in proptest::collection::vec(1u64..20_000, 0..16),
+    ) {
+        // One leap vs. arbitrary (even repeated, unordered) intermediate
+        // advances to the same final instant: identical state, log, stats.
+        let end = SimTime::ZERO + SimDuration::millis(40);
+        let mut leap = HealthMonitor::new(1, config);
+        leap.advance_to(end, &outages);
+
+        let mut sliced = HealthMonitor::new(1, config);
+        let mut times: Vec<SimTime> = cuts
+            .iter()
+            .map(|&us| SimTime::ZERO + SimDuration::micros(us))
+            .collect();
+        times.sort();
+        for t in times {
+            sliced.advance_to(t, &outages);
+            sliced.advance_to(t, &outages); // idempotence under repeats
+        }
+        sliced.advance_to(end, &outages);
+
+        prop_assert_eq!(leap.state(), sliced.state());
+        prop_assert_eq!(&leap.transitions, &sliced.transitions);
+        prop_assert_eq!(leap.stats, sliced.stats);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for the interposition services (§1's capability
+//! catalogue): the transforms must be lossless where they claim to be,
+//! the filters complete, and the meters conservative — for arbitrary
+//! payloads, not just the unit tests' examples.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use vrio::{
+    CompressionService, DedupService, Direction, EncryptionService, FirewallService,
+    InterpositionService, MeteringService, Verdict,
+};
+
+fn key_strategy() -> impl Strategy<Value = [u8; 32]> {
+    // The vendored proptest has no array strategy; build one from a vec.
+    proptest::collection::vec(any::<u8>(), 32..=32).prop_map(|v| {
+        let mut key = [0u8; 32];
+        key.copy_from_slice(&v);
+        key
+    })
+}
+
+fn pass_bytes(v: Verdict) -> Bytes {
+    match v {
+        Verdict::Pass(b) => b,
+        Verdict::Drop { reason } => panic!("unexpected drop: {reason}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn encryption_roundtrips_every_outbound_message(
+        key in key_strategy(),
+        msgs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..512), 1..16),
+    ) {
+        // Each outbound message encrypts under its own nonce (1-based, in
+        // send order) and must decrypt back to the exact plaintext.
+        let mut svc = EncryptionService::new(key);
+        let mut ciphertexts = Vec::new();
+        for m in &msgs {
+            let ct = pass_bytes(svc.process(Direction::Outbound, Bytes::from(m.clone())));
+            if !m.is_empty() {
+                prop_assert_ne!(&ct[..], &m[..], "AES-CTR left plaintext unchanged");
+            }
+            ciphertexts.push(ct);
+        }
+        for (i, (m, ct)) in msgs.iter().zip(&ciphertexts).enumerate() {
+            prop_assert_eq!(&svc.decrypt_nth(i as u64 + 1, ct), m);
+        }
+        // Nonces never repeat across messages: equal plaintexts yield
+        // different ciphertexts (no two-time pad).
+        if msgs.len() >= 2 && msgs[0] == msgs[1] && !msgs[0].is_empty() {
+            prop_assert_ne!(&ciphertexts[0], &ciphertexts[1]);
+        }
+    }
+
+    #[test]
+    fn compression_roundtrips_arbitrary_payloads(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let c = CompressionService::compress(&data);
+        prop_assert_eq!(CompressionService::decompress(&c), data.clone());
+        // RLE never emits an odd-length stream and never inflates a run
+        // beyond 2 bytes per input byte.
+        prop_assert_eq!(c.len() % 2, 0);
+        prop_assert!(c.len() <= 2 * data.len());
+    }
+
+    #[test]
+    fn dedup_is_idempotent_and_replays_count_fully(
+        blocks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..64), 1..32),
+    ) {
+        // Feeding a stream once and then feeding the identical stream
+        // again must flag every message of the second pass as a duplicate,
+        // regardless of what the first pass flagged.
+        let mut d = DedupService::new();
+        for b in &blocks {
+            d.process(Direction::Outbound, Bytes::from(b.clone()));
+        }
+        let after_first = d.duplicates;
+        for b in &blocks {
+            d.process(Direction::Outbound, Bytes::from(b.clone()));
+        }
+        prop_assert_eq!(
+            d.duplicates,
+            after_first + blocks.len() as u64,
+            "second identical pass must be all duplicates"
+        );
+    }
+
+    #[test]
+    fn firewall_verdicts_match_the_prefix_predicate_exactly(
+        prefixes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..6), 0..4),
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..32),
+    ) {
+        // Complete and sound: a payload is dropped iff it starts with a
+        // deny prefix, and the drop counter equals the predicate count.
+        let mut fw = FirewallService::new(prefixes.clone());
+        let mut expected_drops = 0u64;
+        for p in &payloads {
+            let should_drop = prefixes.iter().any(|pre| p.starts_with(&pre[..]));
+            let v = fw.process(Direction::Inbound, Bytes::from(p.clone()));
+            match v {
+                Verdict::Drop { .. } => {
+                    prop_assert!(should_drop, "dropped a payload matching no rule");
+                    expected_drops += 1;
+                }
+                Verdict::Pass(out) => {
+                    prop_assert!(!should_drop, "passed a payload matching a deny rule");
+                    prop_assert_eq!(&out[..], &p[..], "firewall must not transform");
+                }
+            }
+        }
+        prop_assert_eq!(fw.dropped, expected_drops);
+    }
+
+    #[test]
+    fn metering_conserves_messages_and_bytes(
+        traffic in proptest::collection::vec(
+            (any::<bool>(), proptest::collection::vec(any::<u8>(), 0..256)),
+            0..48,
+        ),
+    ) {
+        let mut m = MeteringService::new();
+        let (mut out_msgs, mut in_msgs, mut out_bytes, mut in_bytes) = (0u64, 0u64, 0u64, 0u64);
+        for (outbound, p) in &traffic {
+            let dir = if *outbound { Direction::Outbound } else { Direction::Inbound };
+            if *outbound {
+                out_msgs += 1;
+                out_bytes += p.len() as u64;
+            } else {
+                in_msgs += 1;
+                in_bytes += p.len() as u64;
+            }
+            let passed = pass_bytes(m.process(dir, Bytes::from(p.clone())));
+            prop_assert_eq!(&passed[..], &p[..], "metering must not transform");
+        }
+        prop_assert_eq!(m.messages, (out_msgs, in_msgs));
+        prop_assert_eq!(m.bytes, (out_bytes, in_bytes));
+    }
+}

@@ -47,6 +47,16 @@ echo "==> perf regression gate: sweep vs committed baseline"
 cargo run --release -q -p vrio-bench --bin checkbench -- \
     "$DET/t4/BENCH_sweep_smoke.json" \
     --baseline benches/baseline.json --tolerance 0.15
+
+echo "==> oracle gate: invariant-checked runs are byte-identical"
+cargo run --release -q -p vrio-bench --bin repro -- \
+    --quick --tab3 --oracle --json "$DET/orc" > /dev/null
+diff "$DET/run1/BENCH_tab3.json" "$DET/orc/BENCH_tab3.json" \
+    || { echo "FAIL: --oracle changed BENCH_tab3.json (oracle must be observe-only)"; exit 1; }
+cargo run --release -q -p vrio-bench --bin repro -- \
+    --quick --sweep smoke --threads 4 --oracle --json "$DET/orcsweep" > /dev/null 2> /dev/null
+diff "$DET/t4/BENCH_sweep_smoke.json" "$DET/orcsweep/BENCH_sweep_smoke.json" \
+    || { echo "FAIL: --oracle changed BENCH_sweep_smoke.json (oracle must be observe-only)"; exit 1; }
 rm -rf "$DET"
 
 echo "==> cargo doc --no-deps (warnings denied)"
@@ -57,5 +67,13 @@ cargo clippy --all-targets -- -D warnings
 
 echo "==> cargo fmt --check"
 cargo fmt --check
+
+echo "==> line-coverage floor (skipped when cargo-llvm-cov is absent)"
+if cargo llvm-cov --version > /dev/null 2>&1; then
+    FLOOR=$(cat benches/coverage-floor.txt)
+    cargo llvm-cov --workspace --summary-only --fail-under-lines "$FLOOR"
+else
+    echo "    cargo-llvm-cov not installed; the coverage job in CI enforces the floor"
+fi
 
 echo "==> tier-1 gate passed"
