@@ -1,0 +1,257 @@
+//! Wall-clock microbenchmarks of the `vrio-sim` event engine: the timing
+//! wheel against the reference `BinaryHeap` scheduler, over the three
+//! schedule shapes the testbed actually generates.
+//!
+//! * **churn** — a steady 32k-event live set with uniform near-term
+//!   deadlines; every fired event schedules a replacement. The sweep
+//!   engine's dominant pattern under load, and the ≥2× acceptance case:
+//!   the heap pays `O(log n)` sifts over a multi-megabyte array, the wheel
+//!   stays flat.
+//! * **cascade** — `schedule_now` bursts (same-instant chains) riding on a
+//!   4k-event pending background: the wheel's O(1) fast lane never touches
+//!   the pending set, while every heap push/pop sifts over it.
+//!   Request-coalescing workloads look like this.
+//! * **mixed** — deadlines spread over six decades of horizon, up to far
+//!   enough to land in the wheel's overflow heap.
+//!
+//! Two entry modes:
+//!
+//! * `cargo bench --bench engine` — criterion mode, reporting ns/iter and
+//!   events/sec per scheduler for each shape (`--quick` shrinks the event
+//!   counts for CI smoke).
+//! * `cargo bench --bench engine -- --perf OUT.json [--quick]` — the
+//!   recorded perf harness: longer steady-state runs, plus an in-process
+//!   `--sweep smoke` wall-time measurement, written as a schema-versioned
+//!   `BENCH_perf` document that `checkbench --perf` gates against
+//!   `benches/BENCH_perf_seed.json`.
+
+use std::time::Instant;
+
+use criterion::{black_box, Criterion, Throughput};
+use vrio_bench::{run_sweep, ReproConfig, SweepSpec};
+use vrio_sim::{Engine, SimDuration, SimTime};
+use vrio_trace::Json;
+
+/// Schema version of the `BENCH_perf` document.
+const PERF_SCHEMA_VERSION: u64 = 1;
+
+/// Delay distribution shaping one benchmark schedule.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Dist {
+    /// Uniform in [0, 1 ms): the steady-churn case (wheel levels 0–2).
+    Uniform,
+    /// Same-instant bursts, nudging time by 50 ns every 64 events so the
+    /// chain crawls below the pending background: the fast lane.
+    Cascade,
+    /// Four horizons from 4 µs to ~8.6 s: upper levels + overflow heap.
+    Mixed,
+}
+
+/// Benchmark world: a SplitMix64 stream plus the self-replenishing counter.
+struct World {
+    state: u64,
+    remaining: u64,
+    fired: u64,
+    dist: Dist,
+}
+
+impl World {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn delay(&mut self) -> u64 {
+        let r = self.next_u64();
+        match self.dist {
+            Dist::Uniform => r % 1_000_000,
+            Dist::Cascade => {
+                if self.fired.is_multiple_of(64) {
+                    50
+                } else {
+                    0
+                }
+            }
+            Dist::Mixed => match r & 3 {
+                0 => (r >> 2) % (1 << 12),
+                1 => (r >> 2) % (1 << 20),
+                2 => (r >> 2) % (1 << 28),
+                _ => (r >> 2) % (1 << 33),
+            },
+        }
+    }
+}
+
+/// Each fired event schedules one replacement until the budget is spent, so
+/// the live set stays at its seeded size throughout.
+fn event(w: &mut World, eng: &mut Engine<World>) {
+    w.fired += 1;
+    if w.remaining > 0 {
+        w.remaining -= 1;
+        let d = w.delay();
+        eng.schedule_in(SimDuration::nanos(d), event);
+    }
+}
+
+/// Runs one schedule to exhaustion; returns events fired (== `total`).
+fn run_schedule(use_heap: bool, dist: Dist, total: u64) -> u64 {
+    let mut eng = if use_heap {
+        Engine::with_reference_heap()
+    } else {
+        Engine::new()
+    };
+    let mut w = World {
+        state: 0x5EED ^ total,
+        remaining: 0,
+        fired: 0,
+        dist,
+    };
+    match dist {
+        Dist::Cascade => {
+            // A pending background the bursts must not pay for: 4096 events
+            // parked 10–20 ms out (the burst chain crawls ~50 ns per 64
+            // events, staying well below them), firing once at the end.
+            let background = 4096.min(total / 2);
+            for _ in 0..background {
+                let d = 10_000_000 + w.next_u64() % 10_000_000;
+                eng.schedule_at(SimTime::from_nanos(d), |w: &mut World, _| w.fired += 1);
+            }
+            w.remaining = total - background - 1;
+            eng.schedule_at(SimTime::ZERO, event);
+        }
+        _ => {
+            // Steady live set: each fired event schedules its replacement.
+            let live = 32_768.min(total / 2).max(1);
+            w.remaining = total - live;
+            for _ in 0..live {
+                let d = w.delay();
+                eng.schedule_at(SimTime::from_nanos(d), event);
+            }
+        }
+    }
+    eng.run(&mut w);
+    assert_eq!(w.fired, total);
+    w.fired
+}
+
+const SHAPES: [(&str, Dist); 3] = [
+    ("churn", Dist::Uniform),
+    ("cascade", Dist::Cascade),
+    ("mixed", Dist::Mixed),
+];
+
+const VARIANTS: [(&str, bool); 2] = [("wheel", false), ("heap", true)];
+
+/// Criterion mode: ns/iter + events/sec for every (shape, scheduler) pair.
+fn criterion_mode(total: u64) {
+    let mut c = Criterion::default();
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(total));
+    for (shape, dist) in SHAPES {
+        for (variant, use_heap) in VARIANTS {
+            g.bench_function(format!("{shape}_{}k_{variant}", total / 1000), |b| {
+                b.iter(|| black_box(run_schedule(use_heap, dist, total)));
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Steady-state events/sec: one warm-up run, then timed runs until at least
+/// 3 repetitions and ~0.3 s of measurement; the best rate is reported
+/// (minimum-noise estimator, standard for throughput benches).
+fn measure_events_per_sec(use_heap: bool, dist: Dist, total: u64) -> f64 {
+    run_schedule(use_heap, dist, total);
+    let mut best = 0.0f64;
+    let mut spent = 0.0f64;
+    let mut reps = 0u32;
+    while reps < 3 || spent < 0.3 {
+        let t = Instant::now();
+        run_schedule(use_heap, dist, total);
+        let secs = t.elapsed().as_secs_f64();
+        best = best.max(total as f64 / secs);
+        spent += secs;
+        reps += 1;
+        if reps >= 20 {
+            break;
+        }
+    }
+    best
+}
+
+/// Perf-recording mode: writes the schema-versioned `BENCH_perf` document.
+fn perf_mode(quick: bool, out: &str) {
+    let total: u64 = if quick { 200_000 } else { 1_000_000 };
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    for (shape, dist) in SHAPES {
+        for (variant, use_heap) in VARIANTS {
+            let rate = measure_events_per_sec(use_heap, dist, total);
+            eprintln!("perf {shape:>8}/{variant}: {:>12.0} events/sec", rate);
+            metrics.push((format!("{shape}_{variant}_events_per_sec"), rate));
+        }
+    }
+    let find = |name: &str| {
+        metrics
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+            .expect("metric recorded above")
+    };
+    let speedup = find("churn_wheel_events_per_sec") / find("churn_heap_events_per_sec");
+    eprintln!("perf churn speedup (wheel/heap): {speedup:.2}x");
+
+    // End-to-end anchor: the smoke sweep, single-threaded, quick config —
+    // the same work `repro --quick --sweep smoke --threads 1` does.
+    let spec = SweepSpec::smoke(ReproConfig::quick());
+    let t = Instant::now();
+    let result = run_sweep(&spec, 1, false).expect("smoke sweep runs");
+    let sweep_ms = t.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "perf sweep smoke: {} scenarios in {sweep_ms:.0} ms",
+        result.results.len()
+    );
+
+    let mut fields: Vec<(&str, Json)> = vec![
+        ("schema_version", Json::int(PERF_SCHEMA_VERSION)),
+        ("kind", Json::str("perf")),
+        ("quick", Json::Bool(quick)),
+        ("events_per_run", Json::int(total)),
+    ];
+    let mut metric_fields: Vec<(&str, Json)> = metrics
+        .iter()
+        .map(|(k, v)| (k.as_str(), Json::Num(*v)))
+        .collect();
+    metric_fields.push(("churn_speedup", Json::Num(speedup)));
+    metric_fields.push(("sweep_smoke_wall_ms", Json::Num(sweep_ms)));
+    fields.push(("metrics", Json::obj(metric_fields)));
+    let doc = Json::obj(fields);
+    std::fs::write(out, doc.render_pretty() + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("wrote {out}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut perf_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--perf" {
+            match it.next() {
+                Some(p) => perf_out = Some(p.clone()),
+                None => {
+                    eprintln!("--perf needs an output path");
+                    std::process::exit(1);
+                }
+            }
+        }
+        // Other flags (e.g. cargo's --bench) are criterion-compat noise.
+    }
+    match perf_out {
+        Some(out) => perf_mode(quick, &out),
+        None => criterion_mode(if quick { 50_000 } else { 1_000_000 }),
+    }
+}

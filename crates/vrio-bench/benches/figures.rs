@@ -27,7 +27,7 @@ fn fig05_apache_models(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig05_apache_models");
     g.sample_size(10);
     for model in IoModel::ALL {
-        g.bench_function(model.name().replace(' ', "_").replace('/', "_"), |b| {
+        g.bench_function(model.name().replace([' ', '/'], "_"), |b| {
             b.iter(|| run_txn_bench(TestbedConfig::simple(model, 4), TxnProfile::apache(), DUR));
         });
     }

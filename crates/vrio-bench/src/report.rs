@@ -192,7 +192,7 @@ mod tests {
     #[test]
     fn float_formatting() {
         assert_eq!(f(0.0), "0");
-        assert_eq!(f(3.14159), "3.14");
+        assert_eq!(f(3.17159), "3.17");
         assert_eq!(f(42.31), "42.3");
         assert_eq!(f(1234.5), "1234");
     }

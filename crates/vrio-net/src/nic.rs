@@ -382,6 +382,8 @@ impl SriovNic {
         if frame.dst.is_broadcast() {
             let mut any = RxOutcome::Dropped;
             for vf in &mut self.vfs {
+                // Refcount clone: the payload `Bytes` is shared, so fanning a
+                // broadcast out to every port copies headers only (§4.4).
                 let o = vf.receive(frame.clone());
                 if matches!(o, RxOutcome::Accepted { .. }) {
                     any = o;
@@ -498,6 +500,34 @@ mod tests {
         assert_eq!(nic.pf().rx.len(), 1);
         assert_eq!(nic.vf(VfId(0)).rx.len(), 1);
         assert_eq!(nic.vf(VfId(1)).rx.len(), 1);
+    }
+
+    #[test]
+    fn broadcast_fanout_shares_payload_allocation() {
+        // The deliver path clones the Frame per port, but the payload is a
+        // refcounted `Bytes`: every copy received must point at the SAME
+        // backing allocation as the original — no payload bytes duplicated.
+        let payload = Bytes::from(vec![0xABu8; 4096]);
+        let base = payload.as_ptr();
+        let mut nic = SriovNic::new(MacAddr::local(0), NicMode::Poll, 8);
+        nic.add_vf(MacAddr::local(1), NicMode::Poll, 8);
+        nic.add_vf(MacAddr::local(2), NicMode::Poll, 8);
+        nic.deliver(Frame::new(
+            MacAddr::BROADCAST,
+            MacAddr::local(9),
+            EtherType::Vrio,
+            payload,
+        ));
+        for vf in [VfId(0), VfId(1)] {
+            let got = nic
+                .vf_mut(vf)
+                .poll_rx(1)
+                .pop()
+                .expect("broadcast delivered");
+            assert_eq!(got.payload.as_ptr(), base);
+        }
+        let got = nic.pf_mut().poll_rx(1).pop().expect("pf copy");
+        assert_eq!(got.payload.as_ptr(), base);
     }
 
     #[test]

@@ -253,6 +253,29 @@ impl Skb {
         self.bytes_copied
     }
 
+    /// Compares the SKB's logical payload (linear area then fragments, in
+    /// order) against a contiguous buffer without linearizing — the
+    /// zero-copy way to verify content equality. No bytes are copied and
+    /// the audit counter is untouched.
+    pub fn eq_contents(&self, expected: &[u8]) -> bool {
+        if self.len() != expected.len() {
+            return false;
+        }
+        let mut rest = expected;
+        let lin = self.linear();
+        if rest[..lin.len()] != *lin {
+            return false;
+        }
+        rest = &rest[lin.len()..];
+        for f in &self.frags {
+            if rest[..f.data.len()] != *f.data {
+                return false;
+            }
+            rest = &rest[f.data.len()..];
+        }
+        true
+    }
+
     /// Linearizes the whole payload into one contiguous buffer — an
     /// explicit, counted copy. Zero-copy paths never call this.
     pub fn linearize(&mut self) -> Bytes {
@@ -362,6 +385,21 @@ mod tests {
         let flat = skb.linearize();
         assert_eq!(flat.len(), 5000);
         assert_eq!(skb.bytes_copied(), 5000);
+    }
+
+    #[test]
+    fn eq_contents_is_zero_copy() {
+        let payload = Bytes::from((0..10_000u32).map(|i| i as u8).collect::<Vec<_>>());
+        let mut skb = Skb::from_borrowed(payload.clone());
+        assert!(skb.eq_contents(&payload));
+        assert_eq!(skb.bytes_copied(), 0); // comparison copied nothing
+        assert!(!skb.eq_contents(&payload[..9_999])); // length mismatch
+        let mut twisted = payload.to_vec();
+        twisted[5_000] ^= 0xFF;
+        assert!(!skb.eq_contents(&twisted));
+        // Mixed linear + frag layout compares in logical order.
+        skb.append_linear(b"tail");
+        assert!(!skb.eq_contents(&payload));
     }
 
     #[test]

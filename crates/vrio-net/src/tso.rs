@@ -37,7 +37,15 @@ pub const MAX_TSO_MSG: usize = 65_536;
 /// assert_eq!(internet_checksum(&with), 0);
 /// ```
 pub fn internet_checksum(data: &[u8]) -> u16 {
-    let mut sum: u32 = 0;
+    checksum_fold(checksum_add(0, data))
+}
+
+/// Adds `data`'s 16-bit big-endian words into a running one's-complement
+/// accumulator. Spans must start at an even byte offset of the logical
+/// buffer (word sums are order-independent but not alignment-independent);
+/// an odd-length span pads its final byte with zero, so only the true tail
+/// of the buffer may be odd.
+fn checksum_add(mut sum: u32, data: &[u8]) -> u32 {
     let mut chunks = data.chunks_exact(2);
     for w in &mut chunks {
         sum += u32::from(u16::from_be_bytes([w[0], w[1]]));
@@ -45,6 +53,11 @@ pub fn internet_checksum(data: &[u8]) -> u16 {
     if let [last] = chunks.remainder() {
         sum += u32::from(u16::from_be_bytes([*last, 0]));
     }
+    sum
+}
+
+/// Folds the accumulator's carries back in and returns the one's-complement.
+fn checksum_fold(mut sum: u32) -> u16 {
     while sum > 0xFFFF {
         sum = (sum & 0xFFFF) + (sum >> 16);
     }
@@ -127,12 +140,15 @@ impl Segment {
     /// receiver drops it and retransmission recovers.
     pub fn decode(mut wire: Bytes) -> Option<Segment> {
         let hdr = FakeTcpHdr::decode(&wire)?;
-        // Verify: zero the checksum field, recompute, compare.
-        let mut copy = wire.to_vec();
-        let stored = u16::from_be_bytes([copy[20 + 16], copy[20 + 17]]);
-        copy[20 + 16] = 0;
-        copy[20 + 17] = 0;
-        if internet_checksum(&copy) != stored {
+        // Verify without copying the wire: sum the spans around the 16-bit
+        // checksum field (bytes 36..38, even-aligned, so word boundaries are
+        // preserved) — arithmetically identical to zeroing the field in a
+        // scratch copy and recomputing.
+        const CSUM_OFF: usize = 20 + 16;
+        let stored = u16::from_be_bytes([wire[CSUM_OFF], wire[CSUM_OFF + 1]]);
+        let sum = checksum_add(0, &wire[..CSUM_OFF]);
+        let sum = checksum_add(sum, &wire[CSUM_OFF + 2..]);
+        if checksum_fold(sum) != stored {
             return None;
         }
         let chunk = wire.split_off(FAKE_TCP_HDR_SIZE);
@@ -544,6 +560,29 @@ mod tests {
         r.offer(4, seg).unwrap();
         r.reset_flow(3);
         assert_eq!(r.in_progress(), 1);
+    }
+
+    #[test]
+    fn wire_roundtrip_reassembly_copies_no_payload_bytes() {
+        // Full encap→decap audit: segment, serialize each segment to wire
+        // bytes, decode (checksum verified without a scratch copy),
+        // reassemble, and verify content — with the SKB's copy counter at
+        // zero throughout. Only `Segment::encode` copies (it *builds* the
+        // wire image, as the NIC's DMA engine would).
+        let msg = Bytes::from((0..60_000u32).map(|i| (i % 253) as u8).collect::<Vec<_>>());
+        let segs = segment_message(msg.clone(), 8100, 11).unwrap();
+        let mut r = Reassembler::new();
+        let mut done = None;
+        for seg in segs {
+            let decoded = Segment::decode(seg.encode()).expect("checksum verifies");
+            if let Some(skb) = r.offer(0, decoded).unwrap() {
+                done = Some(skb);
+            }
+        }
+        let skb = done.expect("message completed");
+        assert_eq!(skb.bytes_copied(), 0);
+        assert!(skb.eq_contents(&msg));
+        assert_eq!(skb.bytes_copied(), 0); // the comparison copied nothing either
     }
 
     #[test]

@@ -6,37 +6,57 @@
 //! events. Ties in firing time are broken by scheduling order (FIFO), which
 //! together with the deterministic RNG makes every run bit-for-bit
 //! reproducible.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//!
+//! The queue is a hierarchical [`TimingWheel`] (O(1) schedule and pop, with
+//! a fast lane for same-instant bursts); the previous `BinaryHeap`
+//! scheduler survives as [`ReferenceHeap`], selectable via
+//! [`Engine::with_reference_heap`] for differential testing and as the
+//! benchmark baseline. Both fire in identical `(time, seq)` order.
 
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::{ReferenceHeap, TimingWheel};
 
 /// A scheduled event callback.
 pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
 
-struct Scheduled<W> {
-    at: SimTime,
-    seq: u64,
-    f: EventFn<W>,
+/// The engine's event queue: the timing wheel in production, the reference
+/// heap when explicitly requested (differential tests, benchmarks).
+enum Queue<W> {
+    Wheel(TimingWheel<EventFn<W>>),
+    Heap(ReferenceHeap<EventFn<W>>),
 }
 
-impl<W> PartialEq for Scheduled<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+impl<W> Queue<W> {
+    #[inline]
+    fn push(&mut self, at: u64, seq: u64, f: EventFn<W>) {
+        match self {
+            Queue::Wheel(q) => q.push(at, seq, f),
+            Queue::Heap(q) => q.push(at, seq, f),
+        }
     }
-}
-impl<W> Eq for Scheduled<W> {}
-impl<W> PartialOrd for Scheduled<W> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+
+    #[inline]
+    fn pop(&mut self) -> Option<(u64, EventFn<W>)> {
+        match self {
+            Queue::Wheel(q) => q.pop(),
+            Queue::Heap(q) => q.pop(),
+        }
     }
-}
-impl<W> Ord for Scheduled<W> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+
+    #[inline]
+    fn peek_time(&mut self) -> Option<u64> {
+        match self {
+            Queue::Wheel(q) => q.peek_time(),
+            Queue::Heap(q) => q.peek_time(),
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            Queue::Wheel(q) => q.len(),
+            Queue::Heap(q) => q.len(),
+        }
     }
 }
 
@@ -64,7 +84,7 @@ pub struct Engine<W> {
     now: SimTime,
     seq: u64,
     fired: u64,
-    queue: BinaryHeap<Scheduled<W>>,
+    queue: Queue<W>,
     /// Observe-only hook fired once per event (see [`Engine::set_probe`]).
     probe: Option<Box<dyn FnMut(SimTime)>>,
 }
@@ -76,13 +96,26 @@ impl<W> Default for Engine<W> {
 }
 
 impl<W> Engine<W> {
-    /// Creates an empty engine at `t = 0`.
+    /// Creates an empty engine at `t = 0`, scheduled by the timing wheel.
     pub fn new() -> Self {
         Engine {
             now: SimTime::ZERO,
             seq: 0,
             fired: 0,
-            queue: BinaryHeap::new(),
+            queue: Queue::Wheel(TimingWheel::new()),
+            probe: None,
+        }
+    }
+
+    /// Creates an empty engine scheduled by the previous `BinaryHeap`
+    /// implementation. Fires the exact same event sequence as [`Engine::new`]
+    /// — kept for differential testing and as the perf-bench baseline.
+    pub fn with_reference_heap() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            fired: 0,
+            queue: Queue::Heap(ReferenceHeap::new()),
             probe: None,
         }
     }
@@ -136,11 +169,7 @@ impl<W> Engine<W> {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Scheduled {
-            at,
-            seq,
-            f: Box::new(f),
-        });
+        self.queue.push(at.as_nanos(), seq, Box::new(f));
     }
 
     /// Schedules `f` to fire `delay` after the current time.
@@ -165,14 +194,15 @@ impl<W> Engine<W> {
     /// Returns `false` if the queue was empty.
     pub fn step(&mut self, world: &mut W) -> bool {
         match self.queue.pop() {
-            Some(ev) => {
-                debug_assert!(ev.at >= self.now);
-                self.now = ev.at;
+            Some((at, f)) => {
+                let at = SimTime::from_nanos(at);
+                debug_assert!(at >= self.now);
+                self.now = at;
                 self.fired += 1;
                 if let Some(probe) = &mut self.probe {
-                    probe(ev.at);
+                    probe(at);
                 }
-                (ev.f)(world, self);
+                f(world, self);
                 true
             }
             None => false,
@@ -188,8 +218,8 @@ impl<W> Engine<W> {
     /// `deadline`. Time is left at the last fired event (it does not jump to
     /// the deadline).
     pub fn run_until(&mut self, world: &mut W, deadline: SimTime) {
-        while let Some(ev) = self.queue.peek() {
-            if ev.at > deadline {
+        while let Some(at) = self.queue.peek_time() {
+            if SimTime::from_nanos(at) > deadline {
                 break;
             }
             self.step(world);

@@ -8,7 +8,9 @@
 //!
 //! * [`SimTime`] / [`SimDuration`] — integer-nanosecond simulated time;
 //! * [`Engine`] — an event-queue simulator over a user world type, with
-//!   FIFO tie-breaking for reproducibility;
+//!   FIFO tie-breaking for reproducibility, scheduled by a hierarchical
+//!   [`TimingWheel`] (O(1) schedule/fire; the old `BinaryHeap` scheduler
+//!   survives as [`ReferenceHeap`] for differential testing and benches);
 //! * [`SimRng`] — an explicitly-seeded RNG with the distributions the
 //!   testbed needs (exponential, log-normal, Pareto);
 //! * statistics ([`OnlineStats`], [`Histogram`], [`BusyTracker`]) for
@@ -60,8 +62,10 @@ mod engine;
 mod rng;
 mod stats;
 mod time;
+mod wheel;
 
 pub use engine::{Engine, EventFn};
 pub use rng::{scenario_seed, SimRng};
 pub use stats::{BusyTracker, Histogram, OnlineStats};
 pub use time::{SimDuration, SimTime};
+pub use wheel::{ReferenceHeap, TimingWheel};

@@ -1,0 +1,517 @@
+//! A hierarchical timing wheel with an overflow heap — the engine's event
+//! queue (see DESIGN.md §10).
+//!
+//! The wheel indexes deadlines by the bytes of their nanosecond tick: level
+//! `k` (k = 0..4) has 256 slots and holds events whose tick agrees with the
+//! cursor in every byte above `k` and first differs in byte `k`. Deadlines
+//! more than `2^32` ns ahead (bytes 4–7 differ) wait in an overflow
+//! [`BinaryHeap`] until their 2^32-span becomes current. Events due exactly
+//! *now* live in a FIFO fast lane, so same-instant bursts (`schedule_now`
+//! cascades) are O(1) pushes and pops with no heap or slot traffic at all.
+//!
+//! # Determinism
+//!
+//! The engine's load-bearing invariant is that events fire in exact
+//! `(time, seq)` order — FIFO among ties. The wheel preserves this without
+//! storing or comparing `seq` on the hot path, by construction:
+//!
+//! * spans are *aligned*: an event is filed at the lowest level whose span
+//!   contains both the event and the cursor, so every event for a span
+//!   still sits above level `k` when the cursor enters that span — a slot
+//!   can never receive a cascade *after* a direct insert for the same tick;
+//! * cascades drain slots in insertion order and the overflow heap pops in
+//!   `(time, seq)` order, so per-slot order remains global `seq` order;
+//! * a level-0 slot covers exactly one tick, so draining it into the fast
+//!   lane preserves FIFO among same-time events, and later `schedule_now`
+//!   appends (with necessarily larger `seq`) land behind them.
+//!
+//! [`ReferenceHeap`] is the engine's previous `BinaryHeap` scheduler, kept
+//! as the differential-testing and benchmarking baseline: `wheel_props`
+//! drives both through identical schedules and asserts identical firing
+//! sequences, and the `engine` criterion bench measures the speedup.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Slots per level (one byte of the tick).
+const SLOTS: usize = 256;
+/// Wheel levels; ticks differing from the cursor in byte >= `LEVELS` go to
+/// the overflow heap. Four levels cover deadlines up to 2^32 ns (~4.3 s of
+/// simulated time) ahead of the cursor.
+const LEVELS: usize = 4;
+/// `u64` words per level bitmap.
+const WORDS: usize = SLOTS / 64;
+
+/// Byte `k` of tick `t`.
+#[inline]
+fn byte(t: u64, k: usize) -> usize {
+    ((t >> (8 * k)) & 0xFF) as usize
+}
+
+/// A slot/fast-lane entry. Carries no `seq`: within the wheel, FIFO among
+/// ties is preserved structurally (insertion order; see the module docs),
+/// so the hot path neither stores nor compares sequence numbers.
+struct SlotEntry<T> {
+    at: u64,
+    item: T,
+}
+
+/// An entry in the overflow heap (or the [`ReferenceHeap`]), min-ordered by
+/// `(at, seq)` — the only place `seq` is materialized.
+struct OverflowEntry<T> {
+    at: u64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for OverflowEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for OverflowEntry<T> {}
+impl<T> PartialOrd for OverflowEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for OverflowEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for min-order.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A hierarchical timing wheel over payload type `T`, firing in exact
+/// `(time, seq)` FIFO order.
+///
+/// Deadlines are `u64` ticks (the engine uses nanoseconds). `push` requires
+/// a monotonically increasing `seq` across all calls; deadlines earlier
+/// than the cursor are clamped to fire now, after everything already due
+/// now (the engine's past-clamp contract).
+///
+/// # Examples
+///
+/// ```
+/// use vrio_sim::TimingWheel;
+///
+/// let mut w = TimingWheel::new();
+/// w.push(50, 0, "b");
+/// w.push(10, 1, "a");
+/// w.push(50, 2, "c"); // same tick as "b": FIFO
+/// assert_eq!(w.pop(), Some((10, "a")));
+/// assert_eq!(w.pop(), Some((50, "b")));
+/// assert_eq!(w.pop(), Some((50, "c")));
+/// assert_eq!(w.pop(), None);
+/// ```
+pub struct TimingWheel<T> {
+    /// The cursor tick: no pending event is earlier. Events due exactly at
+    /// `cur` sit in `current`.
+    cur: u64,
+    len: usize,
+    /// FIFO of events due at `cur` — the same-instant fast lane.
+    current: VecDeque<SlotEntry<T>>,
+    /// `LEVELS * SLOTS` slots, flat; slot `(k, j)` is `slots[k * SLOTS + j]`.
+    slots: Vec<Vec<SlotEntry<T>>>,
+    /// Per-level occupancy bitmaps for O(1) next-slot search.
+    occupied: [[u64; WORDS]; LEVELS],
+    /// Deadlines beyond the top level's span.
+    overflow: BinaryHeap<OverflowEntry<T>>,
+}
+
+impl<T> Default for TimingWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TimingWheel<T> {
+    /// An empty wheel with the cursor at tick 0.
+    pub fn new() -> Self {
+        TimingWheel {
+            cur: 0,
+            len: 0,
+            current: VecDeque::new(),
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [[0; WORDS]; LEVELS],
+            overflow: BinaryHeap::new(),
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The cursor tick: the time of the last popped event (0 initially).
+    pub fn now_tick(&self) -> u64 {
+        self.cur
+    }
+
+    /// Schedules `item` at tick `at`. `seq` must increase across calls (the
+    /// engine's scheduling counter); a deadline earlier than the cursor is
+    /// clamped to fire now, after all events already due now. `seq` is only
+    /// kept for deadlines that land in the overflow heap — inside the wheel,
+    /// insertion order carries it.
+    pub fn push(&mut self, at: u64, seq: u64, item: T) {
+        let at = at.max(self.cur);
+        if (at ^ self.cur) >> (8 * LEVELS) != 0 {
+            self.overflow.push(OverflowEntry { at, seq, item });
+        } else {
+            self.route(SlotEntry { at, item });
+        }
+        self.len += 1;
+    }
+
+    /// Files an entry into the fast lane or a wheel slot, according to the
+    /// highest byte in which its tick differs from the cursor. The caller
+    /// guarantees the tick is within the wheel's span (`diff < 2^32`):
+    /// `push` checks, and cascades/overflow pulls only ever move entries
+    /// strictly downward.
+    #[inline]
+    fn route(&mut self, e: SlotEntry<T>) {
+        let diff = e.at ^ self.cur;
+        if diff == 0 {
+            self.current.push_back(e);
+            return;
+        }
+        let msb_byte = (63 - diff.leading_zeros() as usize) / 8;
+        debug_assert!(msb_byte < LEVELS, "route of an out-of-span tick");
+        let j = byte(e.at, msb_byte);
+        self.occupied[msb_byte][j / 64] |= 1u64 << (j % 64);
+        self.slots[msb_byte * SLOTS + j].push(e);
+    }
+
+    /// Next occupied slot index at level `k` that is strictly greater than
+    /// `from`, if any.
+    #[inline]
+    fn next_occupied(&self, k: usize, from: usize) -> Option<usize> {
+        let start = from + 1;
+        if start >= SLOTS {
+            return None;
+        }
+        let mut w = start / 64;
+        let mut word = self.occupied[k][w] & (!0u64 << (start % 64));
+        loop {
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w == WORDS {
+                return None;
+            }
+            word = self.occupied[k][w];
+        }
+    }
+
+    /// Advances the cursor to the earliest pending event, cascading slots
+    /// down as spans become current, until the fast lane is non-empty.
+    /// Returns `false` if nothing is pending. Advancing never reorders
+    /// events, so it is safe to call from `peek_time` (e.g. across
+    /// `run_until` boundaries) before the event actually fires.
+    fn advance(&mut self) -> bool {
+        loop {
+            if !self.current.is_empty() {
+                return true;
+            }
+            let mut cascaded = false;
+            for k in 0..LEVELS {
+                if let Some(j) = self.next_occupied(k, byte(self.cur, k)) {
+                    self.occupied[k][j / 64] &= !(1u64 << (j % 64));
+                    if k == 0 {
+                        // A level-0 slot is exactly one tick: jump there and
+                        // move it into the fast lane wholesale, preserving
+                        // insertion (seq) order.
+                        self.cur = (self.cur & !0xFF) | j as u64;
+                        let slot = &mut self.slots[j];
+                        debug_assert!(slot.iter().all(|e| e.at == self.cur));
+                        self.current.extend(slot.drain(..));
+                    } else {
+                        // Cascade: this slot holds the earliest pending
+                        // events (all lower levels and earlier slots are
+                        // empty), so the cursor can jump straight to the
+                        // slot's minimum tick — entries due exactly then
+                        // re-file into the fast lane in one hop instead of
+                        // round-tripping through level 0. Re-filing in
+                        // insertion order keeps global FIFO; items land
+                        // strictly below level k (their upper bytes now
+                        // match the cursor), so the drained slot cannot be
+                        // re-entered. Swap the Vec out and back to keep its
+                        // capacity.
+                        let mut items = std::mem::take(&mut self.slots[k * SLOTS + j]);
+                        let min = items.iter().map(|e| e.at).min().expect("occupied slot");
+                        debug_assert!(min > self.cur);
+                        self.cur = min;
+                        for e in items.drain(..) {
+                            self.route(e);
+                        }
+                        self.slots[k * SLOTS + j] = items;
+                    }
+                    cascaded = true;
+                    break;
+                }
+            }
+            if cascaded {
+                continue;
+            }
+            // Wheel fully drained: pull the next 2^32-span from overflow,
+            // jumping the cursor to its earliest tick (nothing earlier is
+            // pending anywhere).
+            let Some(min) = self.overflow.peek() else {
+                return false;
+            };
+            let span = min.at >> (8 * LEVELS);
+            self.cur = min.at;
+            // Pop in (at, seq) order so per-slot FIFO holds after refiling.
+            while let Some(top) = self.overflow.peek() {
+                if top.at >> (8 * LEVELS) != span {
+                    break;
+                }
+                let OverflowEntry { at, item, .. } = self.overflow.pop().expect("peeked");
+                self.route(SlotEntry { at, item });
+            }
+        }
+    }
+
+    /// The tick of the earliest pending event, if any. May advance the
+    /// cursor and cascade internally; firing order is unaffected.
+    pub fn peek_time(&mut self) -> Option<u64> {
+        if self.advance() {
+            Some(self.cur)
+        } else {
+            None
+        }
+    }
+
+    /// Removes and returns the earliest pending event as `(tick, item)`;
+    /// ties pop in push order.
+    pub fn pop(&mut self) -> Option<(u64, T)> {
+        if !self.advance() {
+            return None;
+        }
+        let e = self.current.pop_front().expect("advance filled the lane");
+        self.len -= 1;
+        Some((e.at, e.item))
+    }
+}
+
+/// The engine's previous scheduler — a `(time, seq)`-ordered binary heap —
+/// kept as the differential-testing oracle and the benchmark baseline for
+/// [`TimingWheel`]. Same API, same clamping contract.
+///
+/// # Examples
+///
+/// ```
+/// use vrio_sim::ReferenceHeap;
+///
+/// let mut h = ReferenceHeap::new();
+/// h.push(50, 0, "b");
+/// h.push(10, 1, "a");
+/// assert_eq!(h.pop(), Some((10, "a")));
+/// assert_eq!(h.pop(), Some((50, "b")));
+/// ```
+pub struct ReferenceHeap<T> {
+    cur: u64,
+    heap: BinaryHeap<OverflowEntry<T>>,
+}
+
+impl<T> Default for ReferenceHeap<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> ReferenceHeap<T> {
+    /// An empty heap with the cursor at tick 0.
+    pub fn new() -> Self {
+        ReferenceHeap {
+            cur: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The cursor tick: the time of the last popped event (0 initially).
+    pub fn now_tick(&self) -> u64 {
+        self.cur
+    }
+
+    /// Schedules `item` at tick `at`; see [`TimingWheel::push`].
+    pub fn push(&mut self, at: u64, seq: u64, item: T) {
+        let at = at.max(self.cur);
+        self.heap.push(OverflowEntry { at, seq, item });
+    }
+
+    /// The tick of the earliest pending event, if any.
+    pub fn peek_time(&mut self) -> Option<u64> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Removes and returns the earliest pending event as `(tick, item)`.
+    pub fn pop(&mut self) -> Option<(u64, T)> {
+        let OverflowEntry { at, item, .. } = self.heap.pop()?;
+        self.cur = at;
+        Some((at, item))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drains both queues, asserting identical `(tick, item)` sequences.
+    fn assert_same_drain(w: &mut TimingWheel<u32>, h: &mut ReferenceHeap<u32>) {
+        loop {
+            let (a, b) = (w.pop(), h.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn fires_in_time_then_fifo_order() {
+        let mut w = TimingWheel::new();
+        w.push(300, 0, 3);
+        w.push(100, 1, 1);
+        w.push(100, 2, 2);
+        assert_eq!(w.pop(), Some((100, 1)));
+        assert_eq!(w.pop(), Some((100, 2)));
+        assert_eq!(w.pop(), Some((300, 3)));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn spans_every_level_and_overflow() {
+        let mut w = TimingWheel::new();
+        let mut h = ReferenceHeap::new();
+        // One event per byte-level plus deep overflow, pushed descending.
+        let times = [
+            u64::MAX - 1,
+            1 << 60,
+            1 << 40,
+            (1 << 32) + 5,
+            1 << 31,
+            1 << 24,
+            1 << 16,
+            1 << 8,
+            3,
+            0,
+        ];
+        for (i, &t) in times.iter().enumerate() {
+            w.push(t, i as u64, i as u32);
+            h.push(t, i as u64, i as u32);
+        }
+        assert_eq!(w.len(), times.len());
+        assert_same_drain(&mut w, &mut h);
+    }
+
+    #[test]
+    fn past_push_clamps_to_cursor_fifo() {
+        let mut w = TimingWheel::new();
+        w.push(1000, 0, 1);
+        assert_eq!(w.pop(), Some((1000, 1)));
+        w.push(1000, 1, 2); // due now
+        w.push(5, 2, 3); // past: clamps behind everything due now
+        w.push(1000, 3, 4);
+        assert_eq!(w.pop(), Some((1000, 2)));
+        assert_eq!(w.pop(), Some((1000, 3)));
+        assert_eq!(w.pop(), Some((1000, 4)));
+    }
+
+    #[test]
+    fn peek_does_not_disturb_order() {
+        let mut w = TimingWheel::new();
+        let mut h = ReferenceHeap::new();
+        for (i, t) in [70_000u64, 3, 70_000, 1 << 33, 259].into_iter().enumerate() {
+            w.push(t, i as u64, i as u32);
+            h.push(t, i as u64, i as u32);
+        }
+        loop {
+            assert_eq!(w.peek_time(), h.peek_time());
+            let (a, b) = (w.pop(), h.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn same_instant_bursts_stay_fifo_through_fast_lane() {
+        let mut w = TimingWheel::new();
+        w.push(500, 0, 0);
+        assert_eq!(w.pop(), Some((500, 0)));
+        // Burst at the current instant, interleaved with a later event.
+        w.push(600, 1, 99);
+        for i in 1..100u32 {
+            w.push(500, 1 + u64::from(i), i);
+        }
+        for i in 1..100u32 {
+            assert_eq!(w.pop(), Some((500, i)));
+        }
+        assert_eq!(w.pop(), Some((600, 99)));
+    }
+
+    #[test]
+    fn len_tracks_push_pop() {
+        let mut w: TimingWheel<()> = TimingWheel::new();
+        assert!(w.is_empty());
+        for i in 0..10 {
+            w.push(i * 1_000_003, i, ());
+        }
+        assert_eq!(w.len(), 10);
+        while w.pop().is_some() {}
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn dense_wrap_heavy_schedule_matches_heap() {
+        // A deterministic pseudo-random schedule crossing many span
+        // boundaries at every level, plus ties.
+        let mut w = TimingWheel::new();
+        let mut h = ReferenceHeap::new();
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let mut t = 0u64;
+        for i in 0..5_000u32 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            // Mixed horizons: mostly near, some far, some very far.
+            let delta = match x % 10 {
+                0..=5 => x % 300,
+                6 | 7 => x % 70_000,
+                8 => x % (1 << 25),
+                _ => (1 << 32) + x % (1 << 34),
+            };
+            let at = t + delta;
+            w.push(at, u64::from(i), i);
+            h.push(at, u64::from(i), i);
+            if x.is_multiple_of(3) {
+                // Interleave pops so the cursor advances mid-schedule.
+                let (a, b) = (w.pop(), h.pop());
+                assert_eq!(a, b);
+                if let Some((tick, _)) = a {
+                    t = tick;
+                }
+            }
+        }
+        assert_same_drain(&mut w, &mut h);
+    }
+}

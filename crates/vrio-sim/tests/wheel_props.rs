@@ -1,0 +1,187 @@
+//! Differential oracle for the timing-wheel scheduler: the wheel and the
+//! reference `BinaryHeap` scheduler must fire identical event sequences for
+//! arbitrary schedules — same-time ties, past-clamped deadlines, events
+//! scheduled from inside callbacks, and `run_until` boundaries — plus a
+//! regression test that `schedule_now` bursts never reorder.
+
+use proptest::prelude::*;
+use vrio_sim::{Engine, ReferenceHeap, SimDuration, SimTime, TimingWheel};
+
+/// One scheduling instruction of a generated program: an event at an
+/// absolute offset which, when fired, schedules `children` more events at
+/// the given relative delays (0 = same instant, driving the fast lane).
+#[derive(Debug, Clone)]
+struct Op {
+    at: u64,
+    children: Vec<u64>,
+}
+
+/// The recorded firing sequence: (event label, firing time).
+type Trace = Vec<(u64, u64)>;
+
+/// Runs `ops` on the given engine, firing through `run_until` in `chunks`
+/// slices of the horizon (1 chunk = plain `run`), and returns the trace.
+fn run_program(mut eng: Engine<Trace>, ops: &[Op], chunks: u64) -> Trace {
+    for (label, op) in ops.iter().enumerate() {
+        let children = op.children.clone();
+        let id = label as u64;
+        eng.schedule_at(SimTime::from_nanos(op.at), move |w: &mut Trace, e| {
+            w.push((id, e.now().as_nanos()));
+            for (i, &d) in children.iter().enumerate() {
+                let child_id = (id << 16) | (i as u64 + 1);
+                e.schedule_in(SimDuration::nanos(d), move |w: &mut Trace, e| {
+                    w.push((child_id, e.now().as_nanos()));
+                });
+            }
+        });
+    }
+    let mut trace = Trace::new();
+    if chunks <= 1 {
+        eng.run(&mut trace);
+    } else {
+        let horizon = ops.iter().map(|o| o.at).max().unwrap_or(0) * 2 + 1000;
+        for c in 1..=chunks {
+            eng.run_until(&mut trace, SimTime::from_nanos(horizon * c / chunks));
+        }
+        eng.run(&mut trace); // stragglers past the horizon (deep children)
+    }
+    trace
+}
+
+/// Deadline strategy mixing horizons: dense near-term ties, mid-range
+/// crossings of the 256/65536-tick span boundaries, and far-future values
+/// that exercise the wheel's upper levels and overflow heap.
+fn deadline() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        4 => 0u64..64,
+        4 => 0u64..1_000,
+        3 => 0u64..100_000,
+        2 => 0u64..20_000_000,
+        1 => 0u64..(1u64 << 35),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The tentpole invariant: identical firing sequences (labels AND
+    /// times) from the wheel and the reference heap, for arbitrary
+    /// schedules including re-entrant scheduling from inside callbacks.
+    #[test]
+    fn wheel_matches_heap(
+        ops in proptest::collection::vec(
+            (deadline(), proptest::collection::vec(deadline(), 0..4))
+                .prop_map(|(at, children)| Op { at, children }),
+            1..40,
+        ),
+        chunks in 1u64..5,
+    ) {
+        let wheel = run_program(Engine::new(), &ops, chunks);
+        let heap = run_program(Engine::with_reference_heap(), &ops, chunks);
+        prop_assert_eq!(wheel, heap);
+    }
+
+    /// Raw queue differential including past-clamped pushes (which the
+    /// engine only reaches in release builds where its debug_assert is
+    /// compiled out): both queues clamp a stale deadline to "now, after
+    /// everything already due now".
+    #[test]
+    fn raw_queues_match_with_past_clamp(
+        pushes in proptest::collection::vec((deadline(), 0u32..4), 1..200),
+    ) {
+        let mut wheel = TimingWheel::new();
+        let mut heap = ReferenceHeap::new();
+        for (i, &(at, pop_after)) in pushes.iter().enumerate() {
+            // Deliberately NOT clamped here: `at` may be far in the past
+            // relative to the cursor once pops have advanced it.
+            wheel.push(at, i as u64, i);
+            heap.push(at, i as u64, i);
+            for _ in 0..pop_after {
+                let (a, b) = (wheel.pop(), heap.pop());
+                prop_assert_eq!(a, b);
+            }
+        }
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        prop_assert!(wheel.is_empty());
+        prop_assert!(heap.is_empty());
+    }
+
+    /// `run_until` must leave both schedulers in equivalent states at every
+    /// boundary: same fired prefix, same pending count, same clock.
+    #[test]
+    fn run_until_boundaries_agree(
+        times in proptest::collection::vec(deadline(), 1..60),
+        cut in 1u64..4,
+    ) {
+        let mut wheel: Engine<Trace> = Engine::new();
+        let mut heap: Engine<Trace> = Engine::with_reference_heap();
+        for (i, &t) in times.iter().enumerate() {
+            let id = i as u64;
+            wheel.schedule_at(SimTime::from_nanos(t), move |w: &mut Trace, e| {
+                w.push((id, e.now().as_nanos()));
+            });
+            heap.schedule_at(SimTime::from_nanos(t), move |w: &mut Trace, e| {
+                w.push((id, e.now().as_nanos()));
+            });
+        }
+        let deadline = SimTime::from_nanos(times.iter().max().unwrap() / cut);
+        let (mut tw, mut th) = (Trace::new(), Trace::new());
+        wheel.run_until(&mut tw, deadline);
+        heap.run_until(&mut th, deadline);
+        prop_assert_eq!(&tw, &th);
+        prop_assert_eq!(wheel.pending(), heap.pending());
+        prop_assert_eq!(wheel.now(), heap.now());
+        prop_assert_eq!(wheel.events_fired(), heap.events_fired());
+        wheel.run(&mut tw);
+        heap.run(&mut th);
+        prop_assert_eq!(tw, th);
+    }
+}
+
+/// Regression: a `schedule_now` burst fired from inside a callback must run
+/// in exact submission order, after all events already pending at that
+/// instant, and before anything later — across both schedulers.
+#[test]
+fn schedule_now_bursts_never_reorder() {
+    for mut eng in [Engine::new(), Engine::with_reference_heap()] {
+        // Three events pending at t=100 before the burst-emitting one.
+        for i in 0..3u64 {
+            eng.schedule_at(SimTime::from_nanos(100), move |w: &mut Vec<u64>, _| {
+                w.push(i);
+            });
+        }
+        eng.schedule_at(SimTime::from_nanos(100), |w: &mut Vec<u64>, e| {
+            w.push(3);
+            // A 100-event same-instant burst, each link re-entrantly
+            // scheduling the next — the fast-lane cascade.
+            fn link(n: u64, w: &mut Vec<u64>, e: &mut Engine<Vec<u64>>) {
+                w.push(n);
+                if n < 103 {
+                    e.schedule_now(move |w: &mut Vec<u64>, e| link(n + 1, w, e));
+                }
+            }
+            e.schedule_now(|w: &mut Vec<u64>, e| link(4, w, e));
+        });
+        // A straggler at the same instant, scheduled before the burst ran
+        // (so it fires before the burst's re-entrant children).
+        eng.schedule_at(SimTime::from_nanos(100), |w: &mut Vec<u64>, _| {
+            w.push(1000);
+        });
+        let later = SimTime::from_nanos(101);
+        eng.schedule_at(later, |w: &mut Vec<u64>, _| w.push(2000));
+
+        let mut order = Vec::new();
+        eng.run(&mut order);
+        let mut expected: Vec<u64> = vec![0, 1, 2, 3, 1000];
+        expected.extend(4..=103);
+        expected.push(2000);
+        assert_eq!(order, expected);
+        assert_eq!(eng.now(), later);
+    }
+}

@@ -433,6 +433,30 @@ impl Oracle {
         i.violate("byte-conservation", msg);
     }
 
+    /// Like [`Oracle::check_bytes`] but compares a reassembled [`Skb`]
+    /// against the expected wire bytes *without linearizing it* — the
+    /// zero-copy path's byte-conservation check. Counts as one check, same
+    /// as `check_bytes`, so enabling it is output-identical.
+    ///
+    /// [`Skb`]: vrio_net::Skb
+    pub fn check_skb(&self, what: &'static str, expected: &[u8], skb: &vrio_net::Skb) {
+        let Some(inner) = &self.inner else { return };
+        let mut i = inner.borrow_mut();
+        i.checks += 1;
+        if skb.eq_contents(expected) {
+            return;
+        }
+        i.violate(
+            "byte-conservation",
+            format!(
+                "{what}: reassembled skb differs from the wire image — {} bytes in, \
+                 {} bytes out",
+                expected.len(),
+                skb.len()
+            ),
+        );
+    }
+
     // ---- per-device FIFO steering -----------------------------------------
 
     /// Records a steering decision: `device`'s next request was assigned

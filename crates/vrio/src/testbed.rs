@@ -1993,8 +1993,7 @@ fn vrio_blk_attempt<W: HasTestbed>(
         s.push_back(Step::Do(Box::new(move |tb| {
             // Messages larger than the channel MTU really segment with the
             // fake-TCP TSO path and reassemble zero-copy at the worker.
-            let enc = if enc.len() > MTU_VRIO_JUMBO {
-                let wire_check = enc.clone();
+            if enc.len() > MTU_VRIO_JUMBO {
                 let msg_id = tb.fresh_msg_id();
                 let segs = segment_message(enc.clone(), MTU_VRIO_JUMBO, msg_id)
                     .expect("block message within TSO bound");
@@ -2008,13 +2007,15 @@ fn vrio_blk_attempt<W: HasTestbed>(
                         skb = Some(done);
                     }
                 }
-                let lin = skb.expect("all fragments offered").linearize();
+                let skb = skb.expect("all fragments offered");
+                assert_eq!(
+                    skb.bytes_copied(),
+                    0,
+                    "TSO segment->reassemble path must not copy payload bytes"
+                );
                 tb.oracle
-                    .check_bytes("blk tso segment->reassemble", &wire_check, &lin);
-                lin
-            } else {
-                enc
-            };
+                    .check_skb("blk tso segment->reassemble", &enc, &skb);
+            }
             // Decode the request the worker actually received and execute.
             let msg = VrioMsg::decode(enc).expect("valid blk message");
             assert_eq!(msg.hdr.kind, VrioMsgKind::BlkReq);

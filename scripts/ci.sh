@@ -48,6 +48,11 @@ cargo run --release -q -p vrio-bench --bin checkbench -- \
     "$DET/t4/BENCH_sweep_smoke.json" \
     --baseline benches/baseline.json --tolerance 0.15
 
+echo "==> perf smoke: engine bench vs committed wall-clock floor"
+PERF=$(mktemp -d)
+scripts/perf.sh "$PERF"
+rm -rf "$PERF"
+
 echo "==> oracle gate: invariant-checked runs are byte-identical"
 cargo run --release -q -p vrio-bench --bin repro -- \
     --quick --tab3 --oracle --json "$DET/orc" > /dev/null

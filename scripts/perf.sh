@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Wall-clock perf harness: runs the engine microbench in --perf mode and
+# records a schema-versioned BENCH_perf_<stamp>.json, then gates it against
+# the committed floor (benches/BENCH_perf_seed.json).
+#
+#   scripts/perf.sh [--full] [OUTDIR]
+#
+# Default is quick scale (200k-event schedules, the scale the committed
+# floor was recorded at). --full runs the 1M-event schedules of the paper
+# harness; those have no committed floor, so the gate is skipped. When the
+# CI environment variable is set the gate is warn-only (shared runners are
+# noisy); locally a regression beyond the tolerance fails.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+QUICK=1
+OUT=benches
+for a in "$@"; do
+    case "$a" in
+    --full) QUICK=0 ;;
+    --quick) QUICK=1 ;;
+    -*)
+        echo "usage: scripts/perf.sh [--full] [OUTDIR]" >&2
+        exit 1
+        ;;
+    *) OUT=$a ;;
+    esac
+done
+
+mkdir -p "$OUT"
+STAMP=$(date -u +%Y%m%dT%H%M%SZ)
+FILE="$OUT/BENCH_perf_$STAMP.json"
+
+if [ "$QUICK" = 1 ]; then
+    cargo bench -p vrio-bench --bench engine -- --quick --perf "$FILE"
+    cargo run --release -q -p vrio-bench --bin checkbench -- \
+        --perf "$FILE" --baseline benches/BENCH_perf_seed.json \
+        ${CI:+--warn-only}
+else
+    cargo bench -p vrio-bench --bench engine -- --perf "$FILE"
+    echo "perf.sh: full scale has no committed floor; gate skipped"
+fi
+
+echo "perf.sh: wrote $FILE"

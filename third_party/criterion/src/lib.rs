@@ -2,10 +2,15 @@
 //!
 //! The build environment has no network access to crates.io, so this
 //! crate provides the benchmarking API surface the workspace's bench
-//! targets compile against. It performs no statistics: `iter` runs the
-//! routine once so `cargo bench` still smoke-executes every benchmark
-//! body, and the `criterion_group!`/`criterion_main!` macros wire the
-//! groups into a plain `main`.
+//! targets compile against. Unlike real criterion it does no statistics
+//! (no outlier analysis, no confidence intervals), but it *does*
+//! measure: `iter` warms the routine up, then times an adaptively sized
+//! batch and reports mean wall-clock ns/iteration, plus derived
+//! throughput when the group declared one. Numbers are indicative; the
+//! `engine` bench's `--perf` mode does its own longer steady-state
+//! measurement for the recorded `BENCH_perf_*.json`.
+
+use std::time::{Duration, Instant};
 
 /// The benchmark driver handle.
 #[derive(Debug, Default)]
@@ -15,13 +20,18 @@ pub struct Criterion {
 
 impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), _criterion: self }
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
     }
 }
 
 /// A named group of related benchmarks.
 pub struct BenchmarkGroup<'a> {
     name: String,
+    throughput: Option<Throughput>,
     _criterion: &'a mut Criterion,
 }
 
@@ -34,7 +44,8 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
         self
     }
 
@@ -42,9 +53,24 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        eprintln!("bench {}/{} ... smoke-run", self.name, id.into());
-        let mut b = Bencher { _private: () };
+        let mut b = Bencher { mean_ns: None };
         f(&mut b);
+        let label = format!("{}/{}", self.name, id.into());
+        match b.mean_ns {
+            Some(ns) => {
+                let rate = match self.throughput {
+                    Some(Throughput::Bytes(n)) if ns > 0.0 => {
+                        format!("  ({:.1} MiB/s)", n as f64 / (ns / 1e9) / (1024.0 * 1024.0))
+                    }
+                    Some(Throughput::Elements(n)) if ns > 0.0 => {
+                        format!("  ({:.0} elem/s)", n as f64 / (ns / 1e9))
+                    }
+                    _ => String::new(),
+                };
+                eprintln!("bench {label:<48} {ns:>14.0} ns/iter{rate}");
+            }
+            None => eprintln!("bench {label:<48} (no measurement)"),
+        }
         self
     }
 
@@ -53,26 +79,54 @@ impl BenchmarkGroup<'_> {
 
 /// Passed to each benchmark closure; drives the routine under test.
 pub struct Bencher {
-    _private: (),
+    mean_ns: Option<f64>,
+}
+
+/// Times `routine`: one warm-up run, one timed run, and — if the routine is
+/// fast — a batch sized to roughly [`MEASURE_TARGET`] of wall clock whose
+/// mean is reported.
+fn measure<F: FnMut()>(mut routine: F) -> f64 {
+    const MEASURE_TARGET: Duration = Duration::from_millis(10);
+    // Warm-up (also the smoke run: panics surface here even in quick mode).
+    routine();
+    let t0 = Instant::now();
+    routine();
+    let first = t0.elapsed();
+    if first >= MEASURE_TARGET {
+        return first.as_nanos() as f64;
+    }
+    let reps =
+        (MEASURE_TARGET.as_nanos() / first.as_nanos().max(1)).clamp(1, 10_000) as u32;
+    let t1 = Instant::now();
+    for _ in 0..reps {
+        routine();
+    }
+    t1.elapsed().as_nanos() as f64 / f64::from(reps)
 }
 
 impl Bencher {
-    /// Runs the routine (once, in this stand-in).
+    /// Runs and times the routine, recording mean ns/iteration.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
-        black_box(routine());
+        self.mean_ns = Some(measure(|| {
+            black_box(routine());
+        }));
     }
 
-    /// Runs setup + routine (once, in this stand-in).
+    /// Runs and times setup + routine together. Unlike real criterion the
+    /// stand-in cannot subtract setup time from the measurement, so keep
+    /// setups cheap relative to the routine.
     pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
     where
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
-        black_box(routine(setup()));
+        self.mean_ns = Some(measure(|| {
+            black_box(routine(setup()));
+        }));
     }
 }
 
-/// How a group's work is scaled in reports (ignored here).
+/// How a group's work is scaled in reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Throughput {
     Bytes(u64),
