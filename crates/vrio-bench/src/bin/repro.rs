@@ -13,6 +13,12 @@
 //!                        # grid, runs it across 4 OS threads, and emits
 //!                        # BENCH_sweep_smoke.json (byte-identical for any
 //!                        # thread count)
+//! repro --quick --chaos primary-kill --threads 4 --json benches
+//!                        # the chaos-schedule engine: run the named
+//!                        # campaign's replicas (outages, loss storms,
+//!                        # surges) with the oracle on and emit
+//!                        # BENCH_chaos_primary-kill.json (byte-identical
+//!                        # for any thread count)
 //! repro --quick --tab3 --oracle --json /tmp/j
 //!                        # ...with the simulation oracle: every run is
 //!                        # checked against the conservation invariants
@@ -95,6 +101,7 @@ fn main() {
     let trace_dir = value_flag("--trace");
     let json_dir = value_flag("--json");
     let sweep_name = value_flag("--sweep");
+    let chaos_name = value_flag("--chaos");
     let threads: usize = value_flag("--threads")
         .map(|v| {
             v.parse().unwrap_or_else(|_| {
@@ -115,10 +122,10 @@ fn main() {
     }
     let mut outputs = Outputs::default();
 
-    // `--quick` alone still means "run everything", but a bare sweep
-    // invocation runs only the sweep.
+    // `--quick` alone still means "run everything", but a bare sweep or
+    // chaos invocation runs only that.
     let all = args.iter().any(|a| a == "--all")
-        || (sweep_name.is_none() && args.iter().all(|a| a == "--quick"));
+        || (sweep_name.is_none() && chaos_name.is_none() && args.iter().all(|a| a == "--quick"));
 
     let want = |flag: &str| all || args.iter().any(|a| a == flag);
 
@@ -201,6 +208,27 @@ fn main() {
         outputs.write(
             format!("{dir}/BENCH_sweep_{}.json", spec.name),
             &sweep.to_json().render_pretty(),
+        );
+        ran += 1;
+    }
+    // The chaos-schedule engine: run the named campaign's replicas across
+    // OS threads, emit BENCH_chaos_*.json (byte-identical for any
+    // --threads value; every replica runs with the oracle on).
+    if let Some(name) = &chaos_name {
+        let campaign = ChaosCampaign::named(name, rc).unwrap_or_else(|e| {
+            eprintln!("repro: {e}");
+            std::process::exit(2);
+        });
+        let chaos = run_chaos(&campaign, threads, true).unwrap_or_else(|e| {
+            eprintln!("repro: {e}");
+            std::process::exit(2);
+        });
+        println!("{}", "=".repeat(74));
+        println!("{}", chaos.render_text());
+        let dir = json_dir.clone().unwrap_or_else(|| ".".to_string());
+        outputs.write(
+            format!("{dir}/BENCH_chaos_{}.json", campaign.name),
+            &chaos.to_json().render_pretty(),
         );
         ran += 1;
     }

@@ -9,12 +9,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chaos;
 mod cost_exps;
 mod obs;
 mod report;
 mod sweep;
 mod sys_exps;
 
+pub use chaos::{
+    run_chaos, run_replica, BucketSample, ChaosCampaign, ChaosError, ChaosResult, ReplicaResult,
+    CHAOS_SCHEMA_VERSION, KNOWN_CAMPAIGNS,
+};
 pub use cost_exps::{fig1, fig2, fig3, tab1, tab2};
 pub use obs::{latency_breakdown, latency_breakdown_checked, ObsReport};
 pub use report::{downsample, f, render_reliability, render_table, sparkline};

@@ -633,7 +633,7 @@ pub fn failover(rc: ReproConfig) -> String {
     // The health monitor's view of the lifecycle, with detection lag made
     // visible: each transition is stamped at the heartbeat that caused it.
     out.push_str("\nhealth transitions (VMhost 0):\n");
-    for &(at, state) in &tb.health[0].transitions {
+    for &(at, state) in &tb.health[0].primary().transitions {
         let _ = writeln!(
             out,
             "  t={:>9.3} ms  -> {}",

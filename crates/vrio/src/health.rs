@@ -153,6 +153,95 @@ impl HealthConfig {
     }
 }
 
+/// Why an outage schedule was rejected by [`validate_outage_schedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutageScheduleError {
+    /// `recovers_at <= fails_at`: the window is empty (or inverted) and
+    /// can never cover an instant.
+    EmptyWindow {
+        /// Index of the offending window in the schedule.
+        index: usize,
+        /// Its crash instant.
+        fails_at: SimTime,
+        /// Its (not-after-the-crash) recovery instant.
+        recovers_at: SimTime,
+    },
+    /// Window `index` starts before window `index - 1` does: the schedule
+    /// must be sorted by `fails_at`.
+    Unsorted {
+        /// Index of the out-of-order window.
+        index: usize,
+    },
+    /// Window `index` starts before window `index - 1` recovers (a
+    /// permanent predecessor overlaps everything after it).
+    Overlap {
+        /// Index of the overlapping window.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for OutageScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OutageScheduleError::EmptyWindow {
+                index,
+                fails_at,
+                recovers_at,
+            } => write!(
+                f,
+                "outage window {index} is empty: recovers_at ({recovers_at:?}) must be \
+                 strictly after fails_at ({fails_at:?})"
+            ),
+            OutageScheduleError::Unsorted { index } => write!(
+                f,
+                "outage window {index} starts before window {} does: sort the schedule \
+                 by fails_at",
+                index - 1
+            ),
+            OutageScheduleError::Overlap { index } => write!(
+                f,
+                "outage window {index} starts before window {} recovers: merge \
+                 overlapping windows for the same host",
+                index - 1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OutageScheduleError {}
+
+/// Validates one host's outage schedule (mirroring
+/// [`HealthConfig::validated`]): every window non-empty, sorted by
+/// `fails_at`, and non-overlapping. A permanent outage
+/// (`recovers_at: None`) must be the last window.
+pub fn validate_outage_schedule(schedule: &[Outage]) -> Result<(), OutageScheduleError> {
+    for (index, o) in schedule.iter().enumerate() {
+        if let Some(r) = o.recovers_at {
+            if r <= o.fails_at {
+                return Err(OutageScheduleError::EmptyWindow {
+                    index,
+                    fails_at: o.fails_at,
+                    recovers_at: r,
+                });
+            }
+        }
+        if index > 0 {
+            let prev = &schedule[index - 1];
+            if o.fails_at < prev.fails_at {
+                return Err(OutageScheduleError::Unsorted { index });
+            }
+            match prev.recovers_at {
+                None => return Err(OutageScheduleError::Overlap { index }),
+                Some(r) if o.fails_at < r => {
+                    return Err(OutageScheduleError::Overlap { index });
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Probe/ack accounting of one monitor.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HealthStats {
@@ -320,6 +409,118 @@ impl HealthMonitor {
                 self.stats.failovers += 1;
             }
             HealthState::Recovered => unreachable!("Recovered never persists"),
+        }
+    }
+}
+
+/// Where a VMhost's remote I/O currently routes: one of its configured
+/// IOhosts, or the local-virtio fallback of last resort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Route {
+    /// IOhost `k` in the VMhost's preference order (0 = primary).
+    Remote(usize),
+    /// Every configured IOhost is down: local virtio.
+    Local,
+}
+
+impl std::fmt::Display for Route {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Route::Remote(k) => write!(f, "iohost{k}"),
+            Route::Local => f.write_str("local"),
+        }
+    }
+}
+
+/// N+1 redundancy: one [`HealthMonitor`] per IOhost in a VMhost's ordered
+/// preference list, folded into a single [`Route`] — the first target
+/// whose monitor is not failed over, or [`Route::Local`] when all are.
+///
+/// All monitors share one heartbeat grid, and the fold re-evaluates the
+/// route after each beat, so failover walks primary → backup(s) → local
+/// and failback retraces the ladder in reverse as targets recover,
+/// deterministically and independent of how callers slice `advance_to`.
+#[derive(Debug, Clone)]
+pub struct RedundancyMonitor {
+    monitors: Vec<HealthMonitor>,
+    current: Route,
+    /// Every route change, in order: `(when, new_route)`. The initial
+    /// `Remote(0)` is implicit.
+    pub route_log: Vec<(SimTime, Route)>,
+}
+
+impl RedundancyMonitor {
+    /// Creates a ladder of `targets` monitors for VMhost `host`, all with
+    /// the same `config`, initially routing via the primary (target 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `targets == 0` — a VMhost must list at least one
+    /// IOhost.
+    pub fn new(host: u32, config: HealthConfig, targets: usize) -> Self {
+        assert!(targets > 0, "a VMhost needs at least one IOhost target");
+        RedundancyMonitor {
+            monitors: (0..targets)
+                .map(|_| HealthMonitor::new(host, config))
+                .collect(),
+            current: Route::Remote(0),
+            route_log: Vec::new(),
+        }
+    }
+
+    /// Number of IOhost targets in the ladder.
+    pub fn num_targets(&self) -> usize {
+        self.monitors.len()
+    }
+
+    /// The monitor for the primary IOhost (target 0).
+    pub fn primary(&self) -> &HealthMonitor {
+        &self.monitors[0]
+    }
+
+    /// The monitor for target `k` in preference order.
+    pub fn target(&self, k: usize) -> &HealthMonitor {
+        &self.monitors[k]
+    }
+
+    /// All per-target monitors, in preference order.
+    pub fn targets(&self) -> &[HealthMonitor] {
+        &self.monitors
+    }
+
+    /// The route as of the last [`Self::advance_to`].
+    pub fn route(&self) -> Route {
+        self.current
+    }
+
+    /// Advances every per-target monitor through the shared heartbeat
+    /// grid up to `now`, re-evaluating the route after each beat.
+    /// `schedules[k]` is target `k`'s outage schedule (missing entries
+    /// mean "never down"). Idempotent, like [`HealthMonitor::advance_to`].
+    pub fn advance_to(&mut self, now: SimTime, schedules: &[Vec<Outage>]) {
+        loop {
+            // All monitors share the grid, but step beat-by-beat so the
+            // route log lands each change on the exact probing instant.
+            let Some(beat) = self.monitors.iter().map(|m| m.next_beat).min() else {
+                return;
+            };
+            if beat > now {
+                return;
+            }
+            static NO_OUTAGES: &[Outage] = &[];
+            for (k, m) in self.monitors.iter_mut().enumerate() {
+                let sched = schedules.get(k).map_or(NO_OUTAGES, |s| s.as_slice());
+                m.advance_to(beat, sched);
+            }
+            let route = self
+                .monitors
+                .iter()
+                .position(|m| !m.routes_via_fallback())
+                .map_or(Route::Local, Route::Remote);
+            if route != self.current {
+                self.current = route;
+                self.route_log.push((beat, route));
+            }
         }
     }
 }
@@ -493,6 +694,176 @@ mod tests {
         assert!(HealthConfigError::ZeroInterval
             .to_string()
             .contains("interval"));
+    }
+
+    #[test]
+    fn outage_starting_at_time_zero() {
+        // A crash at t=0 precedes even the first beat: the monitor's very
+        // first probes are misses and failover completes on the grid.
+        let mut m = HealthMonitor::new(0, HealthConfig::default());
+        let sched = [Outage {
+            fails_at: SimTime::ZERO,
+            recovers_at: Some(ms(2)),
+        }];
+        m.advance_to(ms(5), &sched);
+        assert_eq!(m.state(), HealthState::Healthy);
+        assert_eq!(m.stats.failovers, 1);
+        assert_eq!(m.stats.failbacks, 1);
+        // Suspect on the first beat (250us), FailedOver on the second.
+        assert_eq!(
+            m.transitions[0],
+            (
+                SimTime::ZERO + SimDuration::micros(250),
+                HealthState::Suspect
+            )
+        );
+        assert_eq!(
+            m.transitions[1],
+            (
+                SimTime::ZERO + SimDuration::micros(500),
+                HealthState::FailedOver
+            )
+        );
+    }
+
+    #[test]
+    fn back_to_back_outages_shorter_than_recovery_streak() {
+        // Adjacent windows [1,2) + [2,3) leave zero recovery gap: no ack
+        // ever lands between them, so the pair behaves exactly like one
+        // outage [1,3) — a single failover episode, no Probing detour.
+        let mut m = HealthMonitor::new(0, HealthConfig::default());
+        let sched = [outage(1, Some(2)), outage(2, Some(3))];
+        validate_outage_schedule(&sched).expect("adjacent windows are legal");
+        m.advance_to(ms(6), &sched);
+        assert_eq!(m.state(), HealthState::Healthy);
+        assert_eq!(m.stats.failovers, 1);
+        assert_eq!(m.stats.failbacks, 1);
+
+        // A one-beat recovery gap ([1,2) + [2.25,4)) yields exactly one
+        // ack — fewer than recovery_acks=2 — so Probing relapses to
+        // FailedOver and failback waits for the second window to close.
+        let mut m = HealthMonitor::new(0, HealthConfig::default());
+        let sched = [
+            outage(1, Some(2)),
+            Outage {
+                fails_at: ms(2) + SimDuration::micros(250),
+                recovers_at: Some(ms(4)),
+            },
+        ];
+        validate_outage_schedule(&sched).expect("gap of one beat is legal");
+        m.advance_to(ms(2), &sched);
+        assert_eq!(m.state(), HealthState::Probing);
+        m.advance_to(ms(6), &sched);
+        assert_eq!(m.state(), HealthState::Healthy);
+        assert_eq!(m.stats.failovers, 2, "the stalled probe re-fails-over");
+        assert_eq!(m.stats.failbacks, 1, "only the stable recovery counts");
+    }
+
+    #[test]
+    fn schedule_validation_accepts_sane_schedules() {
+        assert_eq!(validate_outage_schedule(&[]), Ok(()));
+        assert_eq!(validate_outage_schedule(&[outage(1, None)]), Ok(()));
+        assert_eq!(
+            validate_outage_schedule(&[outage(1, Some(2)), outage(2, Some(3)), outage(5, None)]),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn schedule_validation_rejects_each_malformation() {
+        // Empty window: recovers_at == fails_at.
+        let err = validate_outage_schedule(&[outage(5, Some(5))]).unwrap_err();
+        assert!(matches!(
+            err,
+            OutageScheduleError::EmptyWindow { index: 0, .. }
+        ));
+        assert!(err.to_string().contains("strictly after"));
+        // Inverted window.
+        assert!(matches!(
+            validate_outage_schedule(&[outage(5, Some(3))]),
+            Err(OutageScheduleError::EmptyWindow { index: 0, .. })
+        ));
+        // Unsorted.
+        let err =
+            validate_outage_schedule(&[outage(10, Some(20)), outage(1, Some(2))]).unwrap_err();
+        assert_eq!(err, OutageScheduleError::Unsorted { index: 1 });
+        assert!(err.to_string().contains("sort the schedule"));
+        // Overlap.
+        let err =
+            validate_outage_schedule(&[outage(1, Some(10)), outage(5, Some(20))]).unwrap_err();
+        assert_eq!(err, OutageScheduleError::Overlap { index: 1 });
+        assert!(err.to_string().contains("merge overlapping"));
+        // A permanent outage shadows everything after it.
+        assert_eq!(
+            validate_outage_schedule(&[outage(1, None), outage(50, Some(60))]),
+            Err(OutageScheduleError::Overlap { index: 1 })
+        );
+    }
+
+    #[test]
+    fn redundancy_ladder_walks_down_and_back_up() {
+        // Two IOhosts: the primary dies for [1,10)ms, the backup for
+        // [3,6)ms. The route walks primary -> backup -> local and fails
+        // back in reverse, each hop landing on a heartbeat instant.
+        let mut r = RedundancyMonitor::new(0, HealthConfig::default(), 2);
+        assert_eq!(r.route(), Route::Remote(0));
+        let schedules = vec![vec![outage(1, Some(10))], vec![outage(3, Some(6))]];
+        r.advance_to(ms(12), &schedules);
+        assert_eq!(r.route(), Route::Remote(0));
+        let us = |v: u64| SimTime::ZERO + SimDuration::micros(v);
+        assert_eq!(
+            r.route_log,
+            [
+                (us(1_250), Route::Remote(1)),  // detection: 2nd miss
+                (us(3_250), Route::Local),      // backup dies too
+                (us(6_250), Route::Remote(1)),  // backup recovers first
+                (us(10_250), Route::Remote(0)), // failback to primary
+            ]
+        );
+        assert_eq!(r.primary().stats.failovers, 1);
+        assert_eq!(r.target(1).stats.failovers, 1);
+        assert_eq!(r.primary().stats.failbacks, 1);
+    }
+
+    #[test]
+    fn single_target_ladder_matches_plain_monitor() {
+        let sched = vec![vec![outage(2, Some(7)), outage(9, Some(11))]];
+        let mut plain = HealthMonitor::new(4, HealthConfig::default());
+        let mut ladder = RedundancyMonitor::new(4, HealthConfig::default(), 1);
+        for step in 1..=60 {
+            let t = SimTime::ZERO + SimDuration::micros(300) * step;
+            plain.advance_to(t, &sched[0]);
+            ladder.advance_to(t, &sched);
+            assert_eq!(
+                ladder.route() == Route::Local,
+                plain.routes_via_fallback(),
+                "route must mirror the single monitor at {t:?}"
+            );
+        }
+        assert_eq!(plain.transitions, ladder.primary().transitions);
+        assert_eq!(plain.stats, ladder.primary().stats);
+    }
+
+    #[test]
+    fn ladder_advance_is_idempotent_under_slicing() {
+        let schedules = vec![
+            vec![outage(1, Some(4))],
+            vec![outage(2, Some(3)), outage(5, Some(6))],
+        ];
+        let mut leap = RedundancyMonitor::new(0, HealthConfig::default(), 2);
+        leap.advance_to(ms(8), &schedules);
+        let mut sliced = RedundancyMonitor::new(0, HealthConfig::default(), 2);
+        for step in 1..=80 {
+            let t = SimTime::ZERO + SimDuration::micros(100) * step;
+            sliced.advance_to(t, &schedules);
+            sliced.advance_to(t, &schedules);
+        }
+        assert_eq!(leap.route(), sliced.route());
+        assert_eq!(leap.route_log, sliced.route_log);
+        for k in 0..2 {
+            assert_eq!(leap.target(k).transitions, sliced.target(k).transitions);
+            assert_eq!(leap.target(k).stats, sliced.target(k).stats);
+        }
     }
 
     #[test]

@@ -94,13 +94,19 @@ impl Steering {
     }
 
     /// Records that one packet of device `d` finished processing.
+    ///
+    /// A completion for an unbound device (or one more completion than
+    /// assignments — a double-complete) is a caller bug: it trips a
+    /// `debug_assert` in debug builds and is ignored in release builds
+    /// (saturating decrements, never underflow).
     pub fn complete(&mut self, d: DeviceId) {
         let Some((w, n)) = self.inflight.get_mut(&d) else {
             debug_assert!(false, "completion for unbound device {d}");
             return;
         };
-        self.load[w.0] -= 1;
-        *n -= 1;
+        debug_assert!(*n > 0, "double-complete for device {d}");
+        self.load[w.0] = self.load[w.0].saturating_sub(1);
+        *n = n.saturating_sub(1);
         if *n == 0 {
             self.inflight.remove(&d);
         }
@@ -253,6 +259,26 @@ mod tests {
         }
         assert_eq!(s.inflight_of(d), 11);
         assert_eq!(s.affinity_hits, 10);
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        should_panic(expected = "completion for unbound device")
+    )]
+    fn double_complete_saturates_instead_of_underflowing() {
+        let mut s = Steering::new(2);
+        let d = dev(0, 0);
+        let w = s.assign(d);
+        s.complete(d);
+        // The drained entry is gone; a stray second completion is a caller
+        // bug — debug builds assert, release builds saturate and ignore.
+        s.complete(d);
+        assert_eq!(s.inflight_of(d), 0);
+        assert_eq!(s.load_of(w), 0, "load must not underflow");
+        // The table keeps working after the stray completion.
+        assert!(s.assign(d).0 < 2);
+        assert_eq!(s.inflight_of(d), 1);
     }
 
     #[test]

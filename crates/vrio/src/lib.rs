@@ -61,6 +61,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admission;
 mod aes;
 mod client;
 mod dynamic;
@@ -72,6 +73,7 @@ mod proto;
 mod testbed;
 mod transport;
 
+pub use admission::{AdmissionConfig, AdmissionControl, AdmissionError, Decision, TenantStats};
 pub use aes::{Aes256, AesCtr};
 pub use client::{ClientFlavor, IoClient, MigrationError};
 pub use dynamic::{
@@ -79,7 +81,8 @@ pub use dynamic::{
     DynamicConfig,
 };
 pub use health::{
-    HealthConfig, HealthConfigError, HealthMonitor, HealthState, HealthStats, Outage,
+    validate_outage_schedule, HealthConfig, HealthConfigError, HealthMonitor, HealthState,
+    HealthStats, Outage, OutageScheduleError, RedundancyMonitor, Route,
 };
 pub use interpose::{
     CompressionService, DedupService, Direction, EncryptionService, FirewallService,

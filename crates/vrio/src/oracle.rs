@@ -146,6 +146,9 @@ struct Inner {
     flows_dropped: u64,
     /// Per-device steering state: (requests in flight, owning worker).
     steer: HashMap<u32, (u64, usize)>,
+    /// Sanctioned steering handoffs (failover re-pins), counted so chaos
+    /// reports can show how often devices migrated between IOhosts.
+    steer_handoffs: u64,
     /// Last mark time per live span.
     span_last: HashMap<SpanId, SimTime>,
     last_engine_event: Option<SimTime>,
@@ -482,6 +485,33 @@ impl Oracle {
         i.steer.insert(device, (inflight + 1, worker));
     }
 
+    /// Records a *sanctioned* steering handoff: `device`'s next request
+    /// was deliberately re-pinned to `worker` because its previous owner
+    /// sat on a failed (or just-recovered) IOhost. Unlike
+    /// [`Oracle::steer_assign`] this does not flag the owner change — the
+    /// failover ladder hands device state off deterministically — but it
+    /// still counts the in-flight request and the handoff itself, so the
+    /// fifo-steering invariant resumes on the new owner and chaos reports
+    /// can surface migration counts.
+    pub fn steer_handoff(&self, device: u32, worker: usize) {
+        let Some(inner) = &self.inner else { return };
+        let mut i = inner.borrow_mut();
+        i.checks += 1;
+        let (inflight, owner) = i.steer.get(&device).copied().unwrap_or((0, worker));
+        if owner != worker {
+            i.steer_handoffs += 1;
+        }
+        i.steer.insert(device, (inflight + 1, worker));
+    }
+
+    /// Sanctioned steering handoffs recorded via [`Oracle::steer_handoff`]
+    /// (0 when the oracle is off).
+    pub fn steer_handoffs(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.borrow().steer_handoffs)
+    }
+
     /// Records a steering completion: one of `device`'s in-flight requests
     /// finished. A completion with nothing in flight is a violation.
     pub fn steer_release(&self, device: u32) {
@@ -798,6 +828,24 @@ mod tests {
         let v = o.violations();
         assert_eq!(v[0].invariant, "fifo-steering");
         assert!(v[0].message.contains("none in flight"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn sanctioned_handoff_does_not_fire_fifo_steering() {
+        let o = on();
+        o.steer_assign(7, 0);
+        o.steer_release(7);
+        // Failover re-pins the device to a worker on the backup IOhost:
+        // sanctioned, counted, not a violation.
+        o.steer_handoff(7, 1);
+        o.steer_assign(7, 1); // FIFO affinity resumes on the new owner
+        o.steer_release(7);
+        o.steer_release(7);
+        assert!(o.is_clean(), "{:?}", o.violations());
+        assert_eq!(o.steer_handoffs(), 1);
+        // A handoff that lands on the current owner is not a migration.
+        o.steer_handoff(7, 1);
+        assert_eq!(o.steer_handoffs(), 1);
     }
 
     #[test]

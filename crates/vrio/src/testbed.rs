@@ -23,7 +23,8 @@ use vrio_net::{segment_message, FaultConfig, FaultInjector, Reassembler, MTU_VRI
 use vrio_sim::{BusyTracker, Engine, SimDuration, SimRng, SimTime};
 use vrio_trace::{SpanId, Stage, TraceConfig, Tracer};
 
-use crate::health::{HealthConfig, HealthMonitor, Outage};
+use crate::admission::{AdmissionConfig, AdmissionControl};
+use crate::health::{validate_outage_schedule, HealthConfig, Outage, RedundancyMonitor, Route};
 use crate::interpose::{Direction, InterpositionChain, Verdict};
 use crate::oracle::{Oracle, OracleConfig};
 use crate::proto::{DeviceId, VrioMsg, VrioMsgKind};
@@ -80,8 +81,8 @@ pub enum CoreRef {
     GenMachine(usize),
     /// The VMhost `i` uplink (wire serialization).
     HostLink(usize),
-    /// The IOhost uplink.
-    IohostLink,
+    /// The uplink of IOhost `i` (0 = primary, 1.. = N+1 backups).
+    IohostLink(usize),
     /// Block device `i`.
     Disk(usize),
 }
@@ -271,6 +272,22 @@ pub struct TestbedConfig {
     /// Explicit IOhost crash/recover schedule, merged with the
     /// `iohost_fails_at`/`iohost_recovers_at` sugar pair.
     pub iohost_outages: Vec<Outage>,
+    /// Number of IOhosts in each VMhost's ordered preference list (N+1
+    /// redundancy). With more than one, vRIO traffic fails over primary →
+    /// backup(s) → local virtio and fails back in reverse as hosts
+    /// recover; the default of 1 reproduces the PR 1 primary-or-local
+    /// ladder exactly.
+    pub num_iohosts: usize,
+    /// Outage schedules for the backup IOhosts (index 0 = IOhost 1, the
+    /// first backup); the primary's schedule comes from
+    /// `iohost_fails_at`/`iohost_outages`. Must not name more hosts than
+    /// `num_iohosts - 1`.
+    pub backup_outages: Vec<Vec<Outage>>,
+    /// Overload-aware admission control at each IOhost (queue-depth
+    /// backpressure, weighted per-tenant shedding, circuit breaker).
+    /// Disabled by default — a disabled controller admits everything and
+    /// accounts nothing, keeping existing runs byte-identical.
+    pub admission: AdmissionConfig,
     /// Health state machine knobs (heartbeat period, failover/failback
     /// thresholds).
     pub health: HealthConfig,
@@ -314,6 +331,9 @@ impl TestbedConfig {
             iohost_fails_at: None,
             iohost_recovers_at: None,
             iohost_outages: Vec::new(),
+            num_iohosts: 1,
+            backup_outages: Vec::new(),
+            admission: AdmissionConfig::default(),
             health: HealthConfig::default(),
             faults: FaultConfig::default(),
             trace: TraceConfig::off(),
@@ -333,6 +353,20 @@ impl TestbedConfig {
             });
         }
         v.sort_by_key(|o| o.fails_at);
+        v
+    }
+
+    /// Per-IOhost outage schedules for the full redundancy ladder: index
+    /// 0 is the primary's merged [`TestbedConfig::outage_schedule`], then
+    /// the configured [`TestbedConfig::backup_outages`], padded with
+    /// never-down schedules out to [`TestbedConfig::num_iohosts`].
+    pub fn outage_schedules(&self) -> Vec<Vec<Outage>> {
+        let mut v = Vec::with_capacity(self.num_iohosts.max(1));
+        v.push(self.outage_schedule());
+        v.extend(self.backup_outages.iter().cloned());
+        while v.len() < self.num_iohosts {
+            v.push(Vec::new());
+        }
         v
     }
 
@@ -380,6 +414,12 @@ impl TestbedConfig {
     /// Sets the link bandwidth in Gbps.
     pub fn with_link_gbps(mut self, gbps: f64) -> Self {
         self.link_gbps = gbps;
+        self
+    }
+
+    /// Sets the number of IOhosts in the redundancy ladder.
+    pub fn with_iohosts(mut self, n: usize) -> Self {
+        self.num_iohosts = n;
         self
     }
 }
@@ -445,14 +485,23 @@ pub struct Testbed {
     pub backends: Vec<Resource>,
     /// Per-VMhost uplinks.
     pub host_links: Vec<Resource>,
-    /// The IOhost uplink.
-    pub iohost_link: Resource,
+    /// Per-IOhost uplinks (index 0 = primary).
+    pub iohost_links: Vec<Resource>,
     /// Per-VM block devices (real ramdisk bytes + FIFO service).
     pub disks: Vec<Resource>,
     /// The actual backing stores.
     pub disk_stores: Vec<Ramdisk>,
-    /// Worker steering table (vRIO only).
-    pub steering: crate::iohost::Steering,
+    /// Per-IOhost worker steering tables (vRIO only); IOhost `k` owns
+    /// global backend cores `[k·backend_cores, (k+1)·backend_cores)`.
+    pub steering: Vec<crate::iohost::Steering>,
+    /// Per-IOhost admission controllers (VMs are the tenants). Inert
+    /// when [`TestbedConfig::admission`] is disabled.
+    pub admission: Vec<AdmissionControl>,
+    /// The IOhost index each VM's device state currently lives on, for
+    /// deterministic steering handoffs across the redundancy ladder.
+    pub vm_route: Vec<usize>,
+    /// Device handoffs performed across the ladder (failover + failback).
+    pub handoffs: u64,
     /// Accumulated Table 3 counters.
     pub counters: EventCounters,
     /// The interposition chain applied at the backend (empty by default;
@@ -460,10 +509,12 @@ pub struct Testbed {
     pub chain: InterpositionChain,
     /// Per-VM block retransmission state (vRIO only).
     pub retx: Vec<BlockRetx>,
-    /// Per-VMhost IOhost health monitors (§4.6 failover/failback).
-    pub health: Vec<HealthMonitor>,
-    /// The precomputed outage schedule the monitors probe against.
-    pub outages: Vec<Outage>,
+    /// Per-VMhost redundancy ladders: one health monitor per IOhost
+    /// target, folded into a route (§4.6 failover/failback, N+1).
+    pub health: Vec<RedundancyMonitor>,
+    /// The precomputed per-IOhost outage schedules the monitors probe
+    /// against (index = IOhost).
+    pub outages: Vec<Vec<Outage>>,
     /// The channel fault injector (disabled unless configured).
     pub faults: FaultInjector,
     /// RNG stream private to fault injection, so enabling an injector
@@ -496,8 +547,17 @@ impl Testbed {
         let vm_host: Vec<usize> = (0..config.num_vms)
             .map(|i| i % config.num_vmhosts)
             .collect();
+        assert!(config.num_iohosts > 0, "at least one IOhost required");
+        assert!(
+            config.backup_outages.len() < config.num_iohosts,
+            "backup_outages names {} backups but num_iohosts is {}",
+            config.backup_outages.len(),
+            config.num_iohosts
+        );
+        // vRIO workers exist per IOhost; local models keep their per-host
+        // sidecores/vhost cores and never touch the redundancy ladder.
         let n_backends = match config.model {
-            IoModel::Vrio | IoModel::VrioNoPoll => config.backend_cores,
+            IoModel::Vrio | IoModel::VrioNoPoll => config.backend_cores * config.num_iohosts,
             _ => config.backend_cores * config.num_vmhosts,
         };
         let disk_stores = (0..config.num_vms)
@@ -512,14 +572,19 @@ impl Testbed {
             .collect();
         let health_cfg = config.health.validated().expect("invalid health config");
         let health = (0..config.num_vmhosts)
-            .map(|h| HealthMonitor::new(h as u32, health_cfg))
+            .map(|h| RedundancyMonitor::new(h as u32, health_cfg, config.num_iohosts))
             .collect();
         let mut faults =
             FaultInjector::new(config.faults.validated().expect("invalid fault config"));
         // A separate stream keyed off the seed: fault draws never consume
         // from (or shift) the workload stream.
         let fault_rng = SimRng::seed_from(config.seed ^ 0xFA17);
-        let outages = config.outage_schedule();
+        let outages = config.outage_schedules();
+        for (k, sched) in outages.iter().enumerate() {
+            if let Err(e) = validate_outage_schedule(sched) {
+                panic!("invalid outage schedule for iohost{k}: {e}");
+            }
+        }
         let trace = Tracer::new(&config.trace);
         if trace.enabled() {
             let pid = IoModel::ALL
@@ -551,10 +616,22 @@ impl Testbed {
             host_links: (0..config.num_vmhosts)
                 .map(|_| Resource::default())
                 .collect(),
-            iohost_link: Resource::default(),
+            iohost_links: (0..config.num_iohosts)
+                .map(|_| Resource::default())
+                .collect(),
             disks: (0..config.num_vms).map(|_| Resource::default()).collect(),
             disk_stores,
-            steering: crate::iohost::Steering::new(n_backends.max(1)),
+            steering: match config.model {
+                IoModel::Vrio | IoModel::VrioNoPoll => (0..config.num_iohosts)
+                    .map(|_| crate::iohost::Steering::new(config.backend_cores.max(1)))
+                    .collect(),
+                _ => vec![crate::iohost::Steering::new(n_backends.max(1))],
+            },
+            admission: (0..config.num_iohosts)
+                .map(|_| AdmissionControl::new(config.admission.clone(), config.num_vms))
+                .collect(),
+            vm_route: vec![0; config.num_vms],
+            handoffs: 0,
             counters: EventCounters::default(),
             chain: InterpositionChain::new(),
             retx,
@@ -604,7 +681,7 @@ impl Testbed {
             CoreRef::Backend(i) => &mut self.backends[i],
             CoreRef::GenMachine(i) => &mut self.gen_machines[i],
             CoreRef::HostLink(i) => &mut self.host_links[i],
-            CoreRef::IohostLink => &mut self.iohost_link,
+            CoreRef::IohostLink(i) => &mut self.iohost_links[i],
             CoreRef::Disk(i) => &mut self.disks[i],
         }
     }
@@ -652,24 +729,41 @@ impl Testbed {
         extra
     }
 
-    /// Whether the IOhost is down at `now` (§4.6 fault tolerance): inside
-    /// any scheduled outage window. This is ground truth — frames to a
-    /// down IOhost blackhole instantly; *routing* decisions instead go
-    /// through the health monitors, which observe the crash with a
-    /// heartbeat's worth of lag.
-    pub fn iohost_failed(&self, now: SimTime) -> bool {
-        self.outages.iter().any(|o| o.covers(now))
+    /// Whether IOhost `iohost` is down at `now` (§4.6 fault tolerance):
+    /// inside any of its scheduled outage windows. This is ground truth —
+    /// frames to a down IOhost blackhole instantly; *routing* decisions
+    /// instead go through the health monitors, which observe the crash
+    /// with a heartbeat's worth of lag.
+    pub fn iohost_failed(&self, iohost: usize, now: SimTime) -> bool {
+        self.outages[iohost].iter().any(|o| o.covers(now))
     }
 
-    /// Whether VM `vm`'s net traffic rides the local-virtio fallback at
-    /// `now`, per its VMhost's health monitor: `FailedOver` and `Probing`
-    /// route via the fallback; `Healthy` and `Suspect` ride vRIO. The
-    /// monitor is advanced to `now` first, so failover *and* failback
-    /// happen at heartbeat granularity.
-    pub fn net_fallback(&mut self, vm: usize, now: SimTime) -> bool {
+    /// Where VM `vm`'s vRIO traffic routes at `now`, per its VMhost's
+    /// redundancy ladder: the first IOhost whose monitor is neither
+    /// `FailedOver` nor `Probing`, or [`Route::Local`] when every target
+    /// is down. The ladder is advanced to `now` first, so failover *and*
+    /// failback happen at heartbeat granularity.
+    pub fn net_route(&mut self, vm: usize, now: SimTime) -> Route {
         let host = self.vm_host[vm];
         self.health[host].advance_to(now, &self.outages);
-        self.health[host].routes_via_fallback()
+        self.health[host].route()
+    }
+
+    /// The IOhost a vRIO block attempt targets at `now`. With a single
+    /// IOhost the route is constant (the ladder is not consulted, keeping
+    /// heartbeat accounting for blk-only runs identical to PR 1); with
+    /// backups the attempt follows the ladder, and when everything is
+    /// down it keeps hammering the primary — block storage has no local
+    /// fallback, so the retransmission machinery carries the request
+    /// until a host recovers or the attempt budget errors the device.
+    fn blk_route(&mut self, vm: usize, now: SimTime) -> usize {
+        if self.config.num_iohosts == 1 {
+            return 0;
+        }
+        match self.net_route(vm, now) {
+            Route::Remote(k) => k,
+            Route::Local => 0,
+        }
     }
 
     /// Offers one vRIO frame arrival to the fault injector's bursty-loss
@@ -706,12 +800,14 @@ impl Testbed {
             c.stale_responses += r.stats.stale_responses;
             c.rtt_samples += r.stats.rtt_samples;
         }
-        for h in &self.health {
-            c.heartbeats_sent += h.stats.heartbeats_sent;
-            c.heartbeat_acks += h.stats.acks_received;
-            c.probes_missed += h.stats.probes_missed;
-            c.failovers += h.stats.failovers;
-            c.failbacks += h.stats.failbacks;
+        for ladder in &self.health {
+            for h in ladder.targets() {
+                c.heartbeats_sent += h.stats.heartbeats_sent;
+                c.heartbeat_acks += h.stats.acks_received;
+                c.probes_missed += h.stats.probes_missed;
+                c.failovers += h.stats.failovers;
+                c.failbacks += h.stats.failbacks;
+            }
         }
         c.injected_losses = self.faults.stats.ge_losses;
         c.injected_delay_spikes = self.faults.stats.delay_spikes;
@@ -752,17 +848,29 @@ impl Testbed {
         }
     }
 
-    /// Picks the backend core index for `vm` and accounts steering.
-    fn pick_backend(&mut self, vm: usize) -> usize {
+    /// Picks the global backend core index for `vm` on IOhost `iohost`
+    /// and accounts steering. Placement happens inside the target host's
+    /// own steering table (least-loaded among *its* workers); the return
+    /// value is the global backend index. When the VM's traffic lands on
+    /// a different IOhost than its last request, the in-flight ledger is
+    /// re-pinned there via a sanctioned handoff and `handoffs` counts it.
+    fn pick_backend_at(&mut self, vm: usize, iohost: usize) -> usize {
         match self.config.model {
             IoModel::Vrio | IoModel::VrioNoPoll => {
                 let dev = DeviceId {
                     client: vm as u32,
                     device: 0,
                 };
-                let wid = self.steering.assign(dev);
-                self.oracle.steer_assign(dev.client, wid.0);
-                wid.0
+                let wid = self.steering[iohost].assign(dev);
+                let global = iohost * self.config.backend_cores + wid.0;
+                if self.vm_route[vm] == iohost {
+                    self.oracle.steer_assign(dev.client, global);
+                } else {
+                    self.vm_route[vm] = iohost;
+                    self.handoffs += 1;
+                    self.oracle.steer_handoff(dev.client, global);
+                }
+                global
             }
             _ => {
                 // Local models: VMs of a host share its backend cores.
@@ -773,15 +881,28 @@ impl Testbed {
         }
     }
 
-    /// Releases a steering designation after the worker pass (vRIO).
-    fn release_backend(&mut self, vm: usize) {
+    /// Releases a steering designation after the worker pass (vRIO). The
+    /// owning IOhost's table is derived from the global backend index the
+    /// request was placed on, so completions land on the same table that
+    /// assigned them even if the VM has since failed over elsewhere.
+    fn release_backend(&mut self, vm: usize, backend: usize) {
         if matches!(self.config.model, IoModel::Vrio | IoModel::VrioNoPoll) {
             self.oracle.steer_release(vm as u32);
-            self.steering.complete(DeviceId {
+            let table = backend / self.config.backend_cores.max(1);
+            self.steering[table].complete(DeviceId {
                 client: vm as u32,
                 device: 0,
             });
         }
+    }
+
+    /// Runs one offered request through IOhost `iohost`'s admission
+    /// controller; `true` means admitted. `depth` is the target backend's
+    /// queue depth *including* this request. Disabled admission (the
+    /// default) admits everything without recording, keeping baseline
+    /// runs byte-identical.
+    fn admit(&mut self, iohost: usize, vm: usize, depth: u64, now: SimTime) -> bool {
+        self.admission[iohost].offer(vm, depth, now).admitted()
     }
 
     /// Fraction of backend charges that had to queue (Fig 8's contention).
@@ -874,15 +995,23 @@ pub fn net_request_response<W: HasTestbed>(
 ) {
     let tb = w.tb();
     let model = tb.config.model;
-    // §4.6 fault tolerance: when the VMhost's health monitor has failed
-    // over (and until it completes failback), vRIO front-ends fall back
-    // to local virtio. The VMhost has no sidecores, so the vhost work
-    // lands on the VM's own core.
-    let fallback =
-        matches!(model, IoModel::Vrio | IoModel::VrioNoPoll) && tb.net_fallback(vm, eng.now());
-    if fallback {
+    // §4.6 fault tolerance: the VMhost's redundancy ladder picks the
+    // first live IOhost (primary, then N+1 backups). Only when *every*
+    // target has failed over (and until failback completes) do vRIO
+    // front-ends fall back to local virtio. The VMhost has no sidecores,
+    // so the vhost work lands on the VM's own core.
+    let route = if matches!(model, IoModel::Vrio | IoModel::VrioNoPoll) {
+        tb.net_route(vm, eng.now())
+    } else {
+        Route::Remote(0)
+    };
+    if route == Route::Local {
         return fallback_request_response(w, eng, vm, req, resp_len, app_time, done);
     }
+    let iohost = match route {
+        Route::Remote(k) => k,
+        Route::Local => 0,
+    };
     let costs = tb.config.costs.clone();
     let host = tb.vm_host[vm];
     let t0 = eng.now();
@@ -913,7 +1042,7 @@ pub fn net_request_response<W: HasTestbed>(
     s.push_back(Step::Fixed(tb.config.hop_latency));
 
     // 2. Inbound delivery to the guest, per model.
-    let backend = tb.pick_backend(vm);
+    let backend = tb.pick_backend_at(vm, iohost);
     match model {
         IoModel::Optimum => {
             s.push_back(Step::Fixed(costs.nic_dma));
@@ -968,14 +1097,24 @@ pub fn net_request_response<W: HasTestbed>(
             // request is simply lost; TCP above retransmits).
             s.push_back(Step::Gate(Box::new(move |tb, now| {
                 let cap = tb.config.iohost_rx_ring;
-                if tb.iohost_failed(now)
+                if tb.iohost_failed(iohost, now)
                     || tb.backends[backend].pending > cap
                     || tb.rng.chance(tb.config.channel_loss)
                     || tb.fault_drop(now)
                 {
                     tb.channel_drops += 1;
                     tb.backends[backend].pending -= 1;
-                    tb.release_backend(vm);
+                    tb.release_backend(vm, backend);
+                    tb.oracle.flow_drop(flow, now);
+                    return false;
+                }
+                // Overload-aware admission (disabled by default): shed at
+                // the door instead of queueing toward a timeout. Sheds are
+                // not channel drops — the request never entered the ring.
+                let depth = tb.backends[backend].pending;
+                if !tb.admit(iohost, vm, depth, now) {
+                    tb.backends[backend].pending -= 1;
+                    tb.release_backend(vm, backend);
                     tb.oracle.flow_drop(flow, now);
                     return false;
                 }
@@ -1016,7 +1155,9 @@ pub fn net_request_response<W: HasTestbed>(
             let encoded = msg.encode();
             let w_worker = tb.jitter(costs.vrio_worker_net + costs.reassemble_per_frag) + icost;
             s.push_back(Step::Charge(CoreRef::Backend(backend), w_worker));
-            s.push_back(Step::Do(Box::new(move |tb| tb.release_backend(vm))));
+            s.push_back(Step::Do(Box::new(move |tb| {
+                tb.release_backend(vm, backend)
+            })));
             if model == IoModel::VrioNoPoll {
                 // The IOhost's own transmit-completion interrupt.
                 s.push_back(Step::Count(CounterKind::IohostIntr));
@@ -1030,7 +1171,7 @@ pub fn net_request_response<W: HasTestbed>(
             }
             s.push_back(Step::Fixed(costs.nic_dma));
             s.push_back(Step::Charge(
-                CoreRef::IohostLink,
+                CoreRef::IohostLink(iohost),
                 tb.wire(encoded.len() + 54),
             ));
             s.push_back(Step::Fixed(tb.config.hop_latency));
@@ -1120,7 +1261,7 @@ pub fn net_request_response<W: HasTestbed>(
     s.push_back(Step::ChargeVm(vm, w_tx));
 
     // 4. Outbound path back to the generator, per model.
-    let backend_out = tb.pick_backend(vm);
+    let backend_out = tb.pick_backend_at(vm, iohost);
     match model {
         IoModel::Optimum => {
             s.push_back(Step::Do(fetch_and_complete_tx(
@@ -1180,14 +1321,23 @@ pub fn net_request_response<W: HasTestbed>(
             s.push_back(Step::RingPush(backend_out));
             s.push_back(Step::Gate(Box::new(move |tb, now| {
                 let cap = tb.config.iohost_rx_ring;
-                if tb.iohost_failed(now)
+                if tb.iohost_failed(iohost, now)
                     || tb.backends[backend_out].pending > cap
                     || tb.rng.chance(tb.config.channel_loss)
                     || tb.fault_drop(now)
                 {
                     tb.channel_drops += 1;
                     tb.backends[backend_out].pending -= 1;
-                    tb.release_backend(vm);
+                    tb.release_backend(vm, backend_out);
+                    tb.oracle.flow_drop(flow, now);
+                    return false;
+                }
+                // Same admission door as the inbound leg: the response
+                // pass occupies a worker slot too.
+                let depth = tb.backends[backend_out].pending;
+                if !tb.admit(iohost, vm, depth, now) {
+                    tb.backends[backend_out].pending -= 1;
+                    tb.release_backend(vm, backend_out);
                     tb.oracle.flow_drop(flow, now);
                     return false;
                 }
@@ -1226,7 +1376,7 @@ pub fn net_request_response<W: HasTestbed>(
                     if let Some(fwd) = fwd {
                         *slot.borrow_mut() = fwd;
                     }
-                    tb.release_backend(vm);
+                    tb.release_backend(vm, backend_out);
                 })));
             }
             if model == IoModel::VrioNoPoll {
@@ -1500,8 +1650,12 @@ pub fn stream_batch<W: HasTestbed>(
         s.push_back(Step::Mark(span, Stage::Backend));
     }
 
-    // Backend processing + wire path.
-    let backend = tb.pick_backend(vm);
+    // Backend processing + wire path. Streams keep riding whatever
+    // IOhost the VM last routed to (no per-batch health consult: batches
+    // are fire-and-forget, and re-probing here would perturb heartbeat
+    // accounting for stream-only runs).
+    let iohost = tb.vm_route[vm];
+    let backend = tb.pick_backend_at(vm, iohost);
     match model {
         IoModel::Optimum => {
             s.push_back(Step::Charge(
@@ -1531,8 +1685,13 @@ pub fn stream_batch<W: HasTestbed>(
                 w_worker += costs.host_interrupt * 2u64;
             }
             s.push_back(Step::Charge(CoreRef::Backend(backend), w_worker));
-            s.push_back(Step::Do(Box::new(move |tb| tb.release_backend(vm))));
-            s.push_back(Step::Charge(CoreRef::IohostLink, tb.wire(bytes as usize)));
+            s.push_back(Step::Do(Box::new(move |tb| {
+                tb.release_backend(vm, backend)
+            })));
+            s.push_back(Step::Charge(
+                CoreRef::IohostLink(iohost),
+                tb.wire(bytes as usize),
+            ));
         }
         IoModel::Baseline => {
             s.push_back(Step::Charge(
@@ -1704,7 +1863,7 @@ fn local_blk_backend<W: HasTestbed>(
     let tb = w.tb();
     let model = tb.config.model;
     let costs = tb.config.costs.clone();
-    let backend = tb.pick_backend(vm);
+    let backend = tb.pick_backend_at(vm, 0); // local models: iohost unused
     let tracing = tb.trace.enabled() || tb.oracle.enabled();
     let mut s: VecDeque<Step> = VecDeque::new();
     if tracing {
@@ -1915,21 +2074,34 @@ fn vrio_blk_attempt<W: HasTestbed>(
     s.push_back(Step::Fixed(tb.fault_delay(t0)));
     s.push_back(Step::Fixed(costs.nic_dma));
 
-    // Arrival at the IOhost: loss / ring-overflow gate.
-    let backend = tb.pick_backend(vm);
+    // Arrival at the IOhost: loss / ring-overflow gate. The route is
+    // re-resolved per *attempt*, so a retransmission after a primary
+    // crash deterministically lands on the next live backup once the
+    // health ladder has observed the outage.
+    let iohost = tb.blk_route(vm, eng.now());
+    let backend = tb.pick_backend_at(vm, iohost);
     s.push_back(Step::RingPush(backend));
     s.push_back(Step::Gate(Box::new(move |tb, now| {
         let cap = tb.config.iohost_rx_ring;
         // A crashed IOhost blackholes the frame; the retransmission
         // machinery takes over until recovery (or a device error).
-        if tb.iohost_failed(now)
+        if tb.iohost_failed(iohost, now)
             || tb.backends[backend].pending > cap
             || tb.rng.chance(tb.config.channel_loss)
             || tb.fault_drop(now)
         {
             tb.channel_drops += 1;
             tb.backends[backend].pending -= 1;
-            tb.release_backend(vm);
+            tb.release_backend(vm, backend);
+            return false;
+        }
+        // Admission door: a shed is handled exactly like a lost frame —
+        // the retransmission machinery re-offers the request later, by
+        // which point the overload (or the breaker window) has passed.
+        let depth = tb.backends[backend].pending;
+        if !tb.admit(iohost, vm, depth, now) {
+            tb.backends[backend].pending -= 1;
+            tb.release_backend(vm, backend);
             return false;
         }
         true
@@ -2031,7 +2203,7 @@ fn vrio_blk_attempt<W: HasTestbed>(
             if !data.is_empty() {
                 *read_out.borrow_mut() = tb.interpose_transform(Direction::Inbound, data);
             }
-            tb.release_backend(vm);
+            tb.release_backend(vm, backend);
         })));
     }
 
@@ -2056,7 +2228,7 @@ fn vrio_blk_attempt<W: HasTestbed>(
         s.push_back(Step::Mark(span, Stage::Wire));
     }
     s.push_back(Step::Charge(
-        CoreRef::IohostLink,
+        CoreRef::IohostLink(iohost),
         tb.wire(resp_len + 54 + 24),
     ));
     s.push_back(Step::Fixed(tb.config.hop_latency));

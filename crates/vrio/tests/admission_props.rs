@@ -1,0 +1,107 @@
+//! Property tests for the IOhost admission controller: per-tenant
+//! conservation (every offer is either admitted or shed, nothing double
+//! counted) under arbitrary offer sequences, and shed-rate monotonicity —
+//! at fixed capacity, offering more load never sheds a smaller fraction.
+
+use proptest::prelude::*;
+use vrio::{AdmissionConfig, AdmissionControl, Decision};
+use vrio_sim::{SimDuration, SimTime};
+
+fn config_strategy() -> impl Strategy<Value = AdmissionConfig> {
+    (1u64..=16, 1u64..=16, 1u64..=500, 1u64..=100, 1u64..=50).prop_map(
+        |(soft, extra, window_us, frac_pct, cooldown_100us)| AdmissionConfig {
+            enabled: true,
+            queue_cap: soft,
+            hard_cap: soft + extra,
+            tenant_weights: Vec::new(),
+            window: SimDuration::micros(window_us),
+            breaker_shed_frac: frac_pct as f64 / 100.0,
+            breaker_cooldown: SimDuration::micros(100 * cooldown_100us),
+        },
+    )
+}
+
+/// Arbitrary offer traces: (tenant, queue depth, microsecond gap).
+fn trace_strategy() -> impl Strategy<Value = Vec<(usize, u64, u64)>> {
+    proptest::collection::vec((0usize..4, 0u64..40, 0u64..300), 1..256)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_offer_is_admitted_or_shed_exactly_once(
+        config in config_strategy(),
+        trace in trace_strategy(),
+    ) {
+        let mut ac = AdmissionControl::new(config, 4);
+        let mut offered = [0u64; 4];
+        let mut admitted = [0u64; 4];
+        let mut now = SimTime::ZERO;
+        for (tenant, depth, gap_us) in trace {
+            now += SimDuration::micros(gap_us);
+            offered[tenant] += 1;
+            if ac.offer(tenant, depth, now).admitted() {
+                admitted[tenant] += 1;
+            }
+        }
+        for (t, stats) in ac.tenants.iter().enumerate() {
+            prop_assert_eq!(stats.offered, offered[t], "tenant {} offered", t);
+            prop_assert_eq!(stats.admitted, admitted[t], "tenant {} admitted", t);
+            // Conservation: admitted + shed == offered, per tenant.
+            prop_assert_eq!(
+                stats.admitted + stats.shed(),
+                stats.offered,
+                "tenant {} leaks offers (admitted {} + shed {} != offered {})",
+                t, stats.admitted, stats.shed(), stats.offered
+            );
+        }
+        prop_assert_eq!(
+            ac.total_offered(),
+            offered.iter().sum::<u64>(),
+            "controller-level conservation"
+        );
+        // A lone over-share criterion can never shed *every* request of a
+        // tenant that offered below the hard cap the whole time — but the
+        // breaker can; just re-check the sums are consistent.
+        prop_assert!(ac.total_shed() <= ac.total_offered());
+    }
+
+    #[test]
+    fn shed_rate_is_monotone_in_offered_load(
+        config in config_strategy(),
+        base_rate in 1u64..30,
+        extra_rate in 0u64..30,
+        drain_per_us in 1u64..8,
+    ) {
+        // Synthetic single-tenant queue: `rate` requests offered per
+        // microsecond tick; admitted work drains at `drain_per_us`. Run
+        // the same closed model at two offered rates and compare shed
+        // fractions: more load at fixed capacity never sheds a smaller
+        // fraction of what was offered.
+        let run = |rate: u64| -> (u64, u64) {
+            let mut ac = AdmissionControl::new(config.clone(), 1);
+            let mut depth = 0u64;
+            for tick in 0..2_000u64 {
+                let now = SimTime::ZERO + SimDuration::micros(tick);
+                for _ in 0..rate {
+                    if matches!(ac.offer(0, depth + 1, now), Decision::Admit) {
+                        depth += 1;
+                    }
+                }
+                depth = depth.saturating_sub(drain_per_us);
+            }
+            (ac.tenants[0].offered, ac.tenants[0].shed())
+        };
+        let (off_lo, shed_lo) = run(base_rate);
+        let (off_hi, shed_hi) = run(base_rate + extra_rate);
+        prop_assert_eq!(off_lo, base_rate * 2_000);
+        prop_assert_eq!(off_hi, (base_rate + extra_rate) * 2_000);
+        // Compare fractions via cross-multiplication (exact, no floats).
+        prop_assert!(
+            shed_hi * off_lo >= shed_lo * off_hi,
+            "shed rate fell as load rose: {}/{} at low vs {}/{} at high",
+            shed_lo, off_lo, shed_hi, off_hi
+        );
+    }
+}

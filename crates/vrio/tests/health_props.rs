@@ -146,11 +146,24 @@ proptest! {
             .map(|&us| SimTime::ZERO + SimDuration::micros(us))
             .collect();
         times.sort();
+        let mut seen = Vec::new();
         for t in times {
             sliced.advance_to(t, &outages);
             sliced.advance_to(t, &outages); // idempotence under repeats
+            // The log is append-only across slices: everything observed
+            // after an earlier slice is a prefix of what's there now, and
+            // timestamps never run backwards mid-run.
+            prop_assert!(
+                sliced.transitions.starts_with(&seen),
+                "a later advance rewrote earlier transitions"
+            );
+            for w in sliced.transitions.windows(2) {
+                prop_assert!(w[0].0 <= w[1].0, "sliced log went backwards");
+            }
+            seen = sliced.transitions.clone();
         }
         sliced.advance_to(end, &outages);
+        prop_assert!(sliced.transitions.starts_with(&seen));
 
         prop_assert_eq!(leap.state(), sliced.state());
         prop_assert_eq!(&leap.transitions, &sliced.transitions);

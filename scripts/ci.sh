@@ -62,6 +62,18 @@ cargo run --release -q -p vrio-bench --bin repro -- \
     --quick --sweep smoke --threads 4 --oracle --json "$DET/orcsweep" > /dev/null 2> /dev/null
 diff "$DET/t4/BENCH_sweep_smoke.json" "$DET/orcsweep/BENCH_sweep_smoke.json" \
     || { echo "FAIL: --oracle changed BENCH_sweep_smoke.json (oracle must be observe-only)"; exit 1; }
+echo "==> chaos gate: campaign survives the primary kill, thread-count invariant"
+cargo run --release -q -p vrio-bench --bin repro -- \
+    --quick --chaos primary-kill --threads 1 --json "$DET/ch1" > /dev/null 2> /dev/null
+cargo run --release -q -p vrio-bench --bin repro -- \
+    --quick --chaos primary-kill --threads 4 --json "$DET/ch4" > /dev/null 2> /dev/null
+diff "$DET/ch1/BENCH_chaos_primary-kill.json" "$DET/ch4/BENCH_chaos_primary-kill.json" \
+    || { echo "FAIL: chaos JSON differs between --threads 1 and --threads 4"; exit 1; }
+cargo run --release -q -p vrio-bench --bin checkjson -- \
+    "$DET/ch4/BENCH_chaos_primary-kill.json" \
+    --require schema_version \
+    --require campaign.outages \
+    --require summary.min_availability
 rm -rf "$DET"
 
 echo "==> cargo doc --no-deps (warnings denied)"

@@ -131,7 +131,7 @@ fn run_scenario(seed: u64) -> RunResult {
         pre_n: s.pre.len(),
         post_n: s.post.len(),
         blk,
-        transitions: tb.health[0].transitions.clone(),
+        transitions: tb.health[0].primary().transitions.clone(),
         report: tb.reliability_report(),
     }
 }
