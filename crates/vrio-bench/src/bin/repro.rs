@@ -23,6 +23,15 @@
 //!                        # ...with the simulation oracle: every run is
 //!                        # checked against the conservation invariants
 //!                        # (observe-only — the output bytes are identical)
+//! repro --quick --tab3 --telemetry --json /tmp/j
+//!                        # ...with continuous telemetry sampling: emits a
+//!                        # TELEM_tab3.json track bundle and counter tracks
+//!                        # in the Chrome trace (observe-only — every
+//!                        # BENCH_* document stays byte-identical)
+//! repro --quick --tab3 --profile --json /tmp/j
+//!                        # ...with the wall-clock self-profiler: emits
+//!                        # PROF_tab3.json (host time; excluded from every
+//!                        # byte-identity gate)
 //! ```
 
 use vrio_bench::*;
@@ -117,6 +126,20 @@ fn main() {
         args.retain(|a| a != "--oracle");
         args.len() != n
     };
+    // --telemetry: sample continuous time-series tracks (observe-only;
+    // lands in TELEM_* files, never changes BENCH_* bytes).
+    let telemetry = {
+        let n = args.len();
+        args.retain(|a| a != "--telemetry");
+        args.len() != n
+    };
+    // --profile: wall-clock self-profiling (PROF_* files; nondeterministic
+    // by nature, so nothing ever byte-diffs them).
+    let profile = {
+        let n = args.len();
+        args.retain(|a| a != "--profile");
+        args.len() != n
+    };
     for dir in [&out_dir, &trace_dir, &json_dir].into_iter().flatten() {
         Outputs::ensure_dir(dir);
     }
@@ -177,13 +200,21 @@ fn main() {
                 outputs.write(format!("{dir}/{name}.txt"), &report);
             }
             if trace_dir.is_some() || json_dir.is_some() {
-                let rep = obs.get_or_insert_with(|| latency_breakdown_checked(rc, "all", oracle));
+                let rep = obs.get_or_insert_with(|| {
+                    latency_breakdown_instrumented(rc, "all", oracle, telemetry, profile)
+                });
                 if let Some(dir) = &trace_dir {
                     outputs.write(format!("{dir}/TRACE_{name}.json"), &rep.chrome);
                 }
                 if let Some(dir) = &json_dir {
                     let doc = with_experiment(rep.json.clone(), name);
                     outputs.write(format!("{dir}/BENCH_{name}.json"), &doc.render_pretty());
+                    if let Some(telem) = &rep.telemetry {
+                        outputs.write(format!("{dir}/TELEM_{name}.json"), &telem.render_pretty());
+                    }
+                    if let Some(prof) = &rep.profile {
+                        outputs.write(format!("{dir}/PROF_{name}.json"), &prof.render_pretty());
+                    }
                 }
             }
             ran += 1;
@@ -198,6 +229,7 @@ fn main() {
             std::process::exit(2);
         });
         spec.oracle = oracle;
+        spec.telemetry = telemetry;
         let sweep = run_sweep(&spec, threads, true).unwrap_or_else(|e| {
             eprintln!("repro: {e}");
             std::process::exit(2);
@@ -209,16 +241,23 @@ fn main() {
             format!("{dir}/BENCH_sweep_{}.json", spec.name),
             &sweep.to_json().render_pretty(),
         );
+        if telemetry {
+            outputs.write(
+                format!("{dir}/TELEM_sweep_{}.json", spec.name),
+                &telemetry_bundle(&sweep.telemetry_runs()).render_pretty(),
+            );
+        }
         ran += 1;
     }
     // The chaos-schedule engine: run the named campaign's replicas across
     // OS threads, emit BENCH_chaos_*.json (byte-identical for any
     // --threads value; every replica runs with the oracle on).
     if let Some(name) = &chaos_name {
-        let campaign = ChaosCampaign::named(name, rc).unwrap_or_else(|e| {
+        let mut campaign = ChaosCampaign::named(name, rc).unwrap_or_else(|e| {
             eprintln!("repro: {e}");
             std::process::exit(2);
         });
+        campaign.telemetry = telemetry;
         let chaos = run_chaos(&campaign, threads, true).unwrap_or_else(|e| {
             eprintln!("repro: {e}");
             std::process::exit(2);
@@ -230,6 +269,17 @@ fn main() {
             format!("{dir}/BENCH_chaos_{}.json", campaign.name),
             &chaos.to_json().render_pretty(),
         );
+        if telemetry {
+            let runs: Vec<_> = chaos
+                .replicas
+                .iter()
+                .map(|r| (format!("r{}", r.replica), r.telemetry.clone()))
+                .collect();
+            outputs.write(
+                format!("{dir}/TELEM_chaos_{}.json", campaign.name),
+                &telemetry_bundle(&runs).render_pretty(),
+            );
+        }
         ran += 1;
     }
     if ran == 0 {

@@ -33,14 +33,15 @@ use vrio_block::{BlockRequest, RequestId};
 use vrio_hv::{IoModel, ReliabilityCounters};
 use vrio_net::{FaultConfig, GeConfig};
 use vrio_sim::{scenario_seed, Engine, SimDuration, SimTime};
-use vrio_trace::Json;
+use vrio_trace::{DropCause, Json, SloLedger, TelemetryConfig, TelemetryExport};
 
 use crate::report::{f, render_table, sparkline};
 use crate::sys_exps::ReproConfig;
 
 /// Schema version of the `BENCH_chaos_*.json` document. Bump on any
-/// key-shape change.
-pub const CHAOS_SCHEMA_VERSION: u64 = 1;
+/// key-shape change. v2 added per-tenant SLO tables (`replicas[].tenants`)
+/// and the summary drop-attribution breakdown.
+pub const CHAOS_SCHEMA_VERSION: u64 = 2;
 
 /// The named campaigns `repro --chaos` accepts.
 pub const KNOWN_CAMPAIGNS: [&str; 5] = [
@@ -77,6 +78,9 @@ pub struct ChaosCampaign {
     pub bucket: SimDuration,
     /// Latency SLO for the attainment series.
     pub slo: SimDuration,
+    /// Sample continuous telemetry tracks on the bucket grid. Observe-only:
+    /// toggling it cannot change any other field of the rendered document.
+    pub telemetry: bool,
     /// Base seed; replica `i` derives
     /// `scenario_seed(base_seed, "chaos/<name>/r<i>")`.
     pub base_seed: u64,
@@ -164,6 +168,7 @@ impl ChaosCampaign {
             horizon: h,
             bucket: h / 40,
             slo: SimDuration::micros(200),
+            telemetry: false,
             base_seed: 1,
         };
         let at = |num: u64, den: u64| SimTime::ZERO + h * num / den;
@@ -272,7 +277,13 @@ impl ChaosCampaign {
         let mut c = TestbedConfig::simple(IoModel::Vrio, self.vms)
             .with_iohosts(self.num_iohosts)
             .with_seed(self.replica_seed(replica))
-            .with_jitter(0.02);
+            .with_jitter(0.02)
+            .with_slo(self.slo);
+        if self.telemetry {
+            // The supervisor tick samples the tracks, so the grid is the
+            // bucket width.
+            c.telemetry = TelemetryConfig::sampling(self.bucket);
+        }
         if let Some(primary) = self.outages.first() {
             c.iohost_outages = primary.clone();
         }
@@ -331,6 +342,11 @@ pub struct ReplicaResult {
     pub handoffs: u64,
     /// Reliability accounting (failovers, retransmissions, ...).
     pub report: ReliabilityCounters,
+    /// Per-tenant SLO accounting and drop attribution (always on).
+    pub slo: SloLedger,
+    /// Continuous telemetry tracks (empty unless the campaign enables
+    /// sampling).
+    pub telemetry: TelemetryExport,
 }
 
 struct ChaosWorld {
@@ -461,6 +477,9 @@ pub fn run_replica(c: &ChaosCampaign, replica: usize) -> ReplicaResult {
         let buckets = buckets.clone();
         let last = last.clone();
         eng.schedule_at(tick_at.min(horizon), move |w: &mut ChaosWorld, eng| {
+            // Observe-only sampling on the bucket grid (a no-op when the
+            // campaign leaves telemetry off).
+            w.tb.sample_telemetry(eng.now());
             let shed_now: u64 = w.tb.admission.iter().map(|a| a.total_shed()).sum();
             let mut l = last.borrow_mut();
             buckets.borrow_mut().push(BucketSample {
@@ -488,6 +507,17 @@ pub fn run_replica(c: &ChaosCampaign, replica: usize) -> ReplicaResult {
     eng.run(&mut w);
     w.tb.oracle
         .assert_clean(&format!("chaos/{}/r{replica}", c.name));
+    // Every request has exactly one fate: completed, dropped with one
+    // attributed cause, or still in flight at the horizon.
+    if let Err(msg) = w.tb.slo.check_conservation() {
+        panic!("chaos/{}/r{replica}: {msg}", c.name);
+    }
+    assert_eq!(
+        w.tb.slo.total_completed(),
+        w.completed,
+        "chaos/{}/r{replica}: ledger completions disagree with the workload",
+        c.name
+    );
 
     let buckets = std::rc::Rc::try_unwrap(buckets)
         .expect("supervisor closures have all run")
@@ -509,6 +539,8 @@ pub fn run_replica(c: &ChaosCampaign, replica: usize) -> ReplicaResult {
         breaker_trips: w.tb.admission.iter().map(|a| a.breaker_trips).sum(),
         handoffs: w.tb.handoffs,
         report: w.tb.reliability_report(),
+        slo: w.tb.slo.clone(),
+        telemetry: w.tb.telemetry.export(),
         buckets,
     }
 }
@@ -623,6 +655,7 @@ impl ChaosResult {
             ("admission_enabled", Json::Bool(c.admission.enabled)),
             ("faults_enabled", Json::Bool(c.faults.enabled())),
             ("surge", Json::Bool(c.surge.is_some())),
+            ("telemetry", Json::Bool(c.telemetry)),
         ]);
 
         let series = |pick: fn(&BucketSample) -> u64, r: &ReplicaResult| {
@@ -657,6 +690,7 @@ impl ChaosResult {
                                 ("shed", series(|b| b.shed, r)),
                             ]),
                         ),
+                        ("tenants", r.slo.to_json()),
                     ])
                 })
                 .collect(),
@@ -678,6 +712,29 @@ impl ChaosResult {
                     (
                         "total_sheds",
                         Json::int(self.replicas.iter().map(|r| r.sheds).sum()),
+                    ),
+                    (
+                        "total_dropped",
+                        Json::int(self.replicas.iter().map(|r| r.slo.total_dropped()).sum()),
+                    ),
+                    (
+                        "drops",
+                        Json::Obj(
+                            DropCause::ALL
+                                .iter()
+                                .map(|&cause| {
+                                    (
+                                        cause.name().to_string(),
+                                        Json::int(
+                                            self.replicas
+                                                .iter()
+                                                .map(|r| r.slo.total_drops_of(cause))
+                                                .sum(),
+                                        ),
+                                    )
+                                })
+                                .collect(),
+                        ),
                     ),
                 ]),
             ),
@@ -855,6 +912,94 @@ mod tests {
     }
 
     #[test]
+    fn schema_v2_attributes_every_drop_to_one_tenant_and_cause() {
+        let c = tiny("primary-kill");
+        let res = run_chaos(&c, 2, false).unwrap();
+        let doc = res.to_json();
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_f64),
+            Some(2.0),
+            "per-tenant tables are a schema-v2 feature"
+        );
+        for r in &res.replicas {
+            // The ledger conserves per tenant and agrees with the
+            // workload's own completion count.
+            r.slo.check_conservation().unwrap();
+            assert_eq!(r.slo.total_completed(), r.completed);
+            // Outage drops were actually attributed: the primary was down
+            // for a quarter of the run.
+            assert!(
+                r.slo.total_dropped() > 0,
+                "replica {} recorded no drops through the outage",
+                r.replica
+            );
+        }
+        // The JSON per-tenant tables sum to the replica-level globals.
+        let replicas = doc.get("replicas").and_then(Json::as_array).unwrap();
+        for (r, rj) in res.replicas.iter().zip(replicas) {
+            let tenants = rj.get("tenants").and_then(Json::as_array).unwrap();
+            assert_eq!(tenants.len(), c.vms);
+            let offered: f64 = tenants
+                .iter()
+                .map(|t| t.get("offered").and_then(Json::as_f64).unwrap())
+                .sum();
+            let dropped: f64 = tenants
+                .iter()
+                .map(|t| t.get("dropped").and_then(Json::as_f64).unwrap())
+                .sum();
+            assert_eq!(offered, r.slo.total_offered() as f64);
+            assert_eq!(dropped, r.slo.total_dropped() as f64);
+        }
+        // And the summary drop table sums across replicas, cause by cause.
+        for cause in vrio_trace::DropCause::ALL {
+            let total: u64 = res
+                .replicas
+                .iter()
+                .map(|r| r.slo.total_drops_of(cause))
+                .sum();
+            let got = doc
+                .get_path("summary.drops")
+                .and_then(|d| d.get(cause.name()))
+                .and_then(Json::as_f64)
+                .unwrap();
+            assert_eq!(got, total as f64, "summary.drops.{}", cause.name());
+        }
+    }
+
+    #[test]
+    fn telemetry_sampling_is_observe_only_and_records_tracks() {
+        let base = tiny("primary-kill");
+        let mut sampled = base.clone();
+        sampled.telemetry = true;
+        let off = run_chaos(&base, 2, false).unwrap();
+        let on = run_chaos(&sampled, 2, false).unwrap();
+        // Byte-identical measurement: only the campaign's own `telemetry`
+        // flag may differ between the two documents.
+        assert_eq!(
+            off.to_json().get("replicas").unwrap().render_pretty(),
+            on.to_json().get("replicas").unwrap().render_pretty(),
+            "telemetry sampling changed chaos measurements"
+        );
+        assert_eq!(
+            off.to_json().get("summary").unwrap().render_pretty(),
+            on.to_json().get("summary").unwrap().render_pretty(),
+        );
+        // The sampled run actually produced tracks on the bucket grid.
+        for r in &on.replicas {
+            assert!(!r.telemetry.tracks.is_empty(), "no tracks sampled");
+            assert_eq!(r.telemetry.interval, base.bucket);
+            let route = r
+                .telemetry
+                .track("health.vmhost0.route")
+                .expect("route track sampled");
+            assert!(!route.points.is_empty());
+        }
+        for r in &off.replicas {
+            assert!(r.telemetry.tracks.is_empty());
+        }
+    }
+
+    #[test]
     fn surge_sheds_and_recovers() {
         let c = tiny("surge");
         let res = run_chaos(&c, 2, false).unwrap();
@@ -872,6 +1017,17 @@ mod tests {
             );
             // Traffic survived: every replica kept completing requests.
             assert!(r.availability > 0.9);
+            // The surge's net sheds landed in the ledger under the shed
+            // causes (queue cap, fair-share triage, or an open breaker).
+            let attributed: u64 = [
+                DropCause::ShedQueue,
+                DropCause::ShedFair,
+                DropCause::ShedBreaker,
+            ]
+            .iter()
+            .map(|&cause| r.slo.total_drops_of(cause))
+            .sum();
+            assert!(attributed > 0, "surge sheds were never attributed");
         }
     }
 

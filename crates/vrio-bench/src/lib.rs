@@ -15,13 +15,16 @@ mod obs;
 mod report;
 mod sweep;
 mod sys_exps;
+mod telem;
 
 pub use chaos::{
     run_chaos, run_replica, BucketSample, ChaosCampaign, ChaosError, ChaosResult, ReplicaResult,
     CHAOS_SCHEMA_VERSION, KNOWN_CAMPAIGNS,
 };
 pub use cost_exps::{fig1, fig2, fig3, tab1, tab2};
-pub use obs::{latency_breakdown, latency_breakdown_checked, ObsReport};
+pub use obs::{
+    latency_breakdown, latency_breakdown_checked, latency_breakdown_instrumented, ObsReport,
+};
 pub use report::{downsample, f, render_reliability, render_table, sparkline};
 pub use sweep::{
     run_scenario, run_sweep, ConsolidationPoint, EfficiencyPoint, EfficiencySeries, Scenario,
@@ -32,3 +35,4 @@ pub use sys_exps::{
     failover, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig5, fig7, fig8, fig9, hetero,
     retx_validation, tab3, tab4, ReproConfig,
 };
+pub use telem::{prof_bundle, telemetry_bundle, PROF_SCHEMA_VERSION};

@@ -10,14 +10,16 @@
 
 use vrio::{OracleConfig, TestbedConfig};
 use vrio_hv::IoModel;
+use vrio_sim::{ProfReport, SimDuration};
 use vrio_trace::{
-    render_chrome_trace, Json, MetricsRegistry, Stage, TraceConfig, TraceExport,
-    REPORT_SCHEMA_VERSION,
+    render_chrome_trace_with_counters, Json, MetricsRegistry, Stage, TelemetryConfig,
+    TelemetryExport, TraceConfig, TraceExport, REPORT_SCHEMA_VERSION,
 };
 use vrio_workloads::netperf_rr;
 
 use crate::report::{f, render_table};
 use crate::sys_exps::ReproConfig;
+use crate::telem::{prof_bundle, telemetry_bundle};
 
 /// Everything the instrumented pass produces: a human-readable stage table,
 /// the stable-schema JSON report, and the Chrome trace-event document.
@@ -28,7 +30,14 @@ pub struct ObsReport {
     /// The `BENCH_*.json` document (schema [`REPORT_SCHEMA_VERSION`]).
     pub json: Json,
     /// Chrome trace-event JSON array (load in Perfetto / `chrome://tracing`).
+    /// With telemetry enabled it additionally carries counter tracks.
     pub chrome: String,
+    /// The `TELEM_*.json` bundle (one run per model), when telemetry
+    /// sampling was requested.
+    pub telemetry: Option<Json>,
+    /// The `PROF_*.json` bundle (wall-clock; never byte-diffed), when
+    /// self-profiling was requested.
+    pub profile: Option<Json>,
 }
 
 /// Runs one traced netperf RR pass per I/O model and assembles the latency
@@ -46,9 +55,28 @@ pub fn latency_breakdown(rc: ReproConfig, experiment: &str) -> ObsReport {
 /// conservation invariants and panics on any violation. The oracle is
 /// observe-only, so the produced report is byte-identical either way.
 pub fn latency_breakdown_checked(rc: ReproConfig, experiment: &str, oracle: bool) -> ObsReport {
+    latency_breakdown_instrumented(rc, experiment, oracle, false, false)
+}
+
+/// The fully instrumented pass: [`latency_breakdown_checked`] plus optional
+/// continuous telemetry sampling (`repro --telemetry`) and wall-clock
+/// self-profiling (`repro --profile`). Telemetry is observe-only — the
+/// `json` report is byte-identical with it on or off, and the sampled
+/// tracks ride the Chrome document as Perfetto counter tracks plus a
+/// separate `TELEM_*` bundle. Profiling measures host time and lands in a
+/// `PROF_*` bundle that no byte-identity gate ever diffs.
+pub fn latency_breakdown_instrumented(
+    rc: ReproConfig,
+    experiment: &str,
+    oracle: bool,
+    telemetry: bool,
+    profile: bool,
+) -> ObsReport {
     let mut exports: Vec<TraceExport> = Vec::new();
     let mut models: Vec<(String, Json)> = Vec::new();
     let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut telem_runs: Vec<(String, TelemetryExport)> = Vec::new();
+    let mut prof_runs: Vec<(String, ProfReport)> = Vec::new();
 
     for model in IoModel::ALL {
         let mut c = TestbedConfig::simple(model, 1);
@@ -56,9 +84,19 @@ pub fn latency_breakdown_checked(rc: ReproConfig, experiment: &str, oracle: bool
         if oracle {
             c.oracle = OracleConfig::on();
         }
+        if telemetry {
+            c.telemetry = TelemetryConfig::sampling(SimDuration::micros(100));
+        }
+        c.profile = profile;
         let r = netperf_rr(c, rc.duration / 2);
         if oracle {
             r.oracle.assert_clean(model.name());
+        }
+        if telemetry {
+            telem_runs.push((model.name().to_string(), r.telemetry.clone()));
+        }
+        if profile {
+            prof_runs.push((model.name().to_string(), r.profile.clone()));
         }
 
         let mut metrics = MetricsRegistry::new();
@@ -109,9 +147,23 @@ pub fn latency_breakdown_checked(rc: ReproConfig, experiment: &str, oracle: bool
         ("models", Json::Obj(models)),
     ]);
 
-    let chrome = render_chrome_trace(&exports);
+    // Counter tracks ride alongside the span events: each model's telemetry
+    // lands under the pid its spans use (the model's position in
+    // `IoModel::ALL`, matching the trace exports pushed above).
+    let counters: Vec<(u32, &TelemetryExport)> = telem_runs
+        .iter()
+        .enumerate()
+        .map(|(pid, (_, export))| (pid as u32, export))
+        .collect();
+    let chrome = render_chrome_trace_with_counters(&exports, &counters);
 
-    ObsReport { text, json, chrome }
+    ObsReport {
+        text,
+        json,
+        chrome,
+        telemetry: telemetry.then(|| telemetry_bundle(&telem_runs)),
+        profile: profile.then(|| prof_bundle(&prof_runs)),
+    }
 }
 
 #[cfg(test)]
@@ -155,5 +207,55 @@ mod tests {
                 assert!(ev.get(key).is_some(), "missing {key}");
             }
         }
+    }
+
+    #[test]
+    fn instrumented_pass_is_observe_only_and_bundles_telemetry() {
+        let rc = ReproConfig {
+            duration: vrio_sim::SimDuration::millis(8),
+            tail_duration: vrio_sim::SimDuration::millis(8),
+        };
+        let plain = latency_breakdown_checked(rc, "smoke", false);
+        let inst = latency_breakdown_instrumented(rc, "smoke", false, true, true);
+        // Telemetry and profiling are observe-only: the BENCH document is
+        // byte-identical with them on or off.
+        assert_eq!(
+            plain.json.render_pretty(),
+            inst.json.render_pretty(),
+            "instrumentation changed the BENCH report"
+        );
+        assert!(plain.telemetry.is_none() && plain.profile.is_none());
+        // The bundles carry one run per model.
+        let telem = inst.telemetry.expect("telemetry bundle");
+        let runs = telem.get("runs").expect("runs");
+        for model in IoModel::ALL {
+            let run = runs.get(model.name()).expect("per-model telemetry run");
+            assert_eq!(run.get("kind").and_then(Json::as_str), Some("telemetry"));
+        }
+        let prof = inst.profile.expect("profile bundle");
+        assert_eq!(prof.get("kind").and_then(Json::as_str), Some("profile"));
+        for model in IoModel::ALL {
+            let scopes = prof
+                .get_path("runs")
+                .and_then(|r| r.get(model.name()))
+                .and_then(|r| r.get("scopes"))
+                .expect("per-model scopes");
+            assert!(scopes.get("engine.callback").is_some(), "{model}");
+        }
+        // The sampled tracks ride the Chrome document as counter events.
+        let doc = Json::parse(&inst.chrome).unwrap();
+        let counters = doc
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|ev| ev.get("ph").and_then(Json::as_str) == Some("C"))
+            .count();
+        assert!(counters > 0, "no counter-track events in the chrome trace");
+        let plain_doc = Json::parse(&plain.chrome).unwrap();
+        assert!(plain_doc
+            .as_array()
+            .unwrap()
+            .iter()
+            .all(|ev| ev.get("ph").and_then(Json::as_str) != Some("C")));
     }
 }

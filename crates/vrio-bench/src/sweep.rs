@@ -25,7 +25,7 @@ use std::time::Instant;
 use vrio::{OracleConfig, TestbedConfig};
 use vrio_hv::IoModel;
 use vrio_sim::{scenario_seed, SimDuration};
-use vrio_trace::{Json, MetricsRegistry};
+use vrio_trace::{Json, MetricsRegistry, SloLedger, TelemetryConfig, TelemetryExport};
 use vrio_workloads::{netperf_rr_sized, netperf_stream_sized};
 
 use crate::report::{f, render_table};
@@ -33,7 +33,9 @@ use crate::sys_exps::ReproConfig;
 
 /// Schema version of the `BENCH_sweep_*.json` document. Bump on any
 /// key-shape change so `checkbench` can refuse cross-schema comparisons.
-pub const SWEEP_SCHEMA_VERSION: u64 = 1;
+/// v2 added per-tenant SLO tables (`scenarios[].tenants`) and the spec's
+/// `telemetry` flag.
+pub const SWEEP_SCHEMA_VERSION: u64 = 2;
 
 /// The workloads a sweep can grid over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +94,10 @@ pub struct SweepSpec {
     /// clean. The oracle is observe-only, so results (and the rendered
     /// JSON) are byte-identical either way.
     pub oracle: bool,
+    /// Sample continuous telemetry tracks in every scenario. Observe-only
+    /// like the oracle: the rendered `BENCH_sweep_*.json` is byte-identical
+    /// either way; the tracks land in a separate `TELEM_*` bundle.
+    pub telemetry: bool,
 }
 
 /// Errors from sweep-spec validation and lookup.
@@ -192,6 +198,7 @@ impl SweepSpec {
             duration: rc.duration / 4,
             service_jitter: 0.02,
             oracle: false,
+            telemetry: false,
         }
     }
 
@@ -209,6 +216,7 @@ impl SweepSpec {
             duration: rc.duration / 2,
             service_jitter: 0.02,
             oracle: false,
+            telemetry: false,
         }
     }
 
@@ -226,6 +234,7 @@ impl SweepSpec {
             duration: rc.duration / 2,
             service_jitter: 0.02,
             oracle: false,
+            telemetry: false,
         }
     }
 
@@ -286,6 +295,7 @@ impl SweepSpec {
                                 duration: self.duration,
                                 service_jitter: self.service_jitter,
                                 oracle: self.oracle,
+                                telemetry: self.telemetry,
                             };
                             let key = s.key();
                             if !seen.insert(key.clone()) {
@@ -329,6 +339,8 @@ pub struct Scenario {
     pub service_jitter: f64,
     /// Run with the (observe-only) simulation oracle and assert it clean.
     pub oracle: bool,
+    /// Sample continuous telemetry tracks (observe-only).
+    pub telemetry: bool,
 }
 
 impl Scenario {
@@ -353,6 +365,11 @@ impl Scenario {
             .with_jitter(self.service_jitter);
         if self.oracle {
             c.oracle = OracleConfig::on();
+        }
+        if self.telemetry {
+            // The default 100 µs grid resolves breaker cooldowns and
+            // health-ladder walks without drowning short windows in points.
+            c.telemetry = TelemetryConfig::sampling(SimDuration::micros(100));
         }
         c
     }
@@ -385,6 +402,10 @@ pub struct ScenarioResult {
     pub cycles_per_msg: Option<f64>,
     /// Fraction of backend charges that queued (RR only — Fig 8).
     pub contention: Option<f64>,
+    /// Per-tenant SLO accounting and drop attribution (always on).
+    pub slo: SloLedger,
+    /// Continuous telemetry tracks (empty unless the scenario samples).
+    pub telemetry: TelemetryExport,
 }
 
 /// Runs one scenario to completion on the calling thread.
@@ -396,6 +417,9 @@ pub fn run_scenario(s: &Scenario) -> ScenarioResult {
             if s.oracle {
                 r.oracle.assert_clean(&key);
             }
+            r.slo
+                .check_conservation()
+                .unwrap_or_else(|msg| panic!("{key}: {msg}"));
             ScenarioResult {
                 scenario: s.clone(),
                 key,
@@ -408,6 +432,8 @@ pub fn run_scenario(s: &Scenario) -> ScenarioResult {
                 completed: r.completed,
                 cycles_per_msg: None,
                 contention: Some(r.contention),
+                slo: r.slo,
+                telemetry: r.telemetry,
             }
         }
         SweepWorkload::Stream => {
@@ -415,6 +441,9 @@ pub fn run_scenario(s: &Scenario) -> ScenarioResult {
             if s.oracle {
                 r.oracle.assert_clean(&key);
             }
+            r.slo
+                .check_conservation()
+                .unwrap_or_else(|msg| panic!("{key}: {msg}"));
             ScenarioResult {
                 scenario: s.clone(),
                 key,
@@ -427,6 +456,8 @@ pub fn run_scenario(s: &Scenario) -> ScenarioResult {
                 completed: r.messages,
                 cycles_per_msg: Some(r.cycles_per_msg),
                 contention: None,
+                slo: r.slo,
+                telemetry: r.telemetry,
             }
         }
     }
@@ -643,6 +674,17 @@ impl SweepResult {
         m
     }
 
+    /// The per-scenario telemetry exports, keyed by scenario key in
+    /// expansion order — the input shape of `telemetry_bundle`. Empty
+    /// exports (telemetry off) are skipped.
+    pub fn telemetry_runs(&self) -> Vec<(String, TelemetryExport)> {
+        self.results
+            .iter()
+            .filter(|r| !r.telemetry.tracks.is_empty())
+            .map(|r| (r.key.clone(), r.telemetry.clone()))
+            .collect()
+    }
+
     /// Renders the schema-versioned `BENCH_sweep_*.json` document.
     pub fn to_json(&self) -> Json {
         let spec = &self.spec;
@@ -651,6 +693,7 @@ impl SweepResult {
             ("base_seed", Json::int(spec.base_seed)),
             ("duration_ms", Json::Num(spec.duration.as_secs_f64() * 1e3)),
             ("service_jitter", Json::Num(spec.service_jitter)),
+            ("telemetry", Json::Bool(spec.telemetry)),
             (
                 "workloads",
                 Json::Arr(spec.workloads.iter().map(|w| Json::str(w.name())).collect()),
@@ -715,6 +758,7 @@ impl SweepResult {
                     if let Some(v) = r.contention {
                         pairs.push(("contention", Json::Num(v)));
                     }
+                    pairs.push(("tenants", r.slo.to_json()));
                     Json::obj(pairs)
                 })
                 .collect(),
@@ -884,6 +928,7 @@ mod tests {
             duration: SimDuration::millis(4),
             service_jitter: 0.02,
             oracle: false,
+            telemetry: false,
         }
     }
 
@@ -976,6 +1021,35 @@ mod tests {
         assert_eq!(cons.len(), 4, "vrio and elvis share every grid point");
         for p in cons {
             assert!(p.ratio > 0.0);
+        }
+    }
+
+    #[test]
+    fn telemetry_is_observe_only_and_tenants_sum_to_completed() {
+        let off = run_sweep(&tiny_spec(), 2, false).unwrap();
+        let mut spec = tiny_spec();
+        spec.telemetry = true;
+        let on = run_sweep(&spec, 2, false).unwrap();
+        // Byte-identical measurement: only the spec's own flag differs.
+        assert_eq!(
+            off.to_json().get("scenarios").unwrap().render_pretty(),
+            on.to_json().get("scenarios").unwrap().render_pretty(),
+            "telemetry sampling changed sweep measurements"
+        );
+        // The sampled run carries tracks for every scenario; the plain run
+        // carries none.
+        assert_eq!(on.telemetry_runs().len(), on.results.len());
+        assert!(off.telemetry_runs().is_empty());
+        // Per-tenant ledgers conserve, cover every VM, and account for at
+        // least the measured completions (the ledger also counts the 10 %
+        // warmup the workload's own counter resets away).
+        for r in &off.results {
+            r.slo.check_conservation().unwrap();
+            if r.scenario.workload == SweepWorkload::Rr {
+                assert!(r.slo.total_completed() >= r.completed, "{}", r.key);
+            }
+            let tenants = r.slo.tenants();
+            assert_eq!(tenants.len(), r.scenario.vms);
         }
     }
 

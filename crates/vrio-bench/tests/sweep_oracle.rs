@@ -19,6 +19,7 @@ fn tiny_spec() -> SweepSpec {
         duration: SimDuration::millis(4),
         service_jitter: 0.02,
         oracle: false,
+        telemetry: false,
     }
 }
 

@@ -13,6 +13,7 @@
 //! [`Engine::with_reference_heap`] for differential testing and as the
 //! benchmark baseline. Both fire in identical `(time, seq)` order.
 
+use crate::profiler::Profiler;
 use crate::time::{SimDuration, SimTime};
 use crate::wheel::{ReferenceHeap, TimingWheel};
 
@@ -87,6 +88,10 @@ pub struct Engine<W> {
     queue: Queue<W>,
     /// Observe-only hook fired once per event (see [`Engine::set_probe`]).
     probe: Option<Box<dyn FnMut(SimTime)>>,
+    /// Wall-clock self-profiler; `None` unless an enabled handle was
+    /// installed (see [`Engine::set_profiler`]), so the hot path pays one
+    /// branch when profiling is off.
+    profiler: Option<Profiler>,
 }
 
 impl<W> Default for Engine<W> {
@@ -104,6 +109,7 @@ impl<W> Engine<W> {
             fired: 0,
             queue: Queue::Wheel(TimingWheel::new()),
             probe: None,
+            profiler: None,
         }
     }
 
@@ -117,6 +123,7 @@ impl<W> Engine<W> {
             fired: 0,
             queue: Queue::Heap(ReferenceHeap::new()),
             probe: None,
+            profiler: None,
         }
     }
 
@@ -135,6 +142,17 @@ impl<W> Engine<W> {
     /// Removes the event probe.
     pub fn clear_probe(&mut self) {
         self.probe = None;
+    }
+
+    /// Installs a wall-clock self-profiler. When the handle is enabled the
+    /// engine times each event's queue pop (`engine.pop`), probe run
+    /// (`engine.probe`) and callback body (`engine.callback`); a disabled
+    /// handle is dropped so the hot path stays timestamp-free. Profiling is
+    /// observe-only for the simulation: results are bit-identical with it
+    /// on or off (only wall-clock PROF output differs, which is excluded
+    /// from byte-identity gates).
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler.enabled().then_some(profiler);
     }
 
     /// The current simulated time.
@@ -169,7 +187,12 @@ impl<W> Engine<W> {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(at.as_nanos(), seq, Box::new(f));
+        if let Some(prof) = &self.profiler {
+            let _g = prof.scope("engine.push");
+            self.queue.push(at.as_nanos(), seq, Box::new(f));
+        } else {
+            self.queue.push(at.as_nanos(), seq, Box::new(f));
+        }
     }
 
     /// Schedules `f` to fire `delay` after the current time.
@@ -193,6 +216,9 @@ impl<W> Engine<W> {
     ///
     /// Returns `false` if the queue was empty.
     pub fn step(&mut self, world: &mut W) -> bool {
+        if self.profiler.is_some() {
+            return self.step_profiled(world);
+        }
         match self.queue.pop() {
             Some((at, f)) => {
                 let at = SimTime::from_nanos(at);
@@ -202,6 +228,36 @@ impl<W> Engine<W> {
                 if let Some(probe) = &mut self.probe {
                     probe(at);
                 }
+                f(world, self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// [`Engine::step`] with wall-clock scopes around the wheel pop, the
+    /// probe and the callback. Identical event semantics — only timing is
+    /// added.
+    fn step_profiled(&mut self, world: &mut W) -> bool {
+        let prof = self
+            .profiler
+            .clone()
+            .expect("step_profiled without profiler");
+        let popped = {
+            let _g = prof.scope("engine.pop");
+            self.queue.pop()
+        };
+        match popped {
+            Some((at, f)) => {
+                let at = SimTime::from_nanos(at);
+                debug_assert!(at >= self.now);
+                self.now = at;
+                self.fired += 1;
+                if let Some(probe) = &mut self.probe {
+                    let _g = prof.scope("engine.probe");
+                    probe(at);
+                }
+                let _g = prof.scope("engine.callback");
                 f(world, self);
                 true
             }
@@ -349,6 +405,37 @@ mod tests {
             .collect();
         let there: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         assert_eq!(here, there);
+    }
+
+    #[test]
+    fn profiled_run_fires_the_same_events_and_records_scopes() {
+        fn run(profiled: bool) -> (Vec<u32>, SimTime, Profiler) {
+            let mut order: Vec<u32> = Vec::new();
+            let mut eng: Engine<Vec<u32>> = Engine::new();
+            let prof = Profiler::new(profiled);
+            eng.set_profiler(prof.clone());
+            eng.schedule_at(SimTime::from_nanos(200), |w, eng| {
+                w.push(2);
+                eng.schedule_in(SimDuration::nanos(50), |w: &mut Vec<u32>, _| w.push(3));
+            });
+            eng.schedule_at(SimTime::from_nanos(100), |w, _| w.push(1));
+            eng.run(&mut order);
+            (order, eng.now(), prof)
+        }
+        let (plain, plain_now, off) = run(false);
+        let (profiled, prof_now, prof) = run(true);
+        assert_eq!(plain, profiled);
+        assert_eq!(plain_now, prof_now);
+        assert!(off.export().scopes.is_empty());
+        let report = prof.export();
+        for scope in ["engine.pop", "engine.push", "engine.callback"] {
+            let s = report
+                .scope(scope)
+                .unwrap_or_else(|| panic!("missing {scope}"));
+            assert!(s.calls >= 3, "{scope}: {} calls", s.calls);
+        }
+        // No probe installed: the probe scope never opened.
+        assert!(report.scope("engine.probe").is_none());
     }
 
     #[test]

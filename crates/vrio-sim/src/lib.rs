@@ -59,12 +59,14 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod profiler;
 mod rng;
 mod stats;
 mod time;
 mod wheel;
 
 pub use engine::{Engine, EventFn};
+pub use profiler::{ProfGuard, ProfReport, Profiler, ScopeStats};
 pub use rng::{scenario_seed, SimRng};
 pub use stats::{BusyTracker, Histogram, OnlineStats};
 pub use time::{SimDuration, SimTime};

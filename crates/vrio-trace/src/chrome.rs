@@ -7,6 +7,7 @@
 //! from integer simulation nanoseconds.
 
 use crate::json::Json;
+use crate::timeseries::{TelemetryExport, TrackKind};
 use crate::tracer::{EventPhase, TraceExport};
 
 fn us(nanos: u64) -> Json {
@@ -20,6 +21,18 @@ fn us(nanos: u64) -> Json {
 /// metadata events naming processes and threads, `"X"` complete events for
 /// slices, and `"i"` instant events for markers.
 pub fn render_chrome_trace(exports: &[TraceExport]) -> String {
+    render_chrome_trace_with_counters(exports, &[])
+}
+
+/// Like [`render_chrome_trace`], but additionally renders telemetry
+/// time-series as Perfetto *counter tracks* (`"C"` phase events). Each
+/// `(pid, export)` pair contributes one counter track per telemetry track,
+/// named after the track, attached to the given process at `tid` 0; counter
+/// tracks render as filled step graphs alongside the span tracks.
+pub fn render_chrome_trace_with_counters(
+    exports: &[TraceExport],
+    telemetry: &[(u32, &TelemetryExport)],
+) -> String {
     let mut events: Vec<Json> = Vec::new();
     for ex in exports {
         events.push(Json::obj(vec![
@@ -73,6 +86,25 @@ pub fn render_chrome_trace(exports: &[TraceExport]) -> String {
             events.push(Json::obj(pairs));
         }
     }
+    for (pid, telem) in telemetry {
+        for track in &telem.tracks {
+            let cat = match track.kind {
+                TrackKind::Gauge => "vrio.gauge",
+                TrackKind::Counter => "vrio.counter",
+            };
+            for &(at, value) in &track.points {
+                events.push(Json::obj(vec![
+                    ("ph", Json::str("C")),
+                    ("name", Json::str(&track.name)),
+                    ("cat", Json::str(cat)),
+                    ("pid", Json::int(*pid as u64)),
+                    ("tid", Json::int(0)),
+                    ("ts", us(at)),
+                    ("args", Json::obj(vec![("value", Json::Num(value))])),
+                ]));
+            }
+        }
+    }
     Json::Arr(events).render()
 }
 
@@ -108,5 +140,47 @@ mod tests {
             .unwrap();
         assert_eq!(rr.get("ts").and_then(Json::as_f64), Some(0.1));
         assert_eq!(rr.get("dur").and_then(Json::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn counter_tracks_render_as_c_events() {
+        use crate::timeseries::{Telemetry, TelemetryConfig};
+        use vrio_sim::SimDuration;
+
+        let t = Tracer::new(&TraceConfig::memory_with_capacity(8));
+        t.set_process(3, "vrio");
+        let tm = Telemetry::new(&TelemetryConfig::sampling(SimDuration::micros(10)));
+        tm.gauge(
+            "steer.iohost0.worker0.depth",
+            SimTime::from_nanos(10_000),
+            4.0,
+        );
+        tm.counter("admission.iohost0.shed", SimTime::from_nanos(10_000), 2.0);
+        let telem = tm.export();
+
+        let text = render_chrome_trace_with_counters(&[t.export()], &[(3, &telem)]);
+        let doc = Json::parse(&text).unwrap();
+        let arr = doc.as_array().expect("top-level array");
+        let counters: Vec<&Json> = arr
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 2);
+        let depth = counters
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("steer.iohost0.worker0.depth"))
+            .unwrap();
+        assert_eq!(depth.get("ts").and_then(Json::as_f64), Some(10.0));
+        assert_eq!(depth.get("pid").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(
+            depth.get_path("args.value").and_then(Json::as_f64),
+            Some(4.0)
+        );
+        assert_eq!(depth.get("cat").and_then(Json::as_str), Some("vrio.gauge"));
+        let shed = counters
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("admission.iohost0.shed"))
+            .unwrap();
+        assert_eq!(shed.get("cat").and_then(Json::as_str), Some("vrio.counter"));
     }
 }

@@ -166,6 +166,7 @@ impl LogHistogram {
     /// [`vrio_sim::Histogram::percentile`] this takes `&self` and never
     /// sorts.
     pub fn percentile(&self, p: f64) -> f64 {
+        debug_assert!(!p.is_nan(), "NaN percentile query");
         if self.count == 0 {
             return 0.0;
         }
@@ -184,11 +185,23 @@ impl LogHistogram {
             return self.min;
         }
         for (i, &c) in self.counts.iter().enumerate() {
+            // Empty buckets advance `cum` by zero and can never satisfy
+            // `rank <= cum` on their own: the estimate always comes from a
+            // bucket that actually holds samples.
             cum += c;
             if rank <= cum {
                 return Self::bucket_estimate(i).clamp(self.min, self.max);
             }
         }
+        // Unreachable when bucket bookkeeping is intact: the walk covers
+        // `low + Σcounts = count ≥ rank` samples. Kept as a defensive
+        // fallback (and flagged in debug builds) so a bookkeeping bug
+        // degrades to the exact maximum instead of a panic.
+        debug_assert!(
+            false,
+            "LogHistogram percentile rank {rank} beyond {} bucketed samples",
+            self.low + self.counts.iter().sum::<u64>()
+        );
         self.max
     }
 
@@ -213,6 +226,11 @@ impl LogHistogram {
         for (dst, &src) in self.counts.iter_mut().zip(other.counts.iter()) {
             *dst += src;
         }
+        debug_assert_eq!(
+            self.low + self.counts.iter().sum::<u64>(),
+            self.count,
+            "LogHistogram merge leaked samples between buckets"
+        );
     }
 }
 
@@ -290,6 +308,56 @@ mod tests {
             h.push(i as f64);
         }
         assert!(h.counts.len() <= LogHistogram::MAX_BUCKETS);
+    }
+
+    #[test]
+    fn merge_with_empty_on_either_side_is_identity() {
+        let mut filled = LogHistogram::new();
+        for i in 1..=10 {
+            filled.push(f64::from(i));
+        }
+        let snapshot = filled.clone();
+        filled.merge(&LogHistogram::new()); // empty rhs: no-op
+        assert_eq!(filled.count(), snapshot.count());
+        assert_eq!(filled.percentile(50.0), snapshot.percentile(50.0));
+
+        let mut empty = LogHistogram::new();
+        empty.merge(&snapshot); // empty lhs: adopts rhs wholesale
+        assert_eq!(empty.count(), 10);
+        assert_eq!(empty.percentile(0.0), 1.0);
+        assert_eq!(empty.percentile(100.0), 10.0);
+
+        let mut both = LogHistogram::new();
+        both.merge(&LogHistogram::new()); // empty both: still empty
+        assert!(both.is_empty());
+        assert_eq!(both.percentile(99.0), 0.0);
+    }
+
+    #[test]
+    fn all_underflow_percentiles_report_the_exact_minimum() {
+        // Every sample below MIN_TRACKED: the bucket vector stays empty and
+        // every interior rank resolves in the underflow bucket.
+        let mut h = LogHistogram::new();
+        for i in 1..=5 {
+            h.push(f64::from(i) * 1e-12);
+        }
+        assert!(h.counts.is_empty());
+        assert_eq!(h.percentile(50.0), 1e-12);
+        assert_eq!(h.percentile(100.0), 5e-12);
+    }
+
+    #[test]
+    fn merge_underflow_buckets_conserves_counts() {
+        let mut a = LogHistogram::new();
+        a.push(1e-12);
+        a.push(2.0);
+        let mut b = LogHistogram::new();
+        b.push(3e-13);
+        b.push(4.0);
+        a.merge(&b); // debug_assert inside checks low + Σcounts == count
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.percentile(0.0), 3e-13);
+        assert_eq!(a.percentile(100.0), 4.0);
     }
 
     #[test]

@@ -54,13 +54,19 @@ mod chrome;
 mod hist;
 mod json;
 mod metrics;
+mod slo;
+mod timeseries;
 mod tracer;
 
 pub use breakdown::{Breakdown, KindBreakdown, StageAcc, REPORT_SCHEMA_VERSION};
-pub use chrome::render_chrome_trace;
+pub use chrome::{render_chrome_trace, render_chrome_trace_with_counters};
 pub use hist::LogHistogram;
 pub use json::{Json, JsonError};
 pub use metrics::MetricsRegistry;
+pub use slo::{DropCause, SloLedger, TenantSlo};
+pub use timeseries::{
+    Telemetry, TelemetryConfig, TelemetryExport, TrackExport, TrackKind, TELEM_SCHEMA_VERSION,
+};
 pub use tracer::{
     EventPhase, SpanId, Stage, TraceConfig, TraceEvent, TraceExport, TraceSink, Tracer, NUM_STAGES,
 };

@@ -61,6 +61,67 @@ proptest! {
     }
 
     #[test]
+    fn merged_percentiles_agree_with_exact_histogram(
+        left in proptest::collection::vec(sample_strategy(), 0..300),
+        right in proptest::collection::vec(sample_strategy(), 1..300),
+    ) {
+        // Merging shard histograms (the per-tenant SLO path merges per-run
+        // latency shards) must agree with one exact histogram that saw every
+        // sample — including when one shard is empty (left may be).
+        let mut exact = Histogram::new();
+        let mut shard_l = LogHistogram::new();
+        let mut shard_r = LogHistogram::new();
+        for &s in &left {
+            exact.push(s);
+            shard_l.push(s);
+        }
+        for &s in &right {
+            exact.push(s);
+            shard_r.push(s);
+        }
+        let mut merged = shard_l.clone();
+        merged.merge(&shard_r);
+        prop_assert_eq!(merged.count(), (left.len() + right.len()) as u64);
+        check_agreement(&exact, &merged)?;
+        // Merge order is immaterial at every probed percentile.
+        let mut swapped = shard_r.clone();
+        swapped.merge(&shard_l);
+        for p in PERCENTILES {
+            prop_assert_eq!(merged.percentile(p), swapped.percentile(p), "p{}", p);
+        }
+        // Moments stay exact through the merge.
+        let exact_mean = exact.mean();
+        let rel = (merged.mean() - exact_mean).abs() / exact_mean.abs().max(1e-300);
+        prop_assert!(rel <= 1e-9, "mean: exact {} vs merged {}", exact_mean, merged.mean());
+        prop_assert_eq!(merged.percentile(100.0), exact.max());
+    }
+
+    #[test]
+    fn many_shard_merge_agrees_with_exact_histogram(
+        shards in proptest::collection::vec(
+            proptest::collection::vec(sample_strategy(), 0..80),
+            1..8,
+        ),
+    ) {
+        // Fan-in across many shards (one per sweep scenario replica), some
+        // possibly empty: fold left into an accumulator and compare against
+        // the exact histogram over the concatenation. All-empty shard sets
+        // degenerate to two empty histograms, which also must agree.
+        let mut exact = Histogram::new();
+        let mut acc = LogHistogram::new();
+        for shard in &shards {
+            let mut h = LogHistogram::new();
+            for &s in shard {
+                exact.push(s);
+                h.push(s);
+            }
+            acc.merge(&h);
+        }
+        prop_assert_eq!(acc.count(), shards.iter().map(Vec::len).sum::<usize>() as u64);
+        check_agreement(&exact, &acc)?;
+    }
+
+    #[test]
     fn narrow_range_percentiles_agree(
         samples in proptest::collection::vec(1u64..100_000, 1..400),
     ) {

@@ -73,6 +73,10 @@ pub struct FilebenchResult {
     pub trace: Tracer,
     /// The run's oracle handle (inert when the config left it off).
     pub oracle: Oracle,
+    /// Time-series telemetry export (empty when sampling was off).
+    pub telemetry: vrio_trace::TelemetryExport,
+    /// Wall-clock self-profile (empty when profiling was off).
+    pub profile: vrio_sim::ProfReport,
 }
 
 struct FbWorld {
@@ -281,17 +285,24 @@ pub fn run_filebench_with(
         bursty: matches!(personality, Personality::Webserver { bursty: true }),
     };
     let mut eng: Engine<FbWorld> = Engine::new();
+    eng.set_profiler(world.tb.profiler.clone());
     // Observe-only probe: count engine event firings on the tracer. The
     // probe neither schedules nor draws randomness, so enabling it keeps
     // the run bit-identical.
     if world.tb.trace.enabled() || world.tb.oracle.enabled() {
         let t = world.tb.trace.clone();
         let o = world.tb.oracle.clone();
+        let p = world.tb.profiler.clone();
         eng.set_probe(move |now| {
-            t.on_engine_event();
+            {
+                let _g = p.scope("probe.tracer");
+                t.on_engine_event();
+            }
+            let _g = p.scope("probe.oracle");
             o.on_engine_event(now);
         });
     }
+    crate::netperf::schedule_telemetry_grid(&world.tb, &mut eng, deadline);
 
     for vm in 0..num_vms {
         match personality {
@@ -387,6 +398,8 @@ pub fn run_filebench_with(
         reliability: world.tb.reliability_report(),
         trace: world.tb.trace.clone(),
         oracle: world.tb.oracle.clone(),
+        telemetry: world.tb.telemetry.export(),
+        profile: world.tb.profiler.export(),
     }
 }
 

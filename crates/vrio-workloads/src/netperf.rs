@@ -4,8 +4,8 @@
 use bytes::Bytes;
 use vrio::{net_request_response, stream_batch, HasTestbed, Oracle, Testbed, TestbedConfig};
 use vrio_hv::{EventCounters, ReliabilityCounters};
-use vrio_sim::{Engine, Histogram, SimDuration, SimTime};
-use vrio_trace::Tracer;
+use vrio_sim::{Engine, Histogram, ProfReport, SimDuration, SimTime};
+use vrio_trace::{SloLedger, TelemetryExport, Tracer};
 
 /// Results of a netperf RR run.
 #[derive(Debug)]
@@ -30,6 +30,13 @@ pub struct RrResult {
     /// The run's oracle handle (inert when the config left it off):
     /// invariant check counts and any recorded violations.
     pub oracle: Oracle,
+    /// Time-series telemetry export (empty when sampling was off).
+    pub telemetry: TelemetryExport,
+    /// Wall-clock self-profile (empty when profiling was off). Host
+    /// wall-clock data — never part of byte-identity comparisons.
+    pub profile: ProfReport,
+    /// Per-tenant SLO accounting and drop attribution for the run.
+    pub slo: SloLedger,
 }
 
 struct RrWorld {
@@ -85,17 +92,24 @@ pub fn netperf_rr_sized(config: TestbedConfig, duration: SimDuration, resp_len: 
         deadline,
     };
     let mut eng: Engine<RrWorld> = Engine::new();
+    eng.set_profiler(world.tb.profiler.clone());
     // Observe-only probe: count engine event firings on the tracer. The
     // probe neither schedules nor draws randomness, so enabling it keeps
     // the run bit-identical.
     if world.tb.trace.enabled() || world.tb.oracle.enabled() {
         let t = world.tb.trace.clone();
         let o = world.tb.oracle.clone();
+        let p = world.tb.profiler.clone();
         eng.set_probe(move |now| {
-            t.on_engine_event();
+            {
+                let _g = p.scope("probe.tracer");
+                t.on_engine_event();
+            }
+            let _g = p.scope("probe.oracle");
             o.on_engine_event(now);
         });
     }
+    schedule_telemetry_grid(&world.tb, &mut eng, deadline);
 
     fn issue(w: &mut RrWorld, eng: &mut Engine<RrWorld>, vm: usize, app: SimDuration, resp: usize) {
         net_request_response(
@@ -143,7 +157,35 @@ pub fn netperf_rr_sized(config: TestbedConfig, duration: SimDuration, resp_len: 
         reliability: world.tb.reliability_report(),
         trace: world.tb.trace.clone(),
         oracle: world.tb.oracle.clone(),
+        telemetry: world.tb.telemetry.export(),
+        profile: world.tb.profiler.export(),
+        slo: world.tb.slo.clone(),
         histogram: world.hist,
+    }
+}
+
+/// Pre-schedules the fixed telemetry sampling grid: one observe-only mark
+/// per interval through `deadline`. The whole grid is scheduled up front
+/// (rather than self-rescheduling) so the run still terminates when the
+/// workload drains; marks only read state, so runs with the grid are
+/// bit-identical to runs without it.
+pub(crate) fn schedule_telemetry_grid<W: HasTestbed>(
+    tb: &Testbed,
+    eng: &mut Engine<W>,
+    deadline: SimTime,
+) {
+    let Some(interval) = tb.telemetry.interval() else {
+        return;
+    };
+    let mut at = SimTime::ZERO + interval;
+    while at <= deadline {
+        eng.schedule_at(at, |w: &mut W, eng: &mut Engine<W>| {
+            let now = eng.now();
+            let tb = w.tb();
+            let _g = tb.profiler.scope("telemetry.sample");
+            tb.sample_telemetry(now);
+        });
+        at += interval;
     }
 }
 
@@ -159,6 +201,12 @@ pub struct StreamResult {
     pub cycles_per_msg: f64,
     /// The run's oracle handle (inert when the config left it off).
     pub oracle: Oracle,
+    /// Time-series telemetry export (empty when sampling was off).
+    pub telemetry: TelemetryExport,
+    /// Wall-clock self-profile (empty when profiling was off).
+    pub profile: ProfReport,
+    /// Per-tenant SLO accounting and drop attribution for the run.
+    pub slo: SloLedger,
 }
 
 struct StreamWorld {
@@ -218,10 +266,16 @@ pub fn netperf_stream_sized(
         busy_at_warmup: SimDuration::ZERO,
     };
     let mut eng: Engine<StreamWorld> = Engine::new();
+    eng.set_profiler(world.tb.profiler.clone());
     if world.tb.oracle.enabled() {
         let o = world.tb.oracle.clone();
-        eng.set_probe(move |now| o.on_engine_event(now));
+        let p = world.tb.profiler.clone();
+        eng.set_probe(move |now| {
+            let _g = p.scope("probe.oracle");
+            o.on_engine_event(now);
+        });
     }
+    schedule_telemetry_grid(&world.tb, &mut eng, deadline);
 
     fn pump(w: &mut StreamWorld, eng: &mut Engine<StreamWorld>, vm: usize, msg_bytes: u64) {
         stream_batch(w, eng, vm, BATCH, msg_bytes, move |w, eng| {
@@ -260,6 +314,9 @@ pub fn netperf_stream_sized(
         messages: world.delivered_msgs,
         cycles_per_msg,
         oracle: world.tb.oracle.clone(),
+        telemetry: world.tb.telemetry.export(),
+        profile: world.tb.profiler.export(),
+        slo: world.tb.slo.clone(),
     }
 }
 

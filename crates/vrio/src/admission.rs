@@ -227,6 +227,11 @@ pub struct AdmissionControl {
     breaker_open_until: Option<SimTime>,
     /// Times the breaker tripped.
     pub breaker_trips: u64,
+    /// Every breaker trip as `(opened_at, closes_at)`: the end of the
+    /// window whose shed rate tripped it, and when the cooldown lets
+    /// traffic through again. Trace export renders these as open/close
+    /// instants; plain data, recorded deterministically.
+    pub breaker_log: Vec<(SimTime, SimTime)>,
     /// Per-tenant accounting over the whole run.
     pub tenants: Vec<TenantStats>,
 }
@@ -256,6 +261,7 @@ impl AdmissionControl {
             win_admitted: 0,
             breaker_open_until: None,
             breaker_trips: 0,
+            breaker_log: Vec::new(),
             tenants: vec![TenantStats::default(); num_tenants],
         }
     }
@@ -316,8 +322,10 @@ impl AdmissionControl {
             let window_end = SimTime::from_nanos(
                 (self.window_idx + 1).saturating_mul(self.config.window.as_nanos()),
             );
-            self.breaker_open_until = Some(window_end + self.config.breaker_cooldown);
+            let closes_at = window_end + self.config.breaker_cooldown;
+            self.breaker_open_until = Some(closes_at);
             self.breaker_trips += 1;
+            self.breaker_log.push((window_end, closes_at));
         }
         self.window_idx = idx;
         self.win_offered = 0;
@@ -536,6 +544,8 @@ mod tests {
         assert!(ac.breaker_open(t(5_900)));
         assert!(!ac.breaker_open(t(6_000)));
         assert_eq!(ac.offer(0, 0, t(6_000)), Decision::Admit);
+        // The trip is logged with its open/close instants.
+        assert_eq!(ac.breaker_log, vec![(t(1_000), t(6_000))]);
     }
 
     #[test]

@@ -20,11 +20,15 @@ use vrio_block::{BlockKind, BlockRequest, DeviceProfile, Ramdisk};
 use vrio_hv::ReliabilityCounters;
 use vrio_hv::{CostModel, EventCounters, IoModel, Vm, VmId};
 use vrio_net::{segment_message, FaultConfig, FaultInjector, Reassembler, MTU_VRIO_JUMBO};
-use vrio_sim::{BusyTracker, Engine, SimDuration, SimRng, SimTime};
-use vrio_trace::{SpanId, Stage, TraceConfig, Tracer};
+use vrio_sim::{BusyTracker, Engine, Profiler, SimDuration, SimRng, SimTime};
+use vrio_trace::{
+    DropCause, SloLedger, SpanId, Stage, Telemetry, TelemetryConfig, TraceConfig, Tracer,
+};
 
-use crate::admission::{AdmissionConfig, AdmissionControl};
-use crate::health::{validate_outage_schedule, HealthConfig, Outage, RedundancyMonitor, Route};
+use crate::admission::{AdmissionConfig, AdmissionControl, Decision};
+use crate::health::{
+    validate_outage_schedule, HealthConfig, HealthState, Outage, RedundancyMonitor, Route,
+};
 use crate::interpose::{Direction, InterpositionChain, Verdict};
 use crate::oracle::{Oracle, OracleConfig};
 use crate::proto::{DeviceId, VrioMsg, VrioMsgKind};
@@ -304,6 +308,21 @@ pub struct TestbedConfig {
     /// oracle owns no RNG and schedules no events, it only checks
     /// invariants inline at lifecycle marks and flow boundaries.
     pub oracle: OracleConfig,
+    /// Continuous time-series telemetry (see [`vrio_trace::Telemetry`]).
+    /// Off by default; like tracing, enabling it is observe-only — the
+    /// sampler reads state on a fixed simulated-time grid, draws no
+    /// randomness and schedules nothing through the testbed, so sampled
+    /// runs stay bit-identical to unsampled ones.
+    pub telemetry: TelemetryConfig,
+    /// Wall-clock self-profiling (see [`vrio_sim::Profiler`]). Off by
+    /// default. Profiler output is host wall-clock data — inherently
+    /// nondeterministic — and is emitted as separate `PROF_*` artifacts
+    /// that are never part of any byte-identity gate.
+    pub profile: bool,
+    /// Per-tenant latency SLO threshold: a completed request at or under
+    /// this latency counts toward SLO attainment in the drop-attribution
+    /// ledger.
+    pub slo: SimDuration,
 }
 
 impl TestbedConfig {
@@ -338,6 +357,9 @@ impl TestbedConfig {
             faults: FaultConfig::default(),
             trace: TraceConfig::off(),
             oracle: OracleConfig::off(),
+            telemetry: TelemetryConfig::off(),
+            profile: false,
+            slo: SimDuration::micros(200),
         }
     }
 
@@ -422,6 +444,24 @@ impl TestbedConfig {
         self.num_iohosts = n;
         self
     }
+
+    /// Sets the continuous-telemetry sampling configuration.
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Enables the wall-clock self-profiler.
+    pub fn with_profile(mut self, profile: bool) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Sets the per-tenant latency SLO threshold.
+    pub fn with_slo(mut self, slo: SimDuration) -> Self {
+        self.slo = slo;
+        self
+    }
 }
 
 // A worker thread must be able to receive a scenario's config and build
@@ -460,6 +500,32 @@ pub const TRACK_REQ_BASE: u32 = 1000;
 pub const TRACK_VCPU_BASE: u32 = 2000;
 /// Base tid of the per-backend (sidecore/worker) busy tracks (`base + i`).
 pub const TRACK_WORKER_BASE: u32 = 3000;
+/// Base tid of the per-VMhost route-transition instant tracks (`base + h`).
+pub const TRACK_ROUTE_BASE: u32 = 4000;
+/// Base tid of the per-IOhost admission-breaker instant tracks (`base + k`).
+pub const TRACK_BREAKER_BASE: u32 = 5000;
+
+/// Maps an admission shed [`Decision`] to its SLO-ledger drop cause.
+fn shed_cause(decision: Decision) -> DropCause {
+    match decision {
+        Decision::Admit => unreachable!("admitted requests are not drops"),
+        Decision::ShedQueue => DropCause::ShedQueue,
+        Decision::ShedFair => DropCause::ShedFair,
+        Decision::ShedBreaker => DropCause::ShedBreaker,
+    }
+}
+
+/// Health-ladder states as a stable telemetry ordinal (the gauge value of
+/// the `health.vmhost{h}.iohost{k}.state` tracks).
+fn health_state_ordinal(state: HealthState) -> f64 {
+    match state {
+        HealthState::Healthy => 0.0,
+        HealthState::Suspect => 1.0,
+        HealthState::FailedOver => 2.0,
+        HealthState::Probing => 3.0,
+        HealthState::Recovered => 4.0,
+    }
+}
 
 /// The trace track carrying VM `vm`'s request-lifecycle spans.
 pub fn req_track(vm: usize) -> u32 {
@@ -530,6 +596,14 @@ pub struct Testbed {
     pub trace: Tracer,
     /// The simulation oracle (inert unless the config enables it).
     pub oracle: Oracle,
+    /// Time-series telemetry sampler (inert unless the config enables it).
+    pub telemetry: Telemetry,
+    /// Wall-clock self-profiler (inert unless the config enables it).
+    pub profiler: Profiler,
+    /// Per-tenant SLO accounting and drop attribution. Always on: plain
+    /// counters plus a log histogram — no RNG, no events — so it cannot
+    /// perturb the simulation.
+    pub slo: SloLedger,
 }
 
 impl Testbed {
@@ -603,6 +677,9 @@ impl Testbed {
             faults.set_tracer(trace.clone(), TRACK_FAULTS);
         }
         let oracle = Oracle::new(&config.oracle);
+        let telemetry = Telemetry::new(&config.telemetry);
+        let profiler = Profiler::new(config.profile);
+        let slo = SloLedger::new(config.num_vms, config.slo.as_micros_f64());
         let _ = &mut rng;
         Testbed {
             rng,
@@ -644,6 +721,9 @@ impl Testbed {
             reassembler: Reassembler::new(),
             trace,
             oracle,
+            telemetry,
+            profiler,
+            slo,
             config,
         }
     }
@@ -897,12 +977,11 @@ impl Testbed {
     }
 
     /// Runs one offered request through IOhost `iohost`'s admission
-    /// controller; `true` means admitted. `depth` is the target backend's
-    /// queue depth *including* this request. Disabled admission (the
-    /// default) admits everything without recording, keeping baseline
-    /// runs byte-identical.
-    fn admit(&mut self, iohost: usize, vm: usize, depth: u64, now: SimTime) -> bool {
-        self.admission[iohost].offer(vm, depth, now).admitted()
+    /// controller. `depth` is the target backend's queue depth
+    /// *including* this request. Disabled admission (the default) admits
+    /// everything without recording, keeping baseline runs byte-identical.
+    fn admit(&mut self, iohost: usize, vm: usize, depth: u64, now: SimTime) -> Decision {
+        self.admission[iohost].offer(vm, depth, now)
     }
 
     /// Fraction of backend charges that had to queue (Fig 8's contention).
@@ -1022,6 +1101,7 @@ pub fn net_request_response<W: HasTestbed>(
         .trace
         .begin("net_rr", req_track(vm), Stage::Generator, t0);
     let flow = tb.oracle.flow_begin("net_rr", t0);
+    tb.slo.offer(vm);
     let response_slot: Rc<RefCell<Bytes>> = Rc::new(RefCell::new(Bytes::new()));
     let req_wire = req.len() + 64; // headers on the wire
     let resp_wire = resp_len + 64;
@@ -1074,6 +1154,7 @@ pub fn net_request_response<W: HasTestbed>(
             let Some(fwd) = fwd else {
                 tb.trace.abort(span);
                 tb.oracle.flow_drop(flow, t0);
+                tb.slo.record_drop(vm, DropCause::Firewall);
                 return; // firewalled: flow ends
             };
             s.push_back(Step::Do(Box::new(move |tb| {
@@ -1097,25 +1178,36 @@ pub fn net_request_response<W: HasTestbed>(
             // request is simply lost; TCP above retransmits).
             s.push_back(Step::Gate(Box::new(move |tb, now| {
                 let cap = tb.config.iohost_rx_ring;
-                if tb.iohost_failed(iohost, now)
-                    || tb.backends[backend].pending > cap
-                    || tb.rng.chance(tb.config.channel_loss)
-                    || tb.fault_drop(now)
-                {
+                // Attribute each loss to exactly one cause, tested in the
+                // same order (and with the same RNG short-circuiting) as
+                // the original combined gate.
+                let cause = if tb.iohost_failed(iohost, now) {
+                    Some(DropCause::Outage)
+                } else if tb.backends[backend].pending > cap {
+                    Some(DropCause::ShedQueue)
+                } else if tb.rng.chance(tb.config.channel_loss) || tb.fault_drop(now) {
+                    Some(DropCause::FaultLoss)
+                } else {
+                    None
+                };
+                if let Some(cause) = cause {
                     tb.channel_drops += 1;
                     tb.backends[backend].pending -= 1;
                     tb.release_backend(vm, backend);
                     tb.oracle.flow_drop(flow, now);
+                    tb.slo.record_drop(vm, cause);
                     return false;
                 }
                 // Overload-aware admission (disabled by default): shed at
                 // the door instead of queueing toward a timeout. Sheds are
                 // not channel drops — the request never entered the ring.
                 let depth = tb.backends[backend].pending;
-                if !tb.admit(iohost, vm, depth, now) {
+                let decision = tb.admit(iohost, vm, depth, now);
+                if !decision.admitted() {
                     tb.backends[backend].pending -= 1;
                     tb.release_backend(vm, backend);
                     tb.oracle.flow_drop(flow, now);
+                    tb.slo.record_drop(vm, shed_cause(decision));
                     return false;
                 }
                 true
@@ -1140,6 +1232,7 @@ pub fn net_request_response<W: HasTestbed>(
             let Some(fwd) = fwd else {
                 tb.trace.abort(span);
                 tb.oracle.flow_drop(flow, t0);
+                tb.slo.record_drop(vm, DropCause::Firewall);
                 return;
             };
             let msg = VrioMsg::new(
@@ -1209,6 +1302,7 @@ pub fn net_request_response<W: HasTestbed>(
             let Some(fwd) = fwd else {
                 tb.trace.abort(span);
                 tb.oracle.flow_drop(flow, t0);
+                tb.slo.record_drop(vm, DropCause::Firewall);
                 return;
             };
             s.push_back(Step::Do(Box::new(move |tb| {
@@ -1321,24 +1415,34 @@ pub fn net_request_response<W: HasTestbed>(
             s.push_back(Step::RingPush(backend_out));
             s.push_back(Step::Gate(Box::new(move |tb, now| {
                 let cap = tb.config.iohost_rx_ring;
-                if tb.iohost_failed(iohost, now)
-                    || tb.backends[backend_out].pending > cap
-                    || tb.rng.chance(tb.config.channel_loss)
-                    || tb.fault_drop(now)
-                {
+                // Single-cause attribution, identical test order and RNG
+                // short-circuiting to the original combined gate.
+                let cause = if tb.iohost_failed(iohost, now) {
+                    Some(DropCause::Outage)
+                } else if tb.backends[backend_out].pending > cap {
+                    Some(DropCause::ShedQueue)
+                } else if tb.rng.chance(tb.config.channel_loss) || tb.fault_drop(now) {
+                    Some(DropCause::FaultLoss)
+                } else {
+                    None
+                };
+                if let Some(cause) = cause {
                     tb.channel_drops += 1;
                     tb.backends[backend_out].pending -= 1;
                     tb.release_backend(vm, backend_out);
                     tb.oracle.flow_drop(flow, now);
+                    tb.slo.record_drop(vm, cause);
                     return false;
                 }
                 // Same admission door as the inbound leg: the response
                 // pass occupies a worker slot too.
                 let depth = tb.backends[backend_out].pending;
-                if !tb.admit(iohost, vm, depth, now) {
+                let decision = tb.admit(iohost, vm, depth, now);
+                if !decision.admitted() {
                     tb.backends[backend_out].pending -= 1;
                     tb.release_backend(vm, backend_out);
                     tb.oracle.flow_drop(flow, now);
+                    tb.slo.record_drop(vm, shed_cause(decision));
                     return false;
                 }
                 true
@@ -1452,6 +1556,7 @@ pub fn net_request_response<W: HasTestbed>(
             let tb = w.tb();
             tb.trace.end(span, now);
             tb.oracle.flow_complete(flow, now);
+            tb.slo.complete(vm, latency.as_micros_f64());
             let response = response_slot.borrow().clone();
             done(w, eng, RrOutcome { latency, response });
         }),
@@ -1480,6 +1585,7 @@ fn fallback_request_response<W: HasTestbed>(
         .trace
         .begin("net_rr_fallback", req_track(vm), Stage::Generator, t0);
     let flow = tb.oracle.flow_begin("net_rr_fallback", t0);
+    tb.slo.offer(vm);
     let response_slot: Rc<RefCell<Bytes>> = Rc::new(RefCell::new(Bytes::new()));
     let packets = (resp_len.div_ceil(1448)).max(1) as u64;
     let mut s: VecDeque<Step> = VecDeque::new();
@@ -1578,6 +1684,7 @@ fn fallback_request_response<W: HasTestbed>(
             let tb = w.tb();
             tb.trace.end(span, now);
             tb.oracle.flow_complete(flow, now);
+            tb.slo.complete(vm, latency.as_micros_f64());
             let response = response_slot.borrow().clone();
             done(w, eng, RrOutcome { latency, response });
         }),
@@ -1636,6 +1743,7 @@ pub fn stream_batch<W: HasTestbed>(
         .trace
         .begin("stream_batch", req_track(vm), Stage::GuestEnqueue, t0);
     let flow = tb.oracle.flow_begin("stream_batch", t0);
+    tb.slo.offer(vm);
     let mut s: VecDeque<Step> = VecDeque::new();
 
     // Guest produces the batch.
@@ -1726,6 +1834,7 @@ pub fn stream_batch<W: HasTestbed>(
             let tb = w.tb();
             tb.trace.end(span, now);
             tb.oracle.flow_complete(flow, now);
+            tb.slo.complete(vm, (now - t0).as_micros_f64());
             done(w, eng)
         }),
     );
@@ -2099,7 +2208,7 @@ fn vrio_blk_attempt<W: HasTestbed>(
         // the retransmission machinery re-offers the request later, by
         // which point the overload (or the breaker window) has passed.
         let depth = tb.backends[backend].pending;
-        if !tb.admit(iohost, vm, depth, now) {
+        if !tb.admit(iohost, vm, depth, now).admitted() {
             tb.backends[backend].pending -= 1;
             tb.release_backend(vm, backend);
             return false;
@@ -2408,6 +2517,124 @@ impl Testbed {
             for &(start, end) in be.busy.intervals() {
                 self.trace.slice("backend_busy", tid, start, end);
             }
+        }
+        // Health-ladder route transitions and admission breaker trips as
+        // timestamped instants: which IOhost (or local fallback) each
+        // VMhost routed to when, and every breaker open/close window.
+        for (h, ladder) in self.health.iter().enumerate() {
+            if ladder.route_log.is_empty() {
+                continue;
+            }
+            let tid = TRACK_ROUTE_BASE + h as u32;
+            self.trace.set_thread_name(tid, &format!("vmhost{h} route"));
+            for &(at, route) in &ladder.route_log {
+                let name = match route {
+                    Route::Remote(_) => "route_remote",
+                    Route::Local => "route_local",
+                };
+                self.trace.instant(name, tid, at);
+            }
+        }
+        for (k, adm) in self.admission.iter().enumerate() {
+            if adm.breaker_log.is_empty() {
+                continue;
+            }
+            let tid = TRACK_BREAKER_BASE + k as u32;
+            self.trace
+                .set_thread_name(tid, &format!("iohost{k} breaker"));
+            for &(opened_at, closes_at) in &adm.breaker_log {
+                self.trace.instant("breaker_open", tid, opened_at);
+                self.trace.instant("breaker_close", tid, closes_at);
+            }
+        }
+    }
+
+    /// Records one fixed-grid telemetry sample at `now`: steering queue
+    /// depths, backend occupancy, virtqueue audit gauges, health-ladder
+    /// routes and states, admission counters, outstanding block
+    /// retransmissions, and per-tenant SLO percentiles. A no-op when
+    /// telemetry is off.
+    ///
+    /// Sampling is observe-only by construction: `&self`, so nothing here
+    /// can draw randomness, schedule events, or mutate simulation state —
+    /// runs with sampling enabled stay bit-identical to runs without (the
+    /// telemetry bit-identity suite proves it end to end).
+    pub fn sample_telemetry(&self, now: SimTime) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        let tm = &self.telemetry;
+        for (k, steer) in self.steering.iter().enumerate() {
+            for w in 0..steer.workers() {
+                tm.gauge(
+                    &format!("steer.iohost{k}.worker{w}.depth"),
+                    now,
+                    steer.load_of(crate::iohost::WorkerId(w)) as f64,
+                );
+            }
+        }
+        for (b, be) in self.backends.iter().enumerate() {
+            tm.gauge(&format!("backend.{b}.pending"), now, be.pending as f64);
+        }
+        for (v, vm) in self.vms.iter().enumerate() {
+            for q in vm.ring_audit() {
+                tm.gauge(
+                    &format!("ring.vm{v}.{}.free", q.name),
+                    now,
+                    q.free_descriptors as f64,
+                );
+                tm.gauge(
+                    &format!("ring.vm{v}.{}.inflight", q.name),
+                    now,
+                    f64::from(q.in_flight_chains),
+                );
+            }
+        }
+        for (h, ladder) in self.health.iter().enumerate() {
+            let route = match ladder.route() {
+                Route::Remote(k) => k as f64,
+                Route::Local => self.config.num_iohosts as f64,
+            };
+            tm.gauge(&format!("health.vmhost{h}.route"), now, route);
+            for (k, mon) in ladder.targets().iter().enumerate() {
+                tm.gauge(
+                    &format!("health.vmhost{h}.iohost{k}.state"),
+                    now,
+                    health_state_ordinal(mon.state()),
+                );
+            }
+        }
+        for (k, adm) in self.admission.iter().enumerate() {
+            tm.counter(
+                &format!("admission.iohost{k}.offered"),
+                now,
+                adm.total_offered() as f64,
+            );
+            tm.counter(
+                &format!("admission.iohost{k}.shed"),
+                now,
+                adm.total_shed() as f64,
+            );
+            tm.gauge(
+                &format!("admission.iohost{k}.breaker_open"),
+                now,
+                f64::from(u8::from(adm.breaker_open(now))),
+            );
+        }
+        let outstanding: usize = self.retx.iter().map(BlockRetx::outstanding).sum();
+        tm.gauge("retx.outstanding", now, outstanding as f64);
+        for (v, t) in self.slo.tenants().iter().enumerate() {
+            tm.gauge(
+                &format!("slo.vm{v}.p50_us"),
+                now,
+                t.latency.percentile(50.0),
+            );
+            tm.gauge(
+                &format!("slo.vm{v}.p99_us"),
+                now,
+                t.latency.percentile(99.0),
+            );
+            tm.counter(&format!("slo.vm{v}.completed"), now, t.completed as f64);
         }
     }
 
