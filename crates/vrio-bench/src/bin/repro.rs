@@ -87,7 +87,7 @@ fn with_experiment(mut doc: Json, name: &str) -> Json {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let rc = if quick {
+    let mut rc = if quick {
         ReproConfig::quick()
     } else {
         ReproConfig::full()
@@ -106,6 +106,15 @@ fn main() {
             v
         })
     };
+    // --ring LAYOUT: run every experiment over the named virtqueue layout
+    // (split | split-eventidx | packed). The default split layout
+    // reproduces the seed's output byte-for-byte.
+    if let Some(name) = value_flag("--ring") {
+        rc.ring = vrio::RingConfig::from_name(&name).unwrap_or_else(|| {
+            eprintln!("--ring expects split | split-eventidx | packed, got {name}");
+            std::process::exit(2);
+        });
+    }
     let out_dir = value_flag("--out");
     let trace_dir = value_flag("--trace");
     let json_dir = value_flag("--json");
@@ -175,6 +184,8 @@ fn main() {
         ("--hetero", Box::new(move || hetero(rc))),
         ("--retx", Box::new(move || retx_validation(rc))),
         ("--failover", Box::new(move || failover(rc))),
+        ("--rings", Box::new(move || rings(rc))),
+        ("--differential", Box::new(move || differential(rc))),
     ];
 
     let known: Vec<&str> = experiments.iter().map(|(f, _)| *f).collect();

@@ -817,6 +817,7 @@ mod tests {
         ReproConfig {
             duration: SimDuration::millis(24),
             tail_duration: SimDuration::millis(24),
+            ring: vrio_virtio::RingConfig::split_basic(),
         }
     }
 

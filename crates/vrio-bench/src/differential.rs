@@ -1,0 +1,340 @@
+//! The split↔packed differential conformance harness.
+//!
+//! Feature negotiation must be invisible to everything above the ring: the
+//! same workload, seed, and fault schedule must produce the *same I/O* —
+//! identical completion counts, identical latencies bit-for-bit, identical
+//! Table 3 event counters, identical per-tenant SLO ledgers, and a clean
+//! oracle — whether the virtqueues are the seed's split-basic layout or
+//! packed rings with indirect descriptors. Only the notification economics
+//! (kicks, completion signals, and their suppressed counterparts) may
+//! differ, because that is precisely what the packed/EVENT_IDX machinery
+//! exists to change.
+//!
+//! [`run_pair`] runs one case under both layouts and diffs the digests;
+//! [`differential`] sweeps every I/O model × workload × fault scenario and
+//! renders the conformance table (the `repro --differential` section).
+
+use std::fmt::Write as _;
+
+use vrio::{OracleConfig, RingConfig, RingOps, TestbedConfig};
+use vrio_hv::IoModel;
+use vrio_net::{FaultConfig, GeConfig};
+use vrio_sim::SimDuration;
+use vrio_workloads::{netperf_rr, netperf_stream, run_filebench, Personality};
+
+use crate::report::render_table;
+use crate::sys_exps::ReproConfig;
+
+/// Which workload a differential case drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffWorkload {
+    /// Closed-loop netperf request-response (latency surface).
+    Rr,
+    /// Windowed netperf stream (throughput surface).
+    Stream,
+    /// Filebench random I/O — the block rings, with 3-segment write chains
+    /// that exercise indirect descriptor tables under packed negotiation.
+    Filebench,
+}
+
+impl DiffWorkload {
+    /// Short name used in case labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            DiffWorkload::Rr => "rr",
+            DiffWorkload::Stream => "stream",
+            DiffWorkload::Filebench => "filebench",
+        }
+    }
+}
+
+/// The fault regime applied identically to both runs of a pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffFault {
+    /// No injected faults.
+    Clean,
+    /// Active Gilbert–Elliott bursty frame loss on the channel.
+    GeStorm,
+    /// Uniform 2 % channel loss (the §4.5 retransmission regime).
+    Loss,
+}
+
+impl DiffFault {
+    /// Short name used in case labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            DiffFault::Clean => "clean",
+            DiffFault::GeStorm => "ge-storm",
+            DiffFault::Loss => "loss2%",
+        }
+    }
+}
+
+/// One cell of the conformance grid.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffCase {
+    /// I/O model under test.
+    pub model: IoModel,
+    /// Workload to drive.
+    pub workload: DiffWorkload,
+    /// Fault schedule.
+    pub fault: DiffFault,
+}
+
+impl DiffCase {
+    /// Stable case identity: `workload/model/fault`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            self.workload.name(),
+            self.model,
+            self.fault.name()
+        )
+    }
+}
+
+/// The full grid: every model × workload × fault scenario.
+pub fn all_cases() -> Vec<DiffCase> {
+    let mut cases = Vec::new();
+    for &model in &IoModel::ALL {
+        for workload in [
+            DiffWorkload::Rr,
+            DiffWorkload::Stream,
+            DiffWorkload::Filebench,
+        ] {
+            // The optimum (SRIOV) model has no paravirtual block path
+            // (paper §5) — `blk_request` rejects it by design.
+            if workload == DiffWorkload::Filebench && model == IoModel::Optimum {
+                continue;
+            }
+            for fault in [DiffFault::Clean, DiffFault::GeStorm, DiffFault::Loss] {
+                cases.push(DiffCase {
+                    model,
+                    workload,
+                    fault,
+                });
+            }
+        }
+    }
+    cases
+}
+
+/// The layout-independent observable surface of one run: named values
+/// rendered exactly (floats as hex bit patterns), so two digests compare
+/// bit-for-bit and a mismatch names the observable that moved.
+pub type Digest = Vec<(&'static str, String)>;
+
+fn bits(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn config(case: &DiffCase, ring: RingConfig) -> TestbedConfig {
+    let mut c = TestbedConfig::simple(case.model, 2)
+        .with_ring(ring)
+        .with_seed(7);
+    c.oracle = OracleConfig::on();
+    match case.fault {
+        DiffFault::Clean => {}
+        DiffFault::GeStorm => {
+            c.faults = FaultConfig {
+                ge: Some(GeConfig::bursty()),
+                ..FaultConfig::default()
+            };
+        }
+        DiffFault::Loss => c.channel_loss = 0.02,
+    }
+    c
+}
+
+/// Runs one case under one ring layout and extracts its digest plus the
+/// (layout-dependent) ring operation counters. Panics if the oracle saw
+/// any invariant violation.
+pub fn run_case(case: &DiffCase, ring: RingConfig, duration: SimDuration) -> (Digest, RingOps) {
+    let label = format!("{}[{}]", case.label(), ring.name());
+    let c = config(case, ring);
+    match case.workload {
+        DiffWorkload::Rr => {
+            let r = netperf_rr(c, duration);
+            r.oracle.assert_clean(&label);
+            let digest = vec![
+                ("completed", r.completed.to_string()),
+                ("mean_latency_us", bits(r.mean_latency_us)),
+                ("p50_us", bits(r.histogram.percentile(50.0))),
+                ("p99_us", bits(r.histogram.percentile(99.0))),
+                ("p999_us", bits(r.histogram.percentile(99.9))),
+                ("requests_per_sec", bits(r.requests_per_sec)),
+                ("contention", bits(r.contention)),
+                ("counters", format!("{:?}", r.counters)),
+                ("reliability", format!("{:?}", r.reliability)),
+                ("slo", r.slo.to_json().render_pretty()),
+            ];
+            (digest, r.ring_ops)
+        }
+        DiffWorkload::Stream => {
+            let r = netperf_stream(c, duration);
+            r.oracle.assert_clean(&label);
+            let digest = vec![
+                ("messages", r.messages.to_string()),
+                ("gbps", bits(r.gbps)),
+                ("cycles_per_msg", bits(r.cycles_per_msg)),
+                ("slo", r.slo.to_json().render_pretty()),
+            ];
+            (digest, r.ring_ops)
+        }
+        DiffWorkload::Filebench => {
+            let r = run_filebench(
+                c,
+                Personality::RandomIo {
+                    readers: 2,
+                    writers: 2,
+                },
+                duration,
+            );
+            r.oracle.assert_clean(&label);
+            let digest = vec![
+                ("ops_per_sec", bits(r.ops_per_sec)),
+                ("mbps", bits(r.mbps)),
+                (
+                    "switches",
+                    format!("{}/{}", r.involuntary_switches, r.voluntary_switches),
+                ),
+                ("reliability", format!("{:?}", r.reliability)),
+            ];
+            (digest, r.ring_ops)
+        }
+    }
+}
+
+/// The verified outcome of one case run under both layouts.
+#[derive(Debug, Clone)]
+pub struct PairOutcome {
+    /// Case identity.
+    pub label: String,
+    /// Completions (or messages/ops marker) from the shared digest's first
+    /// entry, for the report.
+    pub headline: String,
+    /// Split-basic notification count (kicks + signals).
+    pub split_notifs: u64,
+    /// Packed notification count.
+    pub packed_notifs: u64,
+    /// Packed suppressed-notification count.
+    pub packed_suppressed: u64,
+}
+
+/// Runs `case` under split-basic and packed rings and proves the digests
+/// identical. Returns the outcome, or a message naming the first
+/// observable that differed.
+pub fn run_pair(case: &DiffCase, duration: SimDuration) -> Result<PairOutcome, String> {
+    let (split, split_ops) = run_case(case, RingConfig::split_basic(), duration);
+    let (packed, packed_ops) = run_case(case, RingConfig::packed(), duration);
+    for ((k, a), (k2, b)) in split.iter().zip(packed.iter()) {
+        assert_eq!(k, k2, "digest shapes align");
+        if a != b {
+            return Err(format!(
+                "{}: '{k}' depends on the ring layout: split-basic {a} vs packed {b}",
+                case.label()
+            ));
+        }
+    }
+    // The rings moved the same chains; only notifications may differ.
+    if split_ops.chains_published != packed_ops.chains_published
+        || split_ops.used_reaped != packed_ops.used_reaped
+    {
+        return Err(format!(
+            "{}: chain traffic depends on the ring layout: {split_ops:?} vs {packed_ops:?}",
+            case.label()
+        ));
+    }
+    let split_notifs = split_ops.driver_kicks + split_ops.driver_signals;
+    let packed_notifs = packed_ops.driver_kicks + packed_ops.driver_signals;
+    if packed_notifs > split_notifs {
+        return Err(format!(
+            "{}: packed notified more than split-basic: {packed_notifs} vs {split_notifs}",
+            case.label()
+        ));
+    }
+    Ok(PairOutcome {
+        label: case.label(),
+        headline: format!("{}={}", split[0].0, split[0].1),
+        split_notifs,
+        packed_notifs,
+        packed_suppressed: packed_ops.kicks_suppressed + packed_ops.signals_suppressed,
+    })
+}
+
+/// The `repro --differential` section: the whole conformance grid, one
+/// pair per row. Panics on any conformance failure — this is the gate CI
+/// runs.
+pub fn differential(rc: ReproConfig) -> String {
+    let duration = rc.duration / 8;
+    let mut out = String::from(
+        "Split↔packed differential conformance — every I/O model × workload ×\n\
+         fault scenario, same seed under both ring layouts; all completions,\n\
+         latencies, event counters, and SLO ledgers must match bit-for-bit\n\n",
+    );
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+    let cases = all_cases();
+    for case in &cases {
+        match run_pair(case, duration) {
+            Ok(p) => rows.push(vec![
+                p.label,
+                p.headline,
+                p.split_notifs.to_string(),
+                p.packed_notifs.to_string(),
+                p.packed_suppressed.to_string(),
+            ]),
+            Err(msg) => failures.push(msg),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "ring layouts are observably different:\n{}",
+        failures.join("\n")
+    );
+    out.push_str(&render_table(
+        &[
+            "case",
+            "identical digest",
+            "split notifs",
+            "packed notifs",
+            "packed suppressed",
+        ],
+        &rows,
+    ));
+    let _ = writeln!(
+        out,
+        "\n{} cases conformant; oracle clean under both layouts in every run",
+        cases.len()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_labels_are_unique() {
+        let cases = all_cases();
+        // 5 models × 3 workloads × 3 faults, minus the 3 filebench cases
+        // the SRIOV model cannot run (no paravirtual block path).
+        assert_eq!(cases.len(), 5 * 3 * 3 - 3);
+        let mut labels: Vec<String> = cases.iter().map(DiffCase::label).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), cases.len());
+    }
+
+    #[test]
+    fn a_single_pair_verifies_quickly() {
+        let case = DiffCase {
+            model: IoModel::Vrio,
+            workload: DiffWorkload::Rr,
+            fault: DiffFault::Clean,
+        };
+        let p = run_pair(&case, SimDuration::millis(5)).unwrap();
+        assert!(p.split_notifs > 0, "RR traffic rings doorbells");
+        assert!(p.packed_notifs <= p.split_notifs);
+    }
+}

@@ -11,6 +11,7 @@
 
 mod chaos;
 mod cost_exps;
+mod differential;
 mod obs;
 mod report;
 mod sweep;
@@ -22,6 +23,10 @@ pub use chaos::{
     CHAOS_SCHEMA_VERSION, KNOWN_CAMPAIGNS,
 };
 pub use cost_exps::{fig1, fig2, fig3, tab1, tab2};
+pub use differential::{
+    all_cases, differential, run_case, run_pair, DiffCase, DiffFault, DiffWorkload, Digest,
+    PairOutcome,
+};
 pub use obs::{
     latency_breakdown, latency_breakdown_checked, latency_breakdown_instrumented, ObsReport,
 };
@@ -33,6 +38,6 @@ pub use sweep::{
 };
 pub use sys_exps::{
     failover, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig5, fig7, fig8, fig9, hetero,
-    retx_validation, tab3, tab4, ReproConfig,
+    retx_validation, rings, tab3, tab4, ReproConfig,
 };
 pub use telem::{prof_bundle, telemetry_bundle, PROF_SCHEMA_VERSION};

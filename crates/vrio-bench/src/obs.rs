@@ -175,6 +175,7 @@ mod tests {
         let rc = ReproConfig {
             duration: vrio_sim::SimDuration::millis(20),
             tail_duration: vrio_sim::SimDuration::millis(20),
+            ring: vrio_virtio::RingConfig::split_basic(),
         };
         let rep = latency_breakdown(rc, "smoke");
         // Stable top-level schema.
@@ -214,6 +215,7 @@ mod tests {
         let rc = ReproConfig {
             duration: vrio_sim::SimDuration::millis(8),
             tail_duration: vrio_sim::SimDuration::millis(8),
+            ring: vrio_virtio::RingConfig::split_basic(),
         };
         let plain = latency_breakdown_checked(rc, "smoke", false);
         let inst = latency_breakdown_instrumented(rc, "smoke", false, true, true);

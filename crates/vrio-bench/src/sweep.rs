@@ -26,6 +26,7 @@ use vrio::{OracleConfig, TestbedConfig};
 use vrio_hv::IoModel;
 use vrio_sim::{scenario_seed, SimDuration};
 use vrio_trace::{Json, MetricsRegistry, SloLedger, TelemetryConfig, TelemetryExport};
+use vrio_virtio::RingConfig;
 use vrio_workloads::{netperf_rr_sized, netperf_stream_sized};
 
 use crate::report::{f, render_table};
@@ -83,6 +84,10 @@ pub struct SweepSpec {
     pub vms: Vec<usize>,
     /// Message-size axis in bytes (RR response size / stream message size).
     pub msg_bytes: Vec<u64>,
+    /// Ring-layout axis. The default split-basic layout leaves scenario
+    /// keys (and thus seeds and the committed baseline) untouched; other
+    /// layouts suffix their keys with `/r<layout>`.
+    pub rings: Vec<RingConfig>,
     /// Base seed; each scenario derives `scenario_seed(base_seed, key)`.
     pub base_seed: u64,
     /// Measurement window per scenario.
@@ -194,6 +199,7 @@ impl SweepSpec {
             workers: vec![1, 2],
             vms: vec![1, 2],
             msg_bytes: vec![64],
+            rings: vec![rc.ring],
             base_seed: 1,
             duration: rc.duration / 4,
             service_jitter: 0.02,
@@ -212,6 +218,7 @@ impl SweepSpec {
             workers: (1..=8).collect(),
             vms: vec![1, 2, 4, 7],
             msg_bytes: vec![64],
+            rings: vec![rc.ring],
             base_seed: 1,
             duration: rc.duration / 2,
             service_jitter: 0.02,
@@ -230,6 +237,7 @@ impl SweepSpec {
             workers: vec![1, 2, 4],
             vms: vec![2],
             msg_bytes: vec![64, 256, 1024, 4096],
+            rings: vec![rc.ring],
             base_seed: 1,
             duration: rc.duration / 2,
             service_jitter: 0.02,
@@ -246,12 +254,13 @@ impl SweepSpec {
     /// Expands the grid into scenarios, in a fixed axis-major order that
     /// does not depend on how the sweep will be scheduled.
     pub fn expand(&self) -> Result<Vec<Scenario>, SweepError> {
-        let axes: [(&'static str, bool); 5] = [
+        let axes: [(&'static str, bool); 6] = [
             ("workloads", self.workloads.is_empty()),
             ("models", self.models.is_empty()),
             ("workers", self.workers.is_empty()),
             ("vms", self.vms.is_empty()),
             ("msg_bytes", self.msg_bytes.is_empty()),
+            ("rings", self.rings.is_empty()),
         ];
         for (axis, empty) in axes {
             if empty {
@@ -285,29 +294,32 @@ impl SweepSpec {
                 for &workers in &self.workers {
                     for &vms in &self.vms {
                         for &msg_bytes in &self.msg_bytes {
-                            let s = Scenario {
-                                workload,
-                                model,
-                                workers,
-                                vms,
-                                msg_bytes,
-                                seed: 0,
-                                duration: self.duration,
-                                service_jitter: self.service_jitter,
-                                oracle: self.oracle,
-                                telemetry: self.telemetry,
-                            };
-                            let key = s.key();
-                            if !seen.insert(key.clone()) {
-                                return Err(SweepError::DuplicateKey {
-                                    spec: self.name.clone(),
-                                    key,
+                            for &ring in &self.rings {
+                                let s = Scenario {
+                                    workload,
+                                    model,
+                                    workers,
+                                    vms,
+                                    msg_bytes,
+                                    ring,
+                                    seed: 0,
+                                    duration: self.duration,
+                                    service_jitter: self.service_jitter,
+                                    oracle: self.oracle,
+                                    telemetry: self.telemetry,
+                                };
+                                let key = s.key();
+                                if !seen.insert(key.clone()) {
+                                    return Err(SweepError::DuplicateKey {
+                                        spec: self.name.clone(),
+                                        key,
+                                    });
+                                }
+                                scenarios.push(Scenario {
+                                    seed: scenario_seed(self.base_seed, &key),
+                                    ..s
                                 });
                             }
-                            scenarios.push(Scenario {
-                                seed: scenario_seed(self.base_seed, &key),
-                                ..s
-                            });
                         }
                     }
                 }
@@ -331,6 +343,8 @@ pub struct Scenario {
     pub vms: usize,
     /// Message size in bytes.
     pub msg_bytes: u64,
+    /// Negotiated ring layout for every VM in the scenario.
+    pub ring: RingConfig,
     /// Derived per-scenario seed (`scenario_seed(base, key)`).
     pub seed: u64,
     /// Measurement window.
@@ -345,22 +359,31 @@ pub struct Scenario {
 
 impl Scenario {
     /// The scenario's stable identity: `workload/model/wW/vV/bB`. Seeds,
-    /// baseline matching and dedup all key off this string.
+    /// baseline matching and dedup all key off this string. Non-default
+    /// ring layouts append `/r<layout>`; the split-basic default appends
+    /// nothing, so the committed baseline's keys (and every derived seed)
+    /// are untouched by the ring axis.
     pub fn key(&self) -> String {
-        format!(
+        let mut key = format!(
             "{}/{}/w{}/v{}/b{}",
             self.workload.name(),
             model_slug(self.model),
             self.workers,
             self.vms,
             self.msg_bytes
-        )
+        );
+        if self.ring != RingConfig::split_basic() {
+            key.push_str("/r");
+            key.push_str(self.ring.name());
+        }
+        key
     }
 
     /// The testbed configuration this scenario runs.
     pub fn config(&self) -> TestbedConfig {
         let mut c = TestbedConfig::simple(self.model, self.vms)
             .with_backend_cores(self.workers)
+            .with_ring(self.ring)
             .with_seed(self.seed)
             .with_jitter(self.service_jitter);
         if self.oracle {
@@ -913,6 +936,7 @@ mod tests {
         ReproConfig {
             duration: SimDuration::millis(8),
             tail_duration: SimDuration::millis(8),
+            ring: vrio_virtio::RingConfig::split_basic(),
         }
     }
 
@@ -924,6 +948,7 @@ mod tests {
             workers: vec![1, 2],
             vms: vec![1],
             msg_bytes: vec![64],
+            rings: vec![RingConfig::split_basic()],
             base_seed: 1,
             duration: SimDuration::millis(4),
             service_jitter: 0.02,

@@ -7,6 +7,7 @@ use std::fmt::Write as _;
 use vrio::{EncryptionService, Testbed, TestbedConfig};
 use vrio_hv::{table3_expected, IoModel};
 use vrio_sim::SimDuration;
+use vrio_virtio::RingConfig;
 use vrio_workloads::{
     netperf_rr, netperf_stream, run_filebench, run_filebench_with, run_txn_bench, tail_percentiles,
     Personality, TxnProfile,
@@ -21,6 +22,11 @@ pub struct ReproConfig {
     pub duration: SimDuration,
     /// Longer window for the tail-latency table (needs ~10^5 samples).
     pub tail_duration: SimDuration,
+    /// Negotiated virtqueue layout for every VM in every experiment. The
+    /// default (`split-basic`) reproduces the seed byte-for-byte; `repro
+    /// --ring packed` re-runs the whole evaluation over packed rings with
+    /// indirect descriptors.
+    pub ring: RingConfig,
 }
 
 impl ReproConfig {
@@ -29,6 +35,7 @@ impl ReproConfig {
         ReproConfig {
             duration: SimDuration::millis(60),
             tail_duration: SimDuration::millis(800),
+            ring: RingConfig::split_basic(),
         }
     }
 
@@ -37,19 +44,20 @@ impl ReproConfig {
         ReproConfig {
             duration: SimDuration::millis(300),
             tail_duration: SimDuration::secs(5),
+            ring: RingConfig::split_basic(),
         }
     }
 }
 
-fn cfg(model: IoModel, vms: usize) -> TestbedConfig {
-    TestbedConfig::simple(model, vms)
+fn cfg(rc: ReproConfig, model: IoModel, vms: usize) -> TestbedConfig {
+    TestbedConfig::simple(model, vms).with_ring(rc.ring)
 }
 
 /// Table 3: exits/interrupts per request-response, all five models.
 pub fn tab3(rc: ReproConfig) -> String {
     let mut rows = Vec::new();
     for model in IoModel::ALL {
-        let r = netperf_rr(cfg(model, 1), rc.duration / 4);
+        let r = netperf_rr(cfg(rc, model, 1), rc.duration / 4);
         let per = |v: u64| (v as f64 / r.completed as f64).round() as u64;
         let e = table3_expected(model);
         let measured = [
@@ -98,7 +106,7 @@ pub fn fig7(rc: ReproConfig) -> String {
             IoModel::Elvis,
             IoModel::Optimum,
         ] {
-            let mut c = cfg(model, n);
+            let mut c = cfg(rc, model, n);
             c.service_jitter = 0.02; // break the closed-loop phase lock
             let r = netperf_rr(c, rc.duration);
             row.push(f(r.mean_latency_us));
@@ -121,9 +129,9 @@ pub fn fig7(rc: ReproConfig) -> String {
 pub fn fig8(rc: ReproConfig) -> String {
     let mut rows = Vec::new();
     for n in 1..=7usize {
-        let mut cv = cfg(IoModel::Vrio, n);
+        let mut cv = cfg(rc, IoModel::Vrio, n);
         cv.service_jitter = 0.02;
-        let mut co = cfg(IoModel::Optimum, n);
+        let mut co = cfg(rc, IoModel::Optimum, n);
         co.service_jitter = 0.02;
         let rv = netperf_rr(cv, rc.duration);
         let ro = netperf_rr(co, rc.duration);
@@ -151,7 +159,7 @@ pub fn tab4(rc: ReproConfig) -> String {
         vec!["100%".into()],
     ];
     for model in [IoModel::Optimum, IoModel::Elvis, IoModel::Vrio] {
-        let c = cfg(model, 1).with_tails();
+        let c = cfg(rc, model, 1).with_tails();
         let r = netperf_rr(c, rc.tail_duration);
         let p = tail_percentiles(&r.histogram);
         for (i, &(_, v)) in p.iter().enumerate() {
@@ -176,7 +184,7 @@ pub fn fig9(rc: ReproConfig) -> String {
     for n in 1..=7usize {
         let mut row = vec![n.to_string()];
         for model in IoModel::MAIN {
-            let r = netperf_stream(cfg(model, n), rc.duration);
+            let r = netperf_stream(cfg(rc, model, n), rc.duration);
             row.push(f(r.gbps));
         }
         rows.push(row);
@@ -192,10 +200,10 @@ pub fn fig9(rc: ReproConfig) -> String {
 
 /// Figure 10: per-packet processing cycles at N=1.
 pub fn fig10(rc: ReproConfig) -> String {
-    let opt = netperf_stream(cfg(IoModel::Optimum, 1), rc.duration).cycles_per_msg;
+    let opt = netperf_stream(cfg(rc, IoModel::Optimum, 1), rc.duration).cycles_per_msg;
     let mut rows = Vec::new();
     for model in IoModel::MAIN {
-        let r = netperf_stream(cfg(model, 1), rc.duration);
+        let r = netperf_stream(cfg(rc, model, 1), rc.duration);
         rows.push(vec![
             model.to_string(),
             f(r.cycles_per_msg),
@@ -214,10 +222,10 @@ pub fn fig10(rc: ReproConfig) -> String {
 /// Figure 11: the optimum with equalized cores (8 VMs on 8 cores).
 pub fn fig11(rc: ReproConfig) -> String {
     let mut rows = Vec::new();
-    let opt8 = netperf_stream(cfg(IoModel::Optimum, 8), rc.duration);
+    let opt8 = netperf_stream(cfg(rc, IoModel::Optimum, 8), rc.duration);
     rows.push(vec!["optimum 8vms".into(), f(opt8.gbps), "0%".into()]);
     for model in IoModel::MAIN {
-        let r = netperf_stream(cfg(model, 7), rc.duration);
+        let r = netperf_stream(cfg(rc, model, 7), rc.duration);
         rows.push(vec![
             format!("{model} (7 vms)"),
             f(r.gbps),
@@ -237,7 +245,7 @@ pub fn fig5(rc: ReproConfig) -> String {
     for n in 1..=7usize {
         let mut row = vec![n.to_string()];
         for model in IoModel::ALL {
-            let mut c = cfg(model, n);
+            let mut c = cfg(rc, model, n);
             c.service_jitter = 0.02;
             let r = run_txn_bench(c, TxnProfile::apache(), rc.duration);
             row.push(f(r.tps / 1000.0));
@@ -271,7 +279,7 @@ pub fn fig12(rc: ReproConfig) -> String {
         for n in 1..=7usize {
             let mut row = vec![n.to_string()];
             for model in IoModel::MAIN {
-                let mut c = cfg(model, n);
+                let mut c = cfg(rc, model, n);
                 c.service_jitter = 0.02;
                 let r = run_txn_bench(c, profile, rc.duration);
                 row.push(f(r.ktps));
@@ -300,7 +308,7 @@ pub fn fig13(rc: ReproConfig) -> String {
     for &n in &ns {
         let mut row = vec![n.to_string()];
         for sidecores in [1usize, 2, 4] {
-            let mut c = cfg(IoModel::Vrio, n);
+            let mut c = cfg(rc, IoModel::Vrio, n);
             c.num_vmhosts = 4;
             c.backend_cores = sidecores;
             c.numa_generators = true;
@@ -320,7 +328,7 @@ pub fn fig13(rc: ReproConfig) -> String {
     for &n in &ns {
         let mut row = vec![n.to_string()];
         for sidecores in [1usize, 2, 4] {
-            let mut c = cfg(IoModel::Vrio, n);
+            let mut c = cfg(rc, IoModel::Vrio, n);
             c.num_vmhosts = 4;
             c.backend_cores = sidecores;
             // Four generator machines: lift the single-machine ceiling.
@@ -354,7 +362,7 @@ pub fn fig14(rc: ReproConfig) -> String {
             let mut row = vec![n.to_string()];
             for model in [IoModel::Elvis, IoModel::Vrio, IoModel::Baseline] {
                 let r = run_filebench(
-                    cfg(model, n),
+                    cfg(rc, model, n),
                     Personality::RandomIo { readers, writers },
                     rc.duration,
                 );
@@ -380,10 +388,10 @@ pub fn fig15(rc: ReproConfig) -> String {
          (2 VMhosts x 5 VMs; Elvis: one sidecore per host; vRIO: one\n\
          consolidated sidecore at the IOhost)\n\n",
     );
-    let mut ce = cfg(IoModel::Elvis, 10);
+    let mut ce = cfg(rc, IoModel::Elvis, 10);
     ce.num_vmhosts = 2;
     let re = run_filebench(ce, Personality::Webserver { bursty: true }, dur);
-    let mut cv = cfg(IoModel::Vrio, 10);
+    let mut cv = cfg(rc, IoModel::Vrio, 10);
     cv.num_vmhosts = 2;
     cv.backend_cores = 1;
     let rv = run_filebench(cv, Personality::Webserver { bursty: true }, dur);
@@ -430,7 +438,7 @@ pub fn fig16(rc: ReproConfig) -> String {
         (IoModel::Vrio, 1),
         (IoModel::Baseline, 1),
     ] {
-        let mut c = cfg(model, 10);
+        let mut c = cfg(rc, model, 10);
         c.num_vmhosts = 2;
         c.backend_cores = backends;
         let r = run_filebench(c, Personality::Webserver { bursty: false }, dur);
@@ -450,7 +458,7 @@ pub fn fig16(rc: ReproConfig) -> String {
     // (b) imbalance 2 => 2: one VMhost active with AES-256 interposition;
     // elvis can only use its local sidecore, vrio brings both to bear.
     let key = [0x42u8; 32];
-    let mut ce = cfg(IoModel::Elvis, 5);
+    let mut ce = cfg(rc, IoModel::Elvis, 5);
     ce.backend_cores = 1;
     let re = run_filebench_with(
         ce,
@@ -460,7 +468,7 @@ pub fn fig16(rc: ReproConfig) -> String {
             tb.chain.push(Box::new(EncryptionService::new(key)));
         },
     );
-    let mut cv = cfg(IoModel::Vrio, 5);
+    let mut cv = cfg(rc, IoModel::Vrio, 5);
     cv.backend_cores = 2;
     let rv = run_filebench_with(
         cv,
@@ -501,7 +509,7 @@ pub fn hetero(rc: ReproConfig) -> String {
         // The testbed's data path is identical for every flavor — that is
         // precisely the point. Measure it and show the equality.
         let client = IoClient::new(0, flavor);
-        let r = netperf_stream(cfg(IoModel::Vrio, 1), rc.duration / 2);
+        let r = netperf_stream(cfg(rc, IoModel::Vrio, 1), rc.duration / 2);
         rows.push(vec![
             format!("{flavor:?}"),
             client.flavor().arch().into(),
@@ -534,7 +542,7 @@ pub fn failover(rc: ReproConfig) -> String {
     let horizon = rc.duration * 2u64;
     let fail_at = SimTime::ZERO + horizon / 3;
     let recover_at = SimTime::ZERO + (horizon * 2u64) / 3;
-    let mut cfg = cfg(IoModel::Vrio, 2);
+    let mut cfg = cfg(rc, IoModel::Vrio, 2);
     cfg.iohost_fails_at = Some(fail_at);
     cfg.iohost_recovers_at = Some(recover_at);
     let mut tb = vrio::Testbed::new(cfg);
@@ -673,7 +681,7 @@ pub fn retx_validation(rc: ReproConfig) -> String {
         ("2% loss, Rx=4096", 0.02, vrio_net::RX_RING_LARGE as u64),
         ("2% loss, Rx=512", 0.02, vrio_net::RX_RING_DEFAULT as u64),
     ] {
-        let mut c = cfg(IoModel::Vrio, 2);
+        let mut c = cfg(rc, IoModel::Vrio, 2);
         c.channel_loss = loss;
         c.iohost_rx_ring = ring;
         let r = run_filebench(
@@ -700,6 +708,129 @@ pub fn retx_validation(rc: ReproConfig) -> String {
     out
 }
 
+/// Ring-layout ablation: drives the same batched guest↔device traffic over
+/// every negotiated layout and reports the doorbell/interrupt economics —
+/// kicks, completion signals, how many of each the suppression machinery
+/// elided, and the resulting suppressed-exit ratio (the fraction of
+/// would-be notifications that never became exits). Packed rings with
+/// indirect descriptors must come out strictly cheaper than the seed's
+/// split-basic layout on batched traffic; this function asserts it.
+pub fn rings(rc: ReproConfig) -> String {
+    use bytes::Bytes;
+    use vrio_block::{BlockKind, BlockRequest};
+    use vrio_hv::{Vm, VmId};
+
+    // Scale rounds with the preset, but keep the quick preset snappy.
+    let rounds = (rc.duration.as_nanos() / SimDuration::micros(500).as_nanos()).clamp(32, 512);
+    const BATCH: usize = 24; // chains published per doorbell opportunity
+
+    let mut out = String::from(
+        "Ring-layout ablation — batched net tx/rx + blk write traffic, identical\n\
+         per layout; only the notification economics may differ\n\n",
+    );
+    let mut rows = Vec::new();
+    let mut summary = Vec::new();
+    for ring in [
+        RingConfig::split_basic(),
+        RingConfig::split_event_idx(),
+        RingConfig::packed(),
+    ] {
+        let mut vm = Vm::with_rings(VmId(0), ring);
+        let payload = [0x5au8; 1024];
+        for round in 0..rounds {
+            for i in 0..BATCH {
+                vm.net_send(&payload).expect("net tx ring has room");
+                let req = BlockRequest {
+                    id: vrio_block::RequestId(round * BATCH as u64 + i as u64),
+                    kind: BlockKind::Write,
+                    sector: i as u64 * 8,
+                    len: 512,
+                    data: Bytes::from_static(&[0xa5u8; 512]),
+                };
+                vm.blk_submit(&req).expect("blk ring has room");
+            }
+            while let Some((head, _hdr, _payload)) = vm.net_fetch_tx().expect("fetch tx") {
+                vm.net_complete_tx(head).expect("complete tx");
+            }
+            while let Some((head, _hdr, _data)) = vm.blk_fetch().expect("fetch blk") {
+                vm.blk_complete(head, vrio_virtio::BLK_S_OK, &[])
+                    .expect("complete blk");
+            }
+            assert_eq!(vm.net_reap_tx().expect("reap tx"), BATCH);
+            assert_eq!(vm.blk_reap().expect("reap blk").len(), BATCH);
+            vm.net_refill_rx().expect("refill rx");
+            for _ in 0..BATCH {
+                vm.net_deliver_rx(&payload).expect("deliver rx");
+            }
+            let mut rx = 0;
+            while vm.net_recv().expect("recv").is_some() {
+                rx += 1;
+            }
+            assert_eq!(rx, BATCH);
+        }
+        let ops = vm.ring_ops();
+        let notifications = ops.driver_kicks + ops.driver_signals;
+        let suppressed = ops.kicks_suppressed + ops.signals_suppressed;
+        let ratio = suppressed as f64 / (notifications + suppressed).max(1) as f64;
+        for a in vm.ring_audit() {
+            assert_eq!(
+                a.free_descriptors + a.pinned_descriptors as usize,
+                a.capacity as usize,
+                "{} descriptor books must balance after the run",
+                a.name
+            );
+            if let Some(ind) = a.indirect {
+                assert_eq!(ind.free + ind.in_use, ind.capacity, "indirect books");
+            }
+        }
+        rows.push(vec![
+            ring.name().to_string(),
+            ops.chains_published.to_string(),
+            ops.driver_kicks.to_string(),
+            ops.kicks_suppressed.to_string(),
+            ops.driver_signals.to_string(),
+            ops.signals_suppressed.to_string(),
+            format!("{:.1}%", ratio * 100.0),
+        ]);
+        summary.push((ring.name(), ops.chains_published, notifications));
+    }
+    out.push_str(&render_table(
+        &[
+            "layout",
+            "chains",
+            "kicks",
+            "kicks supp.",
+            "signals",
+            "signals supp.",
+            "suppressed-exit ratio",
+        ],
+        &rows,
+    ));
+    let (base_name, base_chains, base_notifs) = summary[0];
+    for &(name, chains, notifs) in &summary[1..] {
+        assert_eq!(
+            chains, base_chains,
+            "{name} must move exactly the chains {base_name} moved"
+        );
+        assert!(
+            notifs < base_notifs,
+            "{name} must notify strictly less than {base_name}: {notifs} vs {base_notifs}"
+        );
+    }
+    let packed_notifs = summary[2].2;
+    let _ = writeln!(
+        out,
+        "\nnotifications (kicks + signals): split-basic {base_notifs}, packed \
+         {packed_notifs} ({:.1}x fewer) for identical chain traffic",
+        base_notifs as f64 / packed_notifs.max(1) as f64,
+    );
+    out.push_str(
+        "\nevent-idx and packed layouts batch one doorbell per burst; every\n\
+         descriptor and indirect-table book balances exactly after the run\n",
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -709,8 +840,21 @@ mod tests {
         let rc = ReproConfig {
             duration: SimDuration::millis(10),
             tail_duration: SimDuration::millis(10),
+            ring: RingConfig::split_basic(),
         };
-        for report in [tab3(rc), fig10(rc), retx_validation(rc)] {
+        for report in [tab3(rc), fig10(rc), retx_validation(rc), rings(rc)] {
+            assert!(report.len() > 80, "{report}");
+        }
+    }
+
+    #[test]
+    fn reports_render_under_packed_rings_too() {
+        let rc = ReproConfig {
+            duration: SimDuration::millis(10),
+            tail_duration: SimDuration::millis(10),
+            ring: RingConfig::packed(),
+        };
+        for report in [tab3(rc), fig10(rc)] {
             assert!(report.len() > 80, "{report}");
         }
     }

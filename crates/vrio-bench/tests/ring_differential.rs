@@ -1,0 +1,94 @@
+//! Split↔packed differential conformance, integration-level: a
+//! representative slice of the `repro --differential` grid run as a test,
+//! plus the split-eventidx layout (which the binary's pair runner skips —
+//! it diffs the two extremes) proven digest-identical to split-basic.
+//!
+//! The full 42-case grid runs in CI via `repro --quick --differential`;
+//! these tests keep the conformance property in `cargo test` at a
+//! duration short enough for the tier-1 gate.
+
+use vrio_bench::{all_cases, run_case, run_pair, DiffCase, DiffFault, DiffWorkload};
+use vrio_hv::IoModel;
+use vrio_sim::SimDuration;
+use vrio_virtio::RingConfig;
+
+const DUR: SimDuration = SimDuration::millis(6);
+
+#[test]
+fn rr_conforms_under_every_fault_regime() {
+    // The latency surface: closed-loop RR over the real net rings, clean
+    // and under active Gilbert–Elliott loss. A digest mismatch names the
+    // observable that moved.
+    for fault in [DiffFault::Clean, DiffFault::GeStorm, DiffFault::Loss] {
+        let case = DiffCase {
+            model: IoModel::Vrio,
+            workload: DiffWorkload::Rr,
+            fault,
+        };
+        let p = run_pair(&case, DUR).unwrap();
+        assert!(p.packed_notifs <= p.split_notifs, "{}", p.label);
+    }
+}
+
+#[test]
+fn filebench_write_chains_conform_with_indirect_tables() {
+    // 3-segment block write chains are exactly what indirect descriptor
+    // tables compress under packed negotiation; the digest (ops/s, MB/s,
+    // scheduler switches, reliability counters) must not notice.
+    let case = DiffCase {
+        model: IoModel::Vrio,
+        workload: DiffWorkload::Filebench,
+        fault: DiffFault::GeStorm,
+    };
+    run_pair(&case, DUR).unwrap();
+}
+
+#[test]
+fn every_model_conforms_on_clean_rr() {
+    for &model in &IoModel::ALL {
+        let case = DiffCase {
+            model,
+            workload: DiffWorkload::Rr,
+            fault: DiffFault::Clean,
+        };
+        run_pair(&case, DUR).unwrap();
+    }
+}
+
+#[test]
+fn split_eventidx_is_digest_identical_to_split_basic() {
+    // EVENT_IDX changes only when notifications fire, never what the
+    // guest observes — same law as packed, proven against the middle
+    // layout the pair runner doesn't cover.
+    let case = DiffCase {
+        model: IoModel::Vrio,
+        workload: DiffWorkload::Rr,
+        fault: DiffFault::Loss,
+    };
+    let (basic, basic_ops) = run_case(&case, RingConfig::split_basic(), DUR);
+    let (eventidx, eventidx_ops) = run_case(&case, RingConfig::split_event_idx(), DUR);
+    assert_eq!(basic, eventidx, "split-eventidx changed an observable");
+    assert_eq!(basic_ops.chains_published, eventidx_ops.chains_published);
+    assert_eq!(basic_ops.used_reaped, eventidx_ops.used_reaped);
+    let basic_notifs = basic_ops.driver_kicks + basic_ops.driver_signals;
+    let eventidx_notifs = eventidx_ops.driver_kicks + eventidx_ops.driver_signals;
+    assert!(
+        eventidx_notifs <= basic_notifs,
+        "eventidx notified more than kick-always: {eventidx_notifs} vs {basic_notifs}"
+    );
+}
+
+#[test]
+fn the_grid_covers_every_model_and_fault() {
+    let cases = all_cases();
+    for &model in &IoModel::ALL {
+        assert!(cases.iter().any(|c| c.model == model), "{model} missing");
+    }
+    for fault in [DiffFault::Clean, DiffFault::GeStorm, DiffFault::Loss] {
+        assert!(cases.iter().any(|c| c.fault == fault));
+    }
+    // Every case but SRIOV-filebench (no paravirtual block path) is in.
+    assert!(!cases
+        .iter()
+        .any(|c| c.model == IoModel::Optimum && c.workload == DiffWorkload::Filebench));
+}

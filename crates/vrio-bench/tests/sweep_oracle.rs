@@ -15,6 +15,7 @@ fn tiny_spec() -> SweepSpec {
         workers: vec![1, 2],
         vms: vec![1, 2],
         msg_bytes: vec![64],
+        rings: vec![vrio_virtio::RingConfig::split_basic()],
         base_seed: 7,
         duration: SimDuration::millis(4),
         service_jitter: 0.02,
@@ -90,6 +91,7 @@ fn smoke_spec_runs_clean_under_the_oracle() {
     let rc = ReproConfig {
         duration: SimDuration::millis(8),
         tail_duration: SimDuration::millis(8),
+        ring: vrio_virtio::RingConfig::split_basic(),
     };
     let mut spec = SweepSpec::smoke(rc);
     spec.oracle = true;

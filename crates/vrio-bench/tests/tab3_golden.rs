@@ -17,6 +17,7 @@ fn tab3_counters_match_the_committed_golden_file() {
     let rc = ReproConfig {
         duration: SimDuration::millis(120),
         tail_duration: SimDuration::millis(120),
+        ring: vrio_virtio::RingConfig::split_basic(),
     };
     let actual = tab3(rc);
     let expected = include_str!("golden/tab3_quick.txt");

@@ -9,8 +9,8 @@ use std::collections::HashMap;
 use bytes::Bytes;
 use vrio_block::{BlockKind, BlockRequest, RequestId};
 use vrio_virtio::{
-    BlkHdr, BlkReqKind, DescChain, DeviceQueue, DriverQueue, GuestAddr, GuestMemory, NetHdr,
-    QueueError, RingOps, VirtqueueLayout, BLK_HDR_SIZE, BLK_S_OK, NET_HDR_SIZE,
+    ring_pair, BlkHdr, BlkReqKind, DescChain, DeviceRing, DriverRing, GuestAddr, GuestMemory,
+    IndirectAudit, NetHdr, QueueError, RingConfig, RingOps, BLK_HDR_SIZE, BLK_S_OK, NET_HDR_SIZE,
 };
 
 use crate::guest::GuestCpu;
@@ -130,10 +130,10 @@ const NET_SLOTS: u16 = 64;
 /// ```
 #[derive(Debug)]
 pub struct VirtioNetDevice {
-    tx_drv: DriverQueue,
-    tx_dev: DeviceQueue,
-    rx_drv: DriverQueue,
-    rx_dev: DeviceQueue,
+    tx_drv: DriverRing,
+    tx_dev: DeviceRing,
+    rx_drv: DriverRing,
+    rx_dev: DeviceRing,
     tx_pool: BufferPool,
     rx_pool: BufferPool,
     tx_slot_of_head: HashMap<u16, u16>,
@@ -145,23 +145,20 @@ pub struct VirtioNetDevice {
 }
 
 impl VirtioNetDevice {
-    fn new(mem_base: u64) -> (Self, u64) {
-        let tx_layout = VirtqueueLayout::new(NET_QSIZE, GuestAddr(mem_base));
-        let rx_layout = VirtqueueLayout::new(
-            NET_QSIZE,
-            GuestAddr(tx_layout.desc.0 + tx_layout.footprint()),
-        );
-        let pool_base = (rx_layout.desc.0 + rx_layout.footprint()).div_ceil(64) * 64;
+    fn new(ring: RingConfig, mem_base: u64) -> (Self, u64) {
+        let (tx_drv, tx_dev, tx_end) = ring_pair(ring, NET_QSIZE, GuestAddr(mem_base));
+        let (rx_drv, rx_dev, rx_end) = ring_pair(ring, NET_QSIZE, tx_end);
+        let pool_base = rx_end.0.div_ceil(64) * 64;
         let tx_pool = BufferPool::new(pool_base, NET_SLOT, NET_SLOTS);
         let rx_base = pool_base + NET_SLOT as u64 * u64::from(NET_SLOTS);
         let rx_pool = BufferPool::new(rx_base, NET_SLOT, NET_SLOTS);
         let end = rx_base + NET_SLOT as u64 * u64::from(NET_SLOTS);
         (
             VirtioNetDevice {
-                tx_drv: DriverQueue::new(tx_layout),
-                tx_dev: DeviceQueue::new(tx_layout),
-                rx_drv: DriverQueue::new(rx_layout),
-                rx_dev: DeviceQueue::new(rx_layout),
+                tx_drv,
+                tx_dev,
+                rx_drv,
+                rx_dev,
                 tx_pool,
                 rx_pool,
                 tx_slot_of_head: HashMap::new(),
@@ -190,8 +187,8 @@ struct PendingBlk {
 
 /// A paravirtual block device (driver + device halves).
 pub struct VirtioBlkDevice {
-    drv: DriverQueue,
-    dev: DeviceQueue,
+    drv: DriverRing,
+    dev: DeviceRing,
     pool: BufferPool,
     pending: HashMap<u16, PendingBlk>,
     /// Chains popped by the back-end, awaiting completion.
@@ -203,15 +200,15 @@ pub struct VirtioBlkDevice {
 }
 
 impl VirtioBlkDevice {
-    fn new(mem_base: u64) -> (Self, u64) {
-        let layout = VirtqueueLayout::new(BLK_QSIZE, GuestAddr(mem_base));
-        let pool_base = (layout.desc.0 + layout.footprint()).div_ceil(64) * 64;
+    fn new(ring: RingConfig, mem_base: u64) -> (Self, u64) {
+        let (drv, dev, ring_end) = ring_pair(ring, BLK_QSIZE, GuestAddr(mem_base));
+        let pool_base = ring_end.0.div_ceil(64) * 64;
         let pool = BufferPool::new(pool_base, BLK_SLOT, BLK_SLOTS);
         let end = pool_base + BLK_SLOT as u64 * u64::from(BLK_SLOTS);
         (
             VirtioBlkDevice {
-                drv: DriverQueue::new(layout),
-                dev: DeviceQueue::new(layout),
+                drv,
+                dev,
                 pool,
                 pending: HashMap::new(),
                 inflight_chains: HashMap::new(),
@@ -235,24 +232,37 @@ impl VirtioBlkDevice {
 pub struct QueueAudit {
     /// Which queue this is (`"net-tx"`, `"net-rx"`, `"blk"`).
     pub name: &'static str,
+    /// Negotiated ring layout (`"split"`, `"split-eventidx"`, `"packed"`).
+    pub layout: &'static str,
     /// Ring size in descriptors.
     pub capacity: u16,
     /// Descriptors currently on the driver's free list.
     pub free_descriptors: usize,
+    /// Main-ring descriptors currently allocated to published chains,
+    /// tracked incrementally by the driver. The conservation law
+    /// `free_descriptors + pinned_descriptors == capacity` holds for every
+    /// layout: an indirect chain pins exactly one main-ring slot, a direct
+    /// chain one per segment.
+    pub pinned_descriptors: u16,
     /// Chains published but not yet reaped by the driver.
     pub in_flight_chains: u16,
+    /// Indirect-table books, when `INDIRECT_DESC` is negotiated.
+    pub indirect: Option<IndirectAudit>,
     /// Operation counters of the driver half.
     pub driver: RingOps,
     /// Operation counters of the device half.
     pub device: RingOps,
 }
 
-fn audit_queue(name: &'static str, drv: &DriverQueue, dev: &DeviceQueue) -> QueueAudit {
+fn audit_queue(name: &'static str, drv: &DriverRing, dev: &DeviceRing) -> QueueAudit {
     QueueAudit {
         name,
-        capacity: drv.layout().size,
+        layout: drv.config().name(),
+        capacity: drv.capacity(),
         free_descriptors: drv.free_descriptors(),
+        pinned_descriptors: drv.pinned_descriptors(),
         in_flight_chains: drv.in_flight(),
+        indirect: drv.indirect_audit(),
         driver: drv.ops(),
         device: dev.ops(),
     }
@@ -278,24 +288,50 @@ pub struct Vm {
     pub mem: GuestMemory,
     /// The VCPU with context-switch accounting.
     pub cpu: GuestCpu,
+    ring: RingConfig,
     net: VirtioNetDevice,
     blk: VirtioBlkDevice,
 }
 
 impl Vm {
-    /// Creates a VM with the standard device layout.
+    /// Creates a VM with the standard device layout and the seed ring
+    /// configuration (split, no indirect tables, no event suppression).
     pub fn new(id: VmId) -> Self {
-        let (net, net_end) = VirtioNetDevice::new(0x1000);
-        let (blk, blk_end) = VirtioBlkDevice::new(net_end.div_ceil(4096) * 4096);
+        Self::with_rings(id, RingConfig::split_basic())
+    }
+
+    /// Creates a VM whose virtqueues use the negotiated `ring`
+    /// configuration. Guest memory is sized to fit whatever the layout
+    /// needs (packed event structs, indirect table regions).
+    pub fn with_rings(id: VmId, ring: RingConfig) -> Self {
+        let (net, net_end) = VirtioNetDevice::new(ring, 0x1000);
+        let (blk, blk_end) = VirtioBlkDevice::new(ring, net_end.div_ceil(4096) * 4096);
         let mem_size = (blk_end.div_ceil(4096) * 4096) as usize;
-        let _ = &blk;
         Vm {
             id,
             mem: GuestMemory::new(mem_size),
             cpu: GuestCpu::new(),
+            ring,
             net,
             blk,
         }
+    }
+
+    /// The negotiated ring configuration shared by all of this VM's queues.
+    pub fn ring_config(&self) -> RingConfig {
+        self.ring
+    }
+
+    /// Switches all device halves between polling mode (kicks suppressed —
+    /// the back-end spins on the avail state) and interrupt mode (kick
+    /// suppression re-armed), publishing the state to the rings' event
+    /// suppression structs. A no-op for split-basic rings, which have no
+    /// suppression machinery.
+    pub fn set_device_polling(&mut self, polling: bool) -> Result<(), DeviceError> {
+        self.net.tx_dev.set_polling(&mut self.mem, polling)?;
+        self.net.rx_dev.set_polling(&mut self.mem, polling)?;
+        self.blk.dev.set_polling(&mut self.mem, polling)?;
+        Ok(())
     }
 
     /// The net device's transmit/receive counters.
@@ -369,6 +405,7 @@ impl Vm {
         };
         self.net.tx_slot_of_head.insert(head, slot);
         self.net.tx_count += 1;
+        self.net.tx_drv.should_kick(&self.mem)?;
         Ok(head)
     }
 
@@ -384,6 +421,7 @@ impl Vm {
             self.net.tx_pool.release(slot);
             n += 1;
         }
+        self.net.tx_drv.arm(&mut self.mem)?;
         Ok(n)
     }
 
@@ -413,6 +451,9 @@ impl Vm {
                 }
             }
         }
+        if n > 0 {
+            self.net.rx_drv.should_kick(&self.mem)?;
+        }
         Ok(n)
     }
 
@@ -433,6 +474,7 @@ impl Vm {
         let payload = Bytes::copy_from_slice(&bytes[NET_HDR_SIZE.min(bytes.len())..]);
         self.net.rx_pool.release(slot);
         self.net.rx_count += 1;
+        self.net.rx_drv.arm(&mut self.mem)?;
         Ok(Some(payload))
     }
 
@@ -447,6 +489,7 @@ impl Vm {
     /// Back-end fetches one transmitted message: `(head, hdr, payload)`.
     pub fn net_fetch_tx(&mut self) -> Result<Option<(u16, NetHdr, Bytes)>, DeviceError> {
         let Some(chain) = self.net.tx_dev.pop_avail(&self.mem)? else {
+            self.net.tx_dev.arm(&mut self.mem)?;
             return Ok(None);
         };
         let bytes = chain.copy_readable(&self.mem)?;
@@ -458,12 +501,14 @@ impl Vm {
     /// Back-end completes a transmitted chain.
     pub fn net_complete_tx(&mut self, head: u16) -> Result<(), DeviceError> {
         self.net.tx_dev.push_used(&mut self.mem, head, 0)?;
+        self.net.tx_dev.should_signal(&self.mem)?;
         Ok(())
     }
 
     /// Back-end delivers a received packet into a posted rx buffer.
     pub fn net_deliver_rx(&mut self, payload: &[u8]) -> Result<(), DeviceError> {
         let Some(chain) = self.net.rx_dev.pop_avail(&self.mem)? else {
+            self.net.rx_dev.arm(&mut self.mem)?;
             return Err(DeviceError::RxStarved);
         };
         let mut buf = Vec::with_capacity(NET_HDR_SIZE + payload.len());
@@ -473,6 +518,7 @@ impl Vm {
         self.net
             .rx_dev
             .push_used(&mut self.mem, chain.head, written)?;
+        self.net.rx_dev.should_signal(&self.mem)?;
         Ok(())
     }
 
@@ -544,6 +590,7 @@ impl Vm {
             },
         );
         self.blk.submitted += 1;
+        self.blk.drv.should_kick(&self.mem)?;
         Ok(head)
     }
 
@@ -577,6 +624,7 @@ impl Vm {
                 data,
             });
         }
+        self.blk.drv.arm(&mut self.mem)?;
         Ok(done)
     }
 
@@ -590,6 +638,7 @@ impl Vm {
     /// Back-end fetches one block request: `(head, hdr, write payload)`.
     pub fn blk_fetch(&mut self) -> Result<Option<(u16, BlkHdr, Bytes)>, DeviceError> {
         let Some(chain) = self.blk.dev.pop_avail(&self.mem)? else {
+            self.blk.dev.arm(&mut self.mem)?;
             return Ok(None);
         };
         let readable = chain.copy_readable(&self.mem)?;
@@ -619,6 +668,7 @@ impl Vm {
         buf.push(status);
         let written = chain.write_writable(&mut self.mem, &buf)?;
         self.blk.dev.push_used(&mut self.mem, head, written)?;
+        self.blk.dev.should_signal(&self.mem)?;
         Ok(())
     }
 }
@@ -700,6 +750,65 @@ mod tests {
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].id, RequestId(5));
         assert_eq!(done[0].status, BLK_S_OK);
+    }
+
+    #[test]
+    fn every_ring_config_roundtrips_net_and_blk() {
+        for config in [
+            RingConfig::split_basic(),
+            RingConfig::split_event_idx(),
+            RingConfig::packed(),
+        ] {
+            let mut vm = Vm::with_rings(VmId(3), config);
+            assert_eq!(vm.ring_config(), config);
+            vm.net_refill_rx().unwrap();
+            vm.net_send(b"over any ring").unwrap();
+            let (head, _, payload) = vm.net_fetch_tx().unwrap().unwrap();
+            assert_eq!(&payload[..], b"over any ring", "{config}");
+            vm.net_complete_tx(head).unwrap();
+            assert_eq!(vm.net_reap_tx().unwrap(), 1, "{config}");
+            vm.net_deliver_rx(b"and back").unwrap();
+            assert_eq!(&vm.net_recv().unwrap().unwrap()[..], b"and back");
+
+            let req = BlockRequest::write(RequestId(1), 4, Bytes::from(vec![0x5A; 2048]));
+            vm.blk_submit(&req).unwrap();
+            let (head, _, data) = vm.blk_fetch().unwrap().unwrap();
+            assert_eq!(data.len(), 2048, "{config}");
+            vm.blk_complete(head, BLK_S_OK, &[]).unwrap();
+            assert_eq!(vm.blk_reap().unwrap().len(), 1, "{config}");
+
+            for audit in vm.ring_audit() {
+                assert_eq!(audit.layout, config.name());
+                assert_eq!(
+                    usize::from(audit.pinned_descriptors) + audit.free_descriptors,
+                    usize::from(audit.capacity),
+                    "{config}/{}",
+                    audit.name
+                );
+                if let Some(ind) = audit.indirect {
+                    assert_eq!(
+                        ind.free + ind.in_use,
+                        ind.capacity,
+                        "{config}/{}",
+                        audit.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn polling_mode_suppresses_kicks_on_suppression_layouts() {
+        let mut vm = Vm::with_rings(VmId(0), RingConfig::packed());
+        vm.set_device_polling(true).unwrap();
+        // First send may kick (reset state); subsequent sends must not.
+        vm.net_send(b"a").unwrap();
+        let before = vm.ring_ops().driver_kicks;
+        for _ in 0..4 {
+            vm.net_send(b"b").unwrap();
+        }
+        assert_eq!(vm.ring_ops().driver_kicks, before);
+        assert!(vm.ring_ops().kicks_suppressed >= 4);
     }
 
     #[test]

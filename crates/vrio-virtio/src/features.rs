@@ -19,10 +19,15 @@ pub enum Feature {
     NetHostTso4 = 1 << 11,
     /// virtio-blk: device has a volatile write cache (flush supported).
     BlkFlush = 1 << 9,
+    /// ring: multi-segment chains may ride one-slot indirect descriptor
+    /// tables (`VIRTIO_F_RING_INDIRECT_DESC`).
+    RingIndirectDesc = 1 << 28,
     /// ring: used_event / avail_event notification suppression.
     RingEventIdx = 1 << 29,
     /// virtio 1.0 compliance bit.
     Version1 = 1 << 32,
+    /// ring: the packed virtqueue layout (`VIRTIO_F_RING_PACKED`).
+    RingPacked = 1 << 34,
 }
 
 /// A set of feature bits.

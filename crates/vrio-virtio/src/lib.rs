@@ -54,6 +54,8 @@ mod blk;
 mod features;
 mod mem;
 mod net;
+mod packed;
+mod queue;
 mod ring;
 
 pub use blk::{
@@ -63,7 +65,15 @@ pub use blk::{
 pub use features::{Feature, FeatureSet};
 pub use mem::{GuestAddr, GuestMemory, MemError};
 pub use net::{NetHdr, GSO_NONE, GSO_TCPV4, NET_HDR_SIZE};
+pub use packed::{
+    PackedDeviceQueue, PackedDriverQueue, PackedLayout, PACKED_DESC_F_AVAIL, PACKED_DESC_F_USED,
+    RING_EVENT_FLAGS_DESC, RING_EVENT_FLAGS_DISABLE, RING_EVENT_FLAGS_ENABLE,
+};
+pub use queue::{
+    ring_pair, DeviceRing, DriverRing, IndirectAudit, IndirectTables, RingConfig, RingLayout,
+    MAX_INDIRECT_SEGS,
+};
 pub use ring::{
     vring_need_event, DescChain, DeviceQueue, DriverQueue, QueueError, RingOps, UsedElem,
-    VirtqueueLayout, DESC_F_NEXT, DESC_F_WRITE,
+    VirtqueueLayout, DESC_F_INDIRECT, DESC_F_NEXT, DESC_F_WRITE,
 };

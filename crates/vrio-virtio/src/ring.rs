@@ -19,8 +19,13 @@ use crate::mem::{GuestAddr, GuestMemory, MemError};
 pub const DESC_F_NEXT: u16 = 1;
 /// Descriptor flag: buffer is device-writable (an "in" buffer).
 pub const DESC_F_WRITE: u16 = 2;
+/// Descriptor flag: the buffer holds an indirect descriptor table
+/// (`VIRTIO_F_RING_INDIRECT_DESC`); `len / 16` table entries describe the
+/// actual chain, and the chain occupies one main-ring slot regardless of
+/// segment count.
+pub const DESC_F_INDIRECT: u16 = 4;
 
-const DESC_SIZE: u64 = 16;
+pub(crate) const DESC_SIZE: u64 = 16;
 
 /// Errors raised by virtqueue operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -220,6 +225,11 @@ pub struct RingOps {
     /// Driver interrupts due per EVENT_IDX
     /// ([`DeviceQueue::should_signal_driver`] returning `true`).
     pub driver_signals: u64,
+    /// Device notifications *elided* by event suppression — would-be exits
+    /// that the ring protocol absorbed (paper §2's exit-elimination budget).
+    pub kicks_suppressed: u64,
+    /// Driver interrupts elided by event suppression.
+    pub signals_suppressed: u64,
 }
 
 impl RingOps {
@@ -231,6 +241,8 @@ impl RingOps {
         self.chains_popped += other.chains_popped;
         self.used_pushed += other.used_pushed;
         self.driver_signals += other.driver_signals;
+        self.kicks_suppressed += other.kicks_suppressed;
+        self.signals_suppressed += other.signals_suppressed;
     }
 }
 
@@ -286,6 +298,10 @@ pub struct DriverQueue {
     /// The avail index as of the driver's last device notification
     /// (EVENT_IDX suppression state).
     last_notified_avail: u16,
+    /// Descriptors currently allocated out of the free list, tracked
+    /// incrementally (not derived from `free.len()`) so the audit law
+    /// `free + pinned == capacity` cross-checks the two books.
+    pinned: u16,
     ops: RingOps,
 }
 
@@ -300,6 +316,7 @@ impl DriverQueue {
             avail_idx: 0,
             last_used_idx: 0,
             last_notified_avail: 0,
+            pinned: 0,
             ops: RingOps::default(),
         }
     }
@@ -322,6 +339,13 @@ impl DriverQueue {
     /// Number of chains published but not yet reaped.
     pub fn in_flight(&self) -> u16 {
         self.avail_idx.wrapping_sub(self.last_used_idx)
+    }
+
+    /// Descriptors currently allocated out of the free list. The audit
+    /// invariant `free_descriptors() + pinned_descriptors() == size` holds
+    /// for every layout, direct or indirect.
+    pub fn pinned_descriptors(&self) -> u16 {
+        self.pinned
     }
 
     /// Publishes a descriptor chain of `readable` then `writable` buffers,
@@ -367,6 +391,7 @@ impl DriverQueue {
         }
         let head = indices[0];
         self.chain_len[usize::from(head)] = needed as u16;
+        self.pinned += needed as u16;
         // Publish: ring slot first, then the index increment (the write
         // ordering a real driver enforces with a memory barrier).
         let slot = self.avail_idx % self.layout.size;
@@ -375,6 +400,72 @@ impl DriverQueue {
         mem.write_u16_le(self.layout.avail_idx_addr(), self.avail_idx)?;
         self.ops.chains_published += 1;
         Ok(head)
+    }
+
+    /// Publishes a multi-segment chain through a one-slot *indirect*
+    /// descriptor table at `table` (`VIRTIO_F_RING_INDIRECT_DESC`): the
+    /// segments are written as a self-contained table in guest memory and
+    /// the main ring carries a single descriptor pointing at it, so the
+    /// chain costs one ring slot regardless of segment count.
+    ///
+    /// The caller owns the table memory (typically a slot from
+    /// [`crate::IndirectTables`]) and must keep it live until the chain is
+    /// reaped.
+    pub fn add_chain_indirect(
+        &mut self,
+        mem: &mut GuestMemory,
+        table: GuestAddr,
+        readable: &[(GuestAddr, u32)],
+        writable: &[(GuestAddr, u32)],
+    ) -> Result<u16, QueueError> {
+        let count = readable.len() + writable.len();
+        if count == 0 {
+            return Err(QueueError::EmptyChain);
+        }
+        if self.free.is_empty() {
+            return Err(QueueError::QueueFull { needed: 1, free: 0 });
+        }
+        // Table entries are ordinary split descriptors chained by position.
+        let bufs = readable
+            .iter()
+            .map(|&(a, l)| (a, l, 0u16))
+            .chain(writable.iter().map(|&(a, l)| (a, l, DESC_F_WRITE)));
+        for (i, (addr, len, wflag)) in bufs.enumerate() {
+            let is_last = i == count - 1;
+            let a = table.offset(i as u64 * DESC_SIZE);
+            mem.write_u64_le(a, addr.0)?;
+            mem.write_u32_le(a.offset(8), len)?;
+            mem.write_u16_le(a.offset(12), wflag | if is_last { 0 } else { DESC_F_NEXT })?;
+            mem.write_u16_le(a.offset(14), if is_last { 0 } else { i as u16 + 1 })?;
+        }
+        let head = self.free.pop().expect("checked non-empty");
+        write_desc(
+            mem,
+            &self.layout,
+            head,
+            Desc {
+                addr: table.0,
+                len: (count as u32) * DESC_SIZE as u32,
+                flags: DESC_F_INDIRECT,
+                next: 0,
+            },
+        )?;
+        self.chain_len[usize::from(head)] = 1;
+        self.pinned += 1;
+        let slot = self.avail_idx % self.layout.size;
+        mem.write_u16_le(self.layout.avail_ring_addr(slot), head)?;
+        self.avail_idx = self.avail_idx.wrapping_add(1);
+        mem.write_u16_le(self.layout.avail_idx_addr(), self.avail_idx)?;
+        self.ops.chains_published += 1;
+        Ok(head)
+    }
+
+    /// Unconditional device notification, for configurations *without*
+    /// `EVENT_IDX`: every submission batch ends in a kick (the exit budget
+    /// split-basic pays that suppression-capable layouts avoid).
+    pub fn kick_always(&mut self) {
+        self.last_notified_avail = self.avail_idx;
+        self.ops.driver_kicks += 1;
     }
 
     /// With `EVENT_IDX` negotiated: whether the driver must kick the
@@ -386,6 +477,8 @@ impl DriverQueue {
         if need {
             self.last_notified_avail = self.avail_idx;
             self.ops.driver_kicks += 1;
+        } else {
+            self.ops.kicks_suppressed += 1;
         }
         Ok(need)
     }
@@ -423,6 +516,7 @@ impl DriverQueue {
                 cur = read_desc(mem, &self.layout, cur)?.next;
             }
         }
+        self.pinned -= n;
         self.ops.used_reaped += 1;
         Ok(Some(UsedElem { head, written }))
     }
@@ -474,6 +568,67 @@ impl DescChain {
         }
         Ok(off as u32)
     }
+}
+
+/// Expands a split-format indirect descriptor table (entries chained by
+/// their `next` links, starting at entry 0) into `chain`'s buffer lists,
+/// with the same validation the main ring gets.
+fn expand_indirect_table(
+    mem: &GuestMemory,
+    table: GuestAddr,
+    table_len: u32,
+    chain: &mut DescChain,
+) -> Result<(), QueueError> {
+    if table_len == 0 || u64::from(table_len) % DESC_SIZE != 0 {
+        return Err(QueueError::BadChain(format!(
+            "indirect table length {table_len} not a positive multiple of 16"
+        )));
+    }
+    let count = (u64::from(table_len) / DESC_SIZE) as u16;
+    let entry = |i: u16| -> Result<Desc, QueueError> {
+        let a = table.offset(u64::from(i) * DESC_SIZE);
+        Ok(Desc {
+            addr: mem.read_u64_le(a)?,
+            len: mem.read_u32_le(a.offset(8))?,
+            flags: mem.read_u16_le(a.offset(12))?,
+            next: mem.read_u16_le(a.offset(14))?,
+        })
+    };
+    let mut cur = 0u16;
+    let mut seen = 0u16;
+    loop {
+        seen += 1;
+        if seen > count {
+            return Err(QueueError::BadChain("indirect table loop".into()));
+        }
+        let d = entry(cur)?;
+        if d.flags & DESC_F_INDIRECT != 0 {
+            return Err(QueueError::BadChain(
+                "nested indirect descriptor table".into(),
+            ));
+        }
+        let buf = (GuestAddr(d.addr), d.len);
+        if d.flags & DESC_F_WRITE != 0 {
+            chain.writable.push(buf);
+        } else if !chain.writable.is_empty() {
+            return Err(QueueError::BadChain(
+                "readable descriptor after writable in indirect table".into(),
+            ));
+        } else {
+            chain.readable.push(buf);
+        }
+        if d.flags & DESC_F_NEXT == 0 {
+            break;
+        }
+        if d.next >= count {
+            return Err(QueueError::BadChain(format!(
+                "indirect next index {} out of table range {count}",
+                d.next
+            )));
+        }
+        cur = d.next;
+    }
+    Ok(())
 }
 
 /// The device (back-end) side of a split virtqueue.
@@ -546,6 +701,22 @@ impl DeviceQueue {
                 return Err(QueueError::BadChain("descriptor loop".into()));
             }
             let d = read_desc(mem, &self.layout, cur)?;
+            if d.flags & DESC_F_INDIRECT != 0 {
+                // An indirect descriptor stands alone: the spec forbids
+                // combining it with NEXT, WRITE, or other chain members.
+                if seen != 1 {
+                    return Err(QueueError::BadChain(
+                        "indirect descriptor inside a chain".into(),
+                    ));
+                }
+                if d.flags & (DESC_F_NEXT | DESC_F_WRITE) != 0 {
+                    return Err(QueueError::BadChain(
+                        "indirect descriptor combines NEXT or WRITE".into(),
+                    ));
+                }
+                expand_indirect_table(mem, GuestAddr(d.addr), d.len, &mut chain)?;
+                break;
+            }
             let buf = (GuestAddr(d.addr), d.len);
             if d.flags & DESC_F_WRITE != 0 {
                 chain.writable.push(buf);
@@ -581,8 +752,17 @@ impl DeviceQueue {
         if need {
             self.last_signaled_used = self.used_idx;
             self.ops.driver_signals += 1;
+        } else {
+            self.ops.signals_suppressed += 1;
         }
         Ok(need)
+    }
+
+    /// Unconditional driver interrupt, for configurations without
+    /// `EVENT_IDX`: every completion batch ends in a signal.
+    pub fn signal_always(&mut self) {
+        self.last_signaled_used = self.used_idx;
+        self.ops.driver_signals += 1;
     }
 
     /// Publishes `avail_event`: "kick me once the avail index passes the
@@ -906,6 +1086,72 @@ mod tests {
         assert!(vring_need_event(0, 1, 0));
         // A huge batch crossing the event point.
         assert!(vring_need_event(10, 500, 5));
+    }
+
+    #[test]
+    fn indirect_chain_costs_one_slot_and_roundtrips() {
+        let (mut mem, mut drv, mut dev) = setup(4);
+        mem.write(GuestAddr(0x4000), b"abcdef").unwrap();
+        let table = GuestAddr(0x8000);
+        let head = drv
+            .add_chain_indirect(
+                &mut mem,
+                table,
+                &[(GuestAddr(0x4000), 3), (GuestAddr(0x4003), 3)],
+                &[(GuestAddr(0x5000), 8)],
+            )
+            .unwrap();
+        // Three segments, one main-ring descriptor.
+        assert_eq!(drv.free_descriptors(), 3);
+        assert_eq!(drv.pinned_descriptors(), 1);
+
+        let chain = dev.pop_avail(&mem).unwrap().unwrap();
+        assert_eq!(chain.head, head);
+        assert_eq!(chain.readable.len(), 2);
+        assert_eq!(chain.writable.len(), 1);
+        assert_eq!(chain.copy_readable(&mem).unwrap(), b"abcdef");
+        let n = chain.write_writable(&mut mem, b"RESPONSE").unwrap();
+        dev.push_used(&mut mem, chain.head, n).unwrap();
+
+        let used = drv.poll_used(&mem).unwrap().unwrap();
+        assert_eq!(used, UsedElem { head, written: 8 });
+        assert_eq!(drv.free_descriptors(), 4);
+        assert_eq!(drv.pinned_descriptors(), 0);
+        assert_eq!(mem.read(GuestAddr(0x5000), 8).unwrap(), b"RESPONSE");
+    }
+
+    #[test]
+    fn nested_indirect_table_rejected() {
+        let (mut mem, mut drv, mut dev) = setup(4);
+        let table = GuestAddr(0x8000);
+        drv.add_chain_indirect(&mut mem, table, &[(GuestAddr(0x4000), 4)], &[])
+            .unwrap();
+        // Corrupt the single table entry into another indirect descriptor.
+        mem.write_u16_le(table.offset(12), DESC_F_INDIRECT).unwrap();
+        let err = dev.pop_avail(&mem).unwrap_err();
+        assert!(matches!(err, QueueError::BadChain(_)));
+    }
+
+    #[test]
+    fn pinned_tracks_free_list_exactly() {
+        let (mut mem, mut drv, mut dev) = setup(8);
+        for _ in 0..3 {
+            drv.add_chain(
+                &mut mem,
+                &[(GuestAddr(0x4000), 4)],
+                &[(GuestAddr(0x5000), 4)],
+            )
+            .unwrap();
+            assert_eq!(
+                usize::from(drv.pinned_descriptors()) + drv.free_descriptors(),
+                8
+            );
+        }
+        while let Some(c) = dev.pop_avail(&mem).unwrap() {
+            dev.push_used(&mut mem, c.head, 0).unwrap();
+        }
+        while drv.poll_used(&mem).unwrap().is_some() {}
+        assert_eq!(drv.pinned_descriptors(), 0);
     }
 
     #[test]

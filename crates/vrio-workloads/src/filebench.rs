@@ -77,6 +77,8 @@ pub struct FilebenchResult {
     pub telemetry: vrio_trace::TelemetryExport,
     /// Wall-clock self-profile (empty when profiling was off).
     pub profile: vrio_sim::ProfReport,
+    /// Aggregated virtqueue operation counters for the run.
+    pub ring_ops: vrio::RingOps,
 }
 
 struct FbWorld {
@@ -400,6 +402,7 @@ pub fn run_filebench_with(
         oracle: world.tb.oracle.clone(),
         telemetry: world.tb.telemetry.export(),
         profile: world.tb.profiler.export(),
+        ring_ops: world.tb.ring_ops(),
     }
 }
 

@@ -2,7 +2,9 @@
 //! stream throughput benchmark (paper §5, Figures 7–11 and 13).
 
 use bytes::Bytes;
-use vrio::{net_request_response, stream_batch, HasTestbed, Oracle, Testbed, TestbedConfig};
+use vrio::{
+    net_request_response, stream_batch, HasTestbed, Oracle, RingOps, Testbed, TestbedConfig,
+};
 use vrio_hv::{EventCounters, ReliabilityCounters};
 use vrio_sim::{Engine, Histogram, ProfReport, SimDuration, SimTime};
 use vrio_trace::{SloLedger, TelemetryExport, Tracer};
@@ -37,6 +39,10 @@ pub struct RrResult {
     pub profile: ProfReport,
     /// Per-tenant SLO accounting and drop attribution for the run.
     pub slo: SloLedger,
+    /// Aggregated virtqueue operation counters (kicks, signals, and their
+    /// suppressed counterparts) — the only surface a ring-layout change is
+    /// allowed to alter.
+    pub ring_ops: RingOps,
 }
 
 struct RrWorld {
@@ -160,6 +166,7 @@ pub fn netperf_rr_sized(config: TestbedConfig, duration: SimDuration, resp_len: 
         telemetry: world.tb.telemetry.export(),
         profile: world.tb.profiler.export(),
         slo: world.tb.slo.clone(),
+        ring_ops: world.tb.ring_ops(),
         histogram: world.hist,
     }
 }
@@ -207,6 +214,8 @@ pub struct StreamResult {
     pub profile: ProfReport,
     /// Per-tenant SLO accounting and drop attribution for the run.
     pub slo: SloLedger,
+    /// Aggregated virtqueue operation counters for the run.
+    pub ring_ops: RingOps,
 }
 
 struct StreamWorld {
@@ -317,6 +326,7 @@ pub fn netperf_stream_sized(
         telemetry: world.tb.telemetry.export(),
         profile: world.tb.profiler.export(),
         slo: world.tb.slo.clone(),
+        ring_ops: world.tb.ring_ops(),
     }
 }
 

@@ -11,6 +11,8 @@
 
 use std::collections::HashMap;
 
+use vrio_sim::{SimDuration, SimTime};
+
 use crate::proto::DeviceId;
 
 /// Identifies a worker (sidecore) within the IOhost.
@@ -122,6 +124,175 @@ impl Steering {
             out[w.0].push((dev, pkt));
         }
         out
+    }
+}
+
+// ---- adaptive worker polling ---------------------------------------------
+
+/// Configuration of the poll↔interrupt switching of an IOhost worker.
+///
+/// Disabled by default: every arrival then raises a doorbell, exactly the
+/// seed behavior. When enabled, a worker polls its rings for up to
+/// [`AdaptivePollConfig::poll_window`] of idleness after the last activity
+/// before falling back to interrupt mode — arrivals during the window are
+/// absorbed without a doorbell (batched), arrivals after it pay one
+/// doorbell and re-enter polling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptivePollConfig {
+    /// Whether adaptive switching is active.
+    pub enabled: bool,
+    /// The poll budget: how long a polling worker spins past its last
+    /// activity before re-arming interrupts.
+    pub poll_window: SimDuration,
+}
+
+impl AdaptivePollConfig {
+    /// The seed behavior: no adaptive switching, every arrival kicks.
+    pub fn disabled() -> Self {
+        AdaptivePollConfig {
+            enabled: false,
+            poll_window: SimDuration::micros(50),
+        }
+    }
+
+    /// Adaptive switching with the given poll budget.
+    pub fn windowed(poll_window: SimDuration) -> Self {
+        AdaptivePollConfig {
+            enabled: true,
+            poll_window,
+        }
+    }
+}
+
+impl Default for AdaptivePollConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// Which notification regime a worker is currently in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PollMode {
+    /// The worker sleeps; the next arrival must ring a doorbell.
+    Interrupt,
+    /// The worker spins on its rings; arrivals need no doorbell.
+    Polling,
+}
+
+/// The per-worker poll↔interrupt state machine.
+///
+/// Pure and deterministic: the mode after any sequence of
+/// [`WorkerPoll::on_arrival`]/[`WorkerPoll::on_activity`] calls is a
+/// function of the event times alone — no randomness, no wall clock — so
+/// runs replay bit-identically per seed. Doorbell counts are monotone in
+/// the window: a doorbell fires only when the gap since the last activity
+/// exceeds [`AdaptivePollConfig::poll_window`], and the set of gaps
+/// exceeding the window can only shrink as the window grows.
+///
+/// # Examples
+///
+/// ```
+/// use vrio::{AdaptivePollConfig, PollMode, WorkerPoll};
+/// use vrio_sim::{SimDuration, SimTime};
+///
+/// let mut p = WorkerPoll::new(AdaptivePollConfig::windowed(SimDuration::micros(10)));
+/// let t = |us| SimTime::ZERO + SimDuration::micros(us);
+///
+/// assert!(p.on_arrival(t(0)), "first arrival rings the doorbell");
+/// assert_eq!(p.mode(), PollMode::Polling);
+/// assert!(!p.on_arrival(t(5)), "inside the window: absorbed");
+/// assert!(p.on_arrival(t(100)), "idle past the window: doorbell again");
+/// assert_eq!(p.doorbells, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkerPoll {
+    config: AdaptivePollConfig,
+    mode: PollMode,
+    last_activity: SimTime,
+    /// Interrupt→polling transitions (each cost one doorbell).
+    pub to_polling: u64,
+    /// Polling→interrupt fallbacks (idle past the poll window).
+    pub to_interrupt: u64,
+    /// Arrivals absorbed while polling, i.e. doorbells elided.
+    pub polled_arrivals: u64,
+    /// Doorbells actually rung (every arrival when disabled).
+    pub doorbells: u64,
+}
+
+impl WorkerPoll {
+    /// A worker starting in interrupt mode.
+    pub fn new(config: AdaptivePollConfig) -> Self {
+        WorkerPoll {
+            config,
+            mode: PollMode::Interrupt,
+            last_activity: SimTime::ZERO,
+            to_polling: 0,
+            to_interrupt: 0,
+            polled_arrivals: 0,
+            doorbells: 0,
+        }
+    }
+
+    /// The configuration this worker runs under.
+    pub fn config(&self) -> AdaptivePollConfig {
+        self.config
+    }
+
+    /// The current mode, as of the last observed event.
+    pub fn mode(&self) -> PollMode {
+        self.mode
+    }
+
+    /// Records a request arrival at `now`; returns whether the arrival
+    /// must ring a doorbell (always when switching is disabled).
+    pub fn on_arrival(&mut self, now: SimTime) -> bool {
+        if !self.config.enabled {
+            self.doorbells += 1;
+            return true;
+        }
+        self.check_idle(now);
+        self.last_activity = now;
+        match self.mode {
+            PollMode::Interrupt => {
+                self.mode = PollMode::Polling;
+                self.to_polling += 1;
+                self.doorbells += 1;
+                true
+            }
+            PollMode::Polling => {
+                self.polled_arrivals += 1;
+                false
+            }
+        }
+    }
+
+    /// Records ring work (a pickup, a completion push) at `now`, keeping
+    /// the poll window open.
+    pub fn on_activity(&mut self, now: SimTime) {
+        if !self.config.enabled {
+            return;
+        }
+        self.check_idle(now);
+        if self.mode == PollMode::Polling {
+            self.last_activity = now;
+        }
+    }
+
+    /// Advances the idle clock without recording activity (e.g. from a
+    /// telemetry sampler), applying the polling→interrupt fallback if the
+    /// window has lapsed.
+    pub fn tick(&mut self, now: SimTime) {
+        if self.config.enabled {
+            self.check_idle(now);
+        }
+    }
+
+    fn check_idle(&mut self, now: SimTime) {
+        if self.mode == PollMode::Polling && now.since(self.last_activity) > self.config.poll_window
+        {
+            self.mode = PollMode::Interrupt;
+            self.to_interrupt += 1;
+        }
     }
 }
 

@@ -89,7 +89,10 @@ pub use interpose::{
     InterpositionChain, InterpositionService, IntrusionDetectionService, MeteringService,
     RecordReplayService, Verdict,
 };
-pub use iohost::{ControlError, DeviceKind, DeviceRegistry, DeviceSpec, Steering, WorkerId};
+pub use iohost::{
+    AdaptivePollConfig, ControlError, DeviceKind, DeviceRegistry, DeviceSpec, PollMode, Steering,
+    WorkerId, WorkerPoll,
+};
 pub use oracle::{FlowToken, Oracle, OracleConfig, OracleReport, Violation};
 pub use proto::{DeviceId, VrioHdr, VrioMsg, VrioMsgKind, VRIO_HDR_SIZE};
 pub use testbed::{
@@ -99,3 +102,4 @@ pub use testbed::{
 pub use transport::{
     BlockRetx, ResponseAction, RetxConfig, RetxConfigError, RetxStats, TimeoutAction, TransportMode,
 };
+pub use vrio_virtio::{RingConfig, RingOps};

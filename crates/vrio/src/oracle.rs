@@ -323,9 +323,16 @@ impl Oracle {
     /// Checks one virtqueue snapshot against the conservation laws:
     /// nothing is popped before it is published, completed before it is
     /// popped, or reaped before it is completed; in-flight chains equal
-    /// published minus reaped; and the free list plus in-flight chains
-    /// never exceed the ring (each live chain pins at least one
-    /// descriptor). Called for every VM queue at every lifecycle mark.
+    /// published minus reaped; the free list plus in-flight chains never
+    /// exceed the ring (each live chain pins at least one descriptor); and
+    /// the exact law `free + pinned == capacity`, which holds for every
+    /// ring layout because the driver tracks pinned slots incrementally —
+    /// an indirect chain pins one main-ring slot, a direct chain one per
+    /// segment, so packed or indirect rings cannot silently bypass the
+    /// audit. When indirect tables are negotiated the table books are
+    /// checked too (`free + in_use == capacity` from two independently
+    /// maintained books). Called for every VM queue at every lifecycle
+    /// mark.
     pub fn audit_queue(&self, vm: usize, q: &QueueAudit) {
         let Some(inner) = &self.inner else { return };
         let mut i = inner.borrow_mut();
@@ -398,6 +405,55 @@ impl Oracle {
                     q.in_flight_chains
                 ),
             );
+        }
+        let pinned = usize::from(q.pinned_descriptors);
+        if q.free_descriptors + pinned != capacity {
+            let verdict = if q.free_descriptors + pinned < capacity {
+                "leaked — allocated but owned by no live chain and not on the free list"
+            } else {
+                "freed twice — on the free list while still pinned by a chain"
+            };
+            i.violate(
+                "descriptor-conservation",
+                format!(
+                    "{} (free {} + pinned {pinned} != capacity {capacity}) — the {} \
+                     ring's two books disagree: a main-ring descriptor was {verdict}",
+                    scope("free + pinned == capacity"),
+                    q.free_descriptors,
+                    q.layout
+                ),
+            );
+        }
+        if let Some(ind) = q.indirect {
+            let cap = u32::from(ind.capacity);
+            let sum = u32::from(ind.free) + u32::from(ind.in_use);
+            if sum < cap {
+                i.violate(
+                    "descriptor-conservation",
+                    format!(
+                        "{} (free {} + in-use {} < capacity {}) — an indirect table slot \
+                         leaked: a chain was reaped without releasing its table slot \
+                         back to the pool",
+                        scope("indirect free + in_use == capacity"),
+                        ind.free,
+                        ind.in_use,
+                        ind.capacity
+                    ),
+                );
+            } else if sum > cap {
+                i.violate(
+                    "descriptor-conservation",
+                    format!(
+                        "{} (free {} + in-use {} > capacity {}) — an indirect table \
+                         entry was double-freed: a slot sits on the free list while a \
+                         live chain still references it",
+                        scope("indirect free + in_use == capacity"),
+                        ind.free,
+                        ind.in_use,
+                        ind.capacity
+                    ),
+                );
+            }
         }
     }
 
@@ -650,7 +706,7 @@ impl Oracle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vrio_virtio::RingOps;
+    use vrio_virtio::{IndirectAudit, RingOps};
 
     fn on() -> Oracle {
         Oracle::new(&OracleConfig::on())
@@ -663,24 +719,31 @@ mod tests {
     fn healthy_queue() -> QueueAudit {
         QueueAudit {
             name: "net-tx",
+            layout: "split",
             capacity: 256,
             free_descriptors: 255,
+            pinned_descriptors: 1,
             in_flight_chains: 1,
+            indirect: None,
             driver: RingOps {
                 chains_published: 10,
                 used_reaped: 9,
                 driver_kicks: 10,
+                kicks_suppressed: 0,
                 chains_popped: 0,
                 used_pushed: 0,
                 driver_signals: 0,
+                signals_suppressed: 0,
             },
             device: RingOps {
                 chains_published: 0,
                 used_reaped: 0,
                 driver_kicks: 0,
+                kicks_suppressed: 0,
                 chains_popped: 10,
                 used_pushed: 9,
                 driver_signals: 9,
+                signals_suppressed: 0,
             },
         }
     }
@@ -771,6 +834,7 @@ mod tests {
         let o = on();
         let mut q = healthy_queue();
         q.free_descriptors = 256;
+        q.pinned_descriptors = 0;
         o.audit_queue(0, &q);
         let v = o.violations();
         assert_eq!(v.len(), 1, "{v:?}");
@@ -787,6 +851,89 @@ mod tests {
             v.iter().any(|v| v.message.contains("leaked or duplicated")),
             "{v:?}"
         );
+    }
+
+    #[test]
+    fn seeded_pinned_leak_fires_and_names_the_layout() {
+        let o = on();
+        let mut q = healthy_queue();
+        q.layout = "packed";
+        q.pinned_descriptors = 0; // one chain in flight yet nothing pinned
+        o.audit_queue(2, &q);
+        let v = o.violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].invariant, "descriptor-conservation");
+        assert!(v[0].message.contains("vm2/net-tx"), "{}", v[0].message);
+        assert!(v[0].message.contains("packed"), "{}", v[0].message);
+        assert!(v[0].message.contains("leaked"), "{}", v[0].message);
+
+        // The opposite book error: a pinned descriptor also on the free list.
+        let o = on();
+        let mut q = healthy_queue();
+        q.pinned_descriptors = 2;
+        o.audit_queue(0, &q);
+        let v = o.violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("freed twice"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn seeded_leaked_indirect_slot_fires() {
+        let o = on();
+        let mut q = healthy_queue();
+        q.indirect = Some(IndirectAudit {
+            capacity: 128,
+            free: 126,
+            in_use: 1,
+        });
+        o.audit_queue(1, &q);
+        let v = o.violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].invariant, "descriptor-conservation");
+        assert!(v[0].message.contains("vm1/net-tx"), "{}", v[0].message);
+        assert!(
+            v[0].message.contains("indirect table slot leaked"),
+            "{}",
+            v[0].message
+        );
+        assert!(
+            v[0].message.contains("without releasing"),
+            "{}",
+            v[0].message
+        );
+    }
+
+    #[test]
+    fn seeded_indirect_double_free_fires() {
+        let o = on();
+        let mut q = healthy_queue();
+        q.indirect = Some(IndirectAudit {
+            capacity: 128,
+            free: 128,
+            in_use: 1,
+        });
+        o.audit_queue(1, &q);
+        let v = o.violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("double-freed"), "{}", v[0].message);
+        assert!(
+            v[0].message.contains("free 128 + in-use 1 > capacity 128"),
+            "{}",
+            v[0].message
+        );
+    }
+
+    #[test]
+    fn clean_indirect_books_record_no_violations() {
+        let o = on();
+        let mut q = healthy_queue();
+        q.indirect = Some(IndirectAudit {
+            capacity: 128,
+            free: 127,
+            in_use: 1,
+        });
+        o.audit_queue(0, &q);
+        assert!(o.is_clean(), "{:?}", o.violations());
     }
 
     #[test]

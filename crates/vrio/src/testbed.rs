@@ -25,11 +25,14 @@ use vrio_trace::{
     DropCause, SloLedger, SpanId, Stage, Telemetry, TelemetryConfig, TraceConfig, Tracer,
 };
 
+use vrio_virtio::RingConfig;
+
 use crate::admission::{AdmissionConfig, AdmissionControl, Decision};
 use crate::health::{
     validate_outage_schedule, HealthConfig, HealthState, Outage, RedundancyMonitor, Route,
 };
 use crate::interpose::{Direction, InterpositionChain, Verdict};
+use crate::iohost::{AdaptivePollConfig, PollMode, WorkerPoll};
 use crate::oracle::{Oracle, OracleConfig};
 use crate::proto::{DeviceId, VrioMsg, VrioMsgKind};
 use crate::transport::{BlockRetx, ResponseAction, RetxConfig, TimeoutAction};
@@ -203,10 +206,23 @@ pub fn run_steps<W: HasTestbed>(
                     return;
                 }
             }
-            Step::RingPush(b) => w.tb().backends[b].pending += 1,
+            Step::RingPush(b) => {
+                let now = eng.now();
+                let tb = w.tb();
+                tb.backends[b].pending += 1;
+                let doorbell = tb.worker_poll[b].on_arrival(now);
+                if tb.config.adaptive_poll.enabled && doorbell {
+                    // In adaptive mode an interrupt-mode arrival pays a
+                    // physical IOhost interrupt; polled arrivals are free.
+                    tb.count(CounterKind::IohostIntr);
+                }
+            }
             Step::RingPop(b) => {
-                let p = &mut w.tb().backends[b].pending;
+                let now = eng.now();
+                let tb = w.tb();
+                let p = &mut tb.backends[b].pending;
                 *p = p.saturating_sub(1);
+                tb.worker_poll[b].on_activity(now);
             }
             Step::Mark(span, stage) => {
                 let now = eng.now();
@@ -323,6 +339,15 @@ pub struct TestbedConfig {
     /// this latency counts toward SLO attainment in the drop-attribution
     /// ledger.
     pub slo: SimDuration,
+    /// The negotiated virtqueue layout for every VM
+    /// (split/split-eventidx/packed, indirect tables). Split-basic by
+    /// default, which reproduces the seed byte-identically; other layouts
+    /// change only ring geometry and notification accounting, never
+    /// payloads or flow outcomes.
+    pub ring: RingConfig,
+    /// Adaptive poll↔interrupt switching for the backend workers.
+    /// Disabled by default (every arrival rings a doorbell, as before).
+    pub adaptive_poll: AdaptivePollConfig,
 }
 
 impl TestbedConfig {
@@ -360,6 +385,8 @@ impl TestbedConfig {
             telemetry: TelemetryConfig::off(),
             profile: false,
             slo: SimDuration::micros(200),
+            ring: RingConfig::split_basic(),
+            adaptive_poll: AdaptivePollConfig::disabled(),
         }
     }
 
@@ -460,6 +487,18 @@ impl TestbedConfig {
     /// Sets the per-tenant latency SLO threshold.
     pub fn with_slo(mut self, slo: SimDuration) -> Self {
         self.slo = slo;
+        self
+    }
+
+    /// Sets the virtqueue layout every VM negotiates.
+    pub fn with_ring(mut self, ring: RingConfig) -> Self {
+        self.ring = ring;
+        self
+    }
+
+    /// Sets the backend workers' adaptive poll configuration.
+    pub fn with_adaptive_poll(mut self, poll: AdaptivePollConfig) -> Self {
+        self.adaptive_poll = poll;
         self
     }
 }
@@ -604,6 +643,9 @@ pub struct Testbed {
     /// counters plus a log histogram — no RNG, no events — so it cannot
     /// perturb the simulation.
     pub slo: SloLedger,
+    /// Per-backend-worker poll↔interrupt state machines. Inert (pure
+    /// counting) when [`TestbedConfig::adaptive_poll`] is disabled.
+    pub worker_poll: Vec<WorkerPoll>,
 }
 
 impl Testbed {
@@ -613,7 +655,7 @@ impl Testbed {
         let mut rng = SimRng::seed_from(config.seed);
         let vms: Vec<Vm> = (0..config.num_vms)
             .map(|i| {
-                let mut vm = Vm::new(VmId(i));
+                let mut vm = Vm::with_rings(VmId(i), config.ring);
                 vm.net_refill_rx().expect("fresh VM rx refill");
                 vm
             })
@@ -724,6 +766,9 @@ impl Testbed {
             telemetry,
             profiler,
             slo,
+            worker_poll: (0..n_backends)
+                .map(|_| WorkerPoll::new(config.adaptive_poll))
+                .collect(),
             config,
         }
     }
@@ -2576,6 +2621,26 @@ impl Testbed {
         for (b, be) in self.backends.iter().enumerate() {
             tm.gauge(&format!("backend.{b}.pending"), now, be.pending as f64);
         }
+        for (b, wp) in self.worker_poll.iter().enumerate() {
+            tm.gauge(
+                &format!("poll.backend{b}.mode"),
+                now,
+                match wp.mode() {
+                    PollMode::Interrupt => 0.0,
+                    PollMode::Polling => 1.0,
+                },
+            );
+            tm.counter(
+                &format!("poll.backend{b}.doorbells"),
+                now,
+                wp.doorbells as f64,
+            );
+            tm.counter(
+                &format!("poll.backend{b}.polled"),
+                now,
+                wp.polled_arrivals as f64,
+            );
+        }
         for (v, vm) in self.vms.iter().enumerate() {
             for q in vm.ring_audit() {
                 tm.gauge(
@@ -2587,6 +2652,16 @@ impl Testbed {
                     &format!("ring.vm{v}.{}.inflight", q.name),
                     now,
                     f64::from(q.in_flight_chains),
+                );
+                tm.counter(
+                    &format!("ring.vm{v}.{}.kicks_suppressed", q.name),
+                    now,
+                    q.driver.kicks_suppressed as f64,
+                );
+                tm.counter(
+                    &format!("ring.vm{v}.{}.signals_suppressed", q.name),
+                    now,
+                    q.device.signals_suppressed as f64,
                 );
             }
         }
@@ -2638,21 +2713,42 @@ impl Testbed {
         }
     }
 
+    /// Aggregated virtqueue operation counters across every VM's queues —
+    /// the notification-economics surface (kicks, signals, suppression)
+    /// that ring-layout ablations compare.
+    pub fn ring_ops(&self) -> vrio_virtio::RingOps {
+        let mut ops = vrio_virtio::RingOps::default();
+        for vm in &self.vms {
+            ops.add(&vm.ring_ops());
+        }
+        ops
+    }
+
     /// Folds the run's Table 3 event counters, reliability counters, and
     /// per-ring operation counts into a metrics registry.
     pub fn record_metrics(&self, m: &mut vrio_trace::MetricsRegistry) {
         self.counters.record(m);
         self.reliability_report().record(m);
-        let mut ops = vrio_virtio::RingOps::default();
-        for vm in &self.vms {
-            ops.add(&vm.ring_ops());
-        }
+        let ops = self.ring_ops();
         m.counter_add("rings.chains_published", ops.chains_published);
         m.counter_add("rings.used_reaped", ops.used_reaped);
         m.counter_add("rings.driver_kicks", ops.driver_kicks);
         m.counter_add("rings.chains_popped", ops.chains_popped);
         m.counter_add("rings.used_pushed", ops.used_pushed);
         m.counter_add("rings.driver_signals", ops.driver_signals);
+        m.counter_add("rings.kicks_suppressed", ops.kicks_suppressed);
+        m.counter_add("rings.signals_suppressed", ops.signals_suppressed);
+        let (mut to_poll, mut to_intr, mut polled, mut doorbells) = (0u64, 0u64, 0u64, 0u64);
+        for wp in &self.worker_poll {
+            to_poll += wp.to_polling;
+            to_intr += wp.to_interrupt;
+            polled += wp.polled_arrivals;
+            doorbells += wp.doorbells;
+        }
+        m.counter_add("poll.to_polling", to_poll);
+        m.counter_add("poll.to_interrupt", to_intr);
+        m.counter_add("poll.polled_arrivals", polled);
+        m.counter_add("poll.doorbells", doorbells);
     }
 }
 

@@ -1,0 +1,168 @@
+//! Property tests for the adaptive worker-poll state machine: mode
+//! transitions are a deterministic function of event times, a larger poll
+//! budget never increases the doorbell count, and exporting the poll mode
+//! through telemetry is observe-only (bit-identical outcomes on/off).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use vrio::{
+    net_request_response, AdaptivePollConfig, PollMode, Testbed, TestbedConfig, WorkerPoll,
+};
+use vrio_hv::IoModel;
+use vrio_sim::{Engine, SimDuration, SimTime};
+use vrio_trace::TelemetryConfig;
+
+/// Replays a gap-encoded arrival schedule through one worker, returning
+/// `(doorbells, to_polling, to_interrupt, polled_arrivals)`.
+fn replay(gaps: &[u64], window_ns: u64) -> (u64, u64, u64, u64) {
+    let mut p = WorkerPoll::new(AdaptivePollConfig::windowed(SimDuration::nanos(window_ns)));
+    let mut now = 0u64;
+    for &g in gaps {
+        now += g;
+        p.on_arrival(SimTime::from_nanos(now));
+    }
+    (p.doorbells, p.to_polling, p.to_interrupt, p.polled_arrivals)
+}
+
+proptest! {
+    /// The state machine is pure: the same schedule under the same window
+    /// yields the same transition and doorbell counts, replay after replay.
+    #[test]
+    fn transitions_are_deterministic_per_schedule(
+        gaps in proptest::collection::vec(0u64..200_000, 1..200),
+        window in 1u64..100_000,
+    ) {
+        prop_assert_eq!(replay(&gaps, window), replay(&gaps, window));
+    }
+
+    /// Arrival conservation: every arrival either rings a doorbell or is
+    /// absorbed while polling, and each doorbell is an interrupt→polling
+    /// transition.
+    #[test]
+    fn every_arrival_is_doorbell_or_polled(
+        gaps in proptest::collection::vec(0u64..200_000, 1..200),
+        window in 1u64..100_000,
+    ) {
+        let (doorbells, to_polling, _, polled) = replay(&gaps, window);
+        prop_assert_eq!(doorbells + polled, gaps.len() as u64);
+        prop_assert_eq!(doorbells, to_polling);
+    }
+
+    /// Poll-budget monotonicity: a larger window never increases the
+    /// doorbell count (the set of idle gaps exceeding the window can only
+    /// shrink), and even the smallest window never beats the disabled
+    /// worker, which rings on every arrival.
+    #[test]
+    fn larger_budget_never_increases_doorbells(
+        gaps in proptest::collection::vec(0u64..200_000, 1..200),
+        window in 1u64..100_000,
+        extra in 0u64..200_000,
+    ) {
+        let (small, ..) = replay(&gaps, window);
+        let (large, ..) = replay(&gaps, window + extra);
+        prop_assert!(
+            large <= small,
+            "window {window} rang {small} but window {} rang {large}",
+            window + extra
+        );
+        let mut off = WorkerPoll::new(AdaptivePollConfig::disabled());
+        let mut now = 0u64;
+        for &g in &gaps {
+            now += g;
+            prop_assert!(off.on_arrival(SimTime::from_nanos(now)));
+        }
+        prop_assert_eq!(off.doorbells, gaps.len() as u64);
+        prop_assert!(small <= off.doorbells);
+        prop_assert_eq!(off.mode(), PollMode::Interrupt);
+    }
+}
+
+/// Runs `rounds` chained request-responses on each of two vRIO VMs and
+/// returns every completion latency plus the Table-3 and poll counters.
+/// When `telemetry` is set the run also samples the full telemetry surface
+/// (including the per-worker poll-mode gauges) at every completion.
+fn run_workload(telemetry: bool, seed: u64, rounds: usize) -> (Vec<u64>, u64, (u64, u64, u64)) {
+    let mut cfg = TestbedConfig::simple(IoModel::Vrio, 2)
+        .with_seed(seed)
+        .with_adaptive_poll(AdaptivePollConfig::windowed(SimDuration::micros(20)));
+    if telemetry {
+        cfg = cfg.with_telemetry(TelemetryConfig::sampling(SimDuration::micros(100)));
+    }
+    let mut tb = Testbed::new(cfg);
+    let mut eng = Engine::new();
+    let latencies: Rc<RefCell<Vec<u64>>> = Rc::default();
+
+    fn issue(
+        tb: &mut Testbed,
+        eng: &mut Engine<Testbed>,
+        vm: usize,
+        left: usize,
+        telemetry: bool,
+        latencies: Rc<RefCell<Vec<u64>>>,
+    ) {
+        net_request_response(
+            tb,
+            eng,
+            vm,
+            Bytes::from_static(b"poll-props"),
+            64,
+            SimDuration::micros(7),
+            move |tb, eng, o| {
+                latencies.borrow_mut().push(o.latency.as_nanos());
+                if telemetry {
+                    tb.sample_telemetry(eng.now());
+                }
+                if left > 0 {
+                    issue(tb, eng, vm, left - 1, telemetry, latencies);
+                }
+            },
+        );
+    }
+    for vm in 0..2 {
+        issue(&mut tb, &mut eng, vm, rounds, telemetry, latencies.clone());
+    }
+    eng.run(&mut tb);
+
+    let (mut doorbells, mut polled, mut transitions) = (0, 0, 0);
+    for wp in &tb.worker_poll {
+        doorbells += wp.doorbells;
+        polled += wp.polled_arrivals;
+        transitions += wp.to_polling + wp.to_interrupt;
+    }
+    let mut lats = latencies.borrow().clone();
+    lats.sort_unstable();
+    (lats, tb.counters.sum(), (doorbells, polled, transitions))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// End to end: the adaptive-poll counters are a deterministic function
+    /// of the seed, and sampling the poll-mode gauges through telemetry
+    /// changes neither the latencies nor any counter.
+    #[test]
+    fn workload_deterministic_and_telemetry_observe_only(seed in 1u64..1_000) {
+        let base = run_workload(false, seed, 20);
+        let again = run_workload(false, seed, 20);
+        prop_assert_eq!(&base, &again, "same seed must replay bit-identically");
+        let sampled = run_workload(true, seed, 20);
+        prop_assert_eq!(&base, &sampled, "telemetry must be observe-only");
+    }
+}
+
+#[test]
+fn adaptive_poll_batches_doorbells_under_load() {
+    let (_, _, (doorbells, polled, _)) = run_workload(false, 1, 200);
+    assert!(
+        polled > 0,
+        "a back-to-back request stream must absorb arrivals while polling"
+    );
+    assert!(
+        doorbells < polled,
+        "under sustained load most arrivals should be absorbed: \
+         {doorbells} doorbells vs {polled} polled"
+    );
+}

@@ -107,6 +107,18 @@ diff "$DET/tm1/TELEM_sweep_smoke.json" "$DET/tm4/TELEM_sweep_smoke.json" \
     || { echo "FAIL: TELEM_sweep_smoke.json differs between --threads 1 and --threads 4"; exit 1; }
 cargo run --release -q -p vrio-bench --bin checkjson -- \
     "$DET/tm4/TELEM_sweep_smoke.json" --telem
+echo "==> ring gate: layouts are invisible above the ring"
+# Table 3 regenerated on packed rings must be byte-identical to the split
+# table (DESIGN.md §13: feature negotiation may change notification
+# economics only), and the full differential grid must be conformant.
+cargo run --release -q -p vrio-bench --bin repro -- \
+    --quick --tab3 --out "$DET/rsplit" > /dev/null
+cargo run --release -q -p vrio-bench --bin repro -- \
+    --quick --tab3 --ring packed --out "$DET/rpacked" > /dev/null
+diff "$DET/rsplit/tab3.txt" "$DET/rpacked/tab3.txt" \
+    || { echo "FAIL: tab3 differs between --ring split and --ring packed"; exit 1; }
+cargo run --release -q -p vrio-bench --bin repro -- \
+    --quick --rings --differential > /dev/null
 rm -rf "$DET"
 
 echo "==> cargo doc --no-deps (warnings denied)"
