@@ -25,15 +25,47 @@
 //!   `BENCH_perf` document that `checkbench --perf` gates against
 //!   `benches/BENCH_perf_seed.json`.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::Instant;
 
 use criterion::{black_box, Criterion, Throughput};
 use vrio_bench::{run_sweep, ReproConfig, SweepSpec};
-use vrio_sim::{Engine, SimDuration, SimTime};
+use vrio_sim::{Dispatch, Engine, SimDuration, SimTime};
 use vrio_trace::Json;
 
-/// Schema version of the `BENCH_perf` document.
-const PERF_SCHEMA_VERSION: u64 = 1;
+/// Schema version of the `BENCH_perf` document. v2 added the typed-event
+/// engine shapes and the allocation counters.
+const PERF_SCHEMA_VERSION: u64 = 2;
+
+/// Counting allocator: every heap allocation (and growth) bumps a relaxed
+/// counter. This is how the perf harness proves the typed-event engine's
+/// steady-state churn is allocation-free — the counter around a warmed run
+/// must not move. Lives in the bench target (its own crate root) because
+/// the `vrio-bench` library forbids unsafe code.
+struct CountingAlloc;
+
+/// Heap allocations observed since process start (alloc + realloc).
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 /// Delay distribution shaping one benchmark schedule.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -96,6 +128,27 @@ fn event(w: &mut World, eng: &mut Engine<World>) {
     }
 }
 
+/// The same self-replenishing schedule as a typed event: stored by value in
+/// the queue's recycled slot vectors, so steady-state churn performs zero
+/// heap allocations (asserted by the perf harness via [`ALLOCS`]).
+enum Ev {
+    /// The replenishing churn event (mirror of [`event`]).
+    Tick,
+    /// A parked cascade-background event: fires once, schedules nothing.
+    Background,
+}
+
+impl Dispatch<World> for Ev {
+    fn dispatch(self, w: &mut World, eng: &mut Engine<World, Ev>) {
+        w.fired += 1;
+        if matches!(self, Ev::Tick) && w.remaining > 0 {
+            w.remaining -= 1;
+            let d = w.delay();
+            eng.schedule_event_in(SimDuration::nanos(d), Ev::Tick);
+        }
+    }
+}
+
 /// Runs one schedule to exhaustion; returns events fired (== `total`).
 fn run_schedule(use_heap: bool, dist: Dist, total: u64) -> u64 {
     let mut eng = if use_heap {
@@ -137,6 +190,108 @@ fn run_schedule(use_heap: bool, dist: Dist, total: u64) -> u64 {
     w.fired
 }
 
+/// Seeds a typed-event engine with the same schedule (same SplitMix64
+/// stream, same delays, same live-set sizing) as [`run_schedule`]. Delays
+/// are scheduled relative to the engine's current time so a warmed engine
+/// can be reseeded for steady-state measurement.
+fn seed_typed(eng: &mut Engine<World, Ev>, w: &mut World, total: u64) {
+    match w.dist {
+        Dist::Cascade => {
+            let background = 4096.min(total / 2);
+            for _ in 0..background {
+                let d = 10_000_000 + w.next_u64() % 10_000_000;
+                eng.schedule_event_in(SimDuration::nanos(d), Ev::Background);
+            }
+            w.remaining = total - background - 1;
+            eng.schedule_event_now(Ev::Tick);
+        }
+        _ => {
+            let live = 32_768.min(total / 2).max(1);
+            w.remaining = total - live;
+            for _ in 0..live {
+                let d = w.delay();
+                eng.schedule_event_in(SimDuration::nanos(d), Ev::Tick);
+            }
+        }
+    }
+}
+
+/// [`run_schedule`] on the typed-event engine: same schedule, no boxing.
+fn run_schedule_typed(use_heap: bool, dist: Dist, total: u64) -> u64 {
+    let mut eng: Engine<World, Ev> = if use_heap {
+        Engine::with_reference_heap()
+    } else {
+        Engine::new()
+    };
+    let mut w = World {
+        state: 0x5EED ^ total,
+        remaining: 0,
+        fired: 0,
+        dist,
+    };
+    seed_typed(&mut eng, &mut w, total);
+    eng.run(&mut w);
+    assert_eq!(w.fired, total);
+    w.fired
+}
+
+/// The timing wheel's full span: 4 levels × 256 slots at 1 ns granularity.
+const WHEEL_SPAN_NS: u64 = 1 << 32;
+
+/// Allocations per fired event in a steady-state churn run, for both
+/// engines. One full pass warms the queue (slot vectors grow to their
+/// working capacity); the clock is then advanced to a multiple of the
+/// wheel's span, so an identical pass — same RNG stream, so the same
+/// delays and live set — files every event into exactly the slots the warm
+/// pass already grew, and is measured on the warm engine.
+fn churn_allocs_per_event(typed: bool, total: u64) -> f64 {
+    let mut w = World {
+        state: 0x5EED ^ total,
+        remaining: 0,
+        fired: 0,
+        dist: Dist::Uniform,
+    };
+    let allocs = if typed {
+        let mut eng: Engine<World, Ev> = Engine::new();
+        seed_typed(&mut eng, &mut w, total);
+        eng.run(&mut w);
+        let aligned = eng.now().as_nanos().div_ceil(WHEEL_SPAN_NS) * WHEEL_SPAN_NS;
+        eng.schedule_event_at(SimTime::from_nanos(aligned), Ev::Background);
+        eng.run(&mut w);
+        w.state = 0x5EED ^ total;
+        w.fired = 0;
+        seed_typed(&mut eng, &mut w, total);
+        let before = ALLOCS.load(Relaxed);
+        eng.run(&mut w);
+        ALLOCS.load(Relaxed) - before
+    } else {
+        let mut eng: Engine<World> = Engine::new();
+        let seed_boxed = |eng: &mut Engine<World>, w: &mut World| {
+            let live = 32_768.min(total / 2).max(1);
+            w.remaining = total - live;
+            for _ in 0..live {
+                let d = w.delay();
+                eng.schedule_in(SimDuration::nanos(d), event);
+            }
+        };
+        seed_boxed(&mut eng, &mut w);
+        eng.run(&mut w);
+        let aligned = eng.now().as_nanos().div_ceil(WHEEL_SPAN_NS) * WHEEL_SPAN_NS;
+        eng.schedule_at(SimTime::from_nanos(aligned), |w: &mut World, _| {
+            w.fired += 1;
+        });
+        eng.run(&mut w);
+        w.state = 0x5EED ^ total;
+        w.fired = 0;
+        seed_boxed(&mut eng, &mut w);
+        let before = ALLOCS.load(Relaxed);
+        eng.run(&mut w);
+        ALLOCS.load(Relaxed) - before
+    };
+    assert_eq!(w.fired, total);
+    allocs as f64 / total as f64
+}
+
 const SHAPES: [(&str, Dist); 3] = [
     ("churn", Dist::Uniform),
     ("cascade", Dist::Cascade),
@@ -156,6 +311,9 @@ fn criterion_mode(total: u64) {
                 b.iter(|| black_box(run_schedule(use_heap, dist, total)));
             });
         }
+        g.bench_function(format!("{shape}_{}k_typed", total / 1000), |b| {
+            b.iter(|| black_box(run_schedule_typed(false, dist, total)));
+        });
     }
     g.finish();
 }
@@ -163,14 +321,14 @@ fn criterion_mode(total: u64) {
 /// Steady-state events/sec: one warm-up run, then timed runs until at least
 /// 3 repetitions and ~0.3 s of measurement; the best rate is reported
 /// (minimum-noise estimator, standard for throughput benches).
-fn measure_events_per_sec(use_heap: bool, dist: Dist, total: u64) -> f64 {
-    run_schedule(use_heap, dist, total);
+fn measure_events_per_sec(run: impl Fn() -> u64, total: u64) -> f64 {
+    run();
     let mut best = 0.0f64;
     let mut spent = 0.0f64;
     let mut reps = 0u32;
     while reps < 3 || spent < 0.3 {
         let t = Instant::now();
-        run_schedule(use_heap, dist, total);
+        run();
         let secs = t.elapsed().as_secs_f64();
         best = best.max(total as f64 / secs);
         spent += secs;
@@ -188,10 +346,13 @@ fn perf_mode(quick: bool, out: &str) {
     let mut metrics: Vec<(String, f64)> = Vec::new();
     for (shape, dist) in SHAPES {
         for (variant, use_heap) in VARIANTS {
-            let rate = measure_events_per_sec(use_heap, dist, total);
+            let rate = measure_events_per_sec(|| run_schedule(use_heap, dist, total), total);
             eprintln!("perf {shape:>8}/{variant}: {:>12.0} events/sec", rate);
             metrics.push((format!("{shape}_{variant}_events_per_sec"), rate));
         }
+        let rate = measure_events_per_sec(|| run_schedule_typed(false, dist, total), total);
+        eprintln!("perf {shape:>8}/typed: {:>12.0} events/sec", rate);
+        metrics.push((format!("{shape}_typed_events_per_sec"), rate));
     }
     let find = |name: &str| {
         metrics
@@ -202,15 +363,32 @@ fn perf_mode(quick: bool, out: &str) {
     };
     let speedup = find("churn_wheel_events_per_sec") / find("churn_heap_events_per_sec");
     eprintln!("perf churn speedup (wheel/heap): {speedup:.2}x");
+    let typed_speedup = find("mixed_typed_events_per_sec") / find("mixed_wheel_events_per_sec");
+    eprintln!("perf mixed typed speedup (typed/boxed): {typed_speedup:.2}x");
+
+    // Allocation discipline: a warmed typed-event churn run must not touch
+    // the heap at all — the queue's slot vectors are the recycled arena.
+    let typed_allocs = churn_allocs_per_event(true, total);
+    let boxed_allocs = churn_allocs_per_event(false, total);
+    eprintln!("perf churn allocs/event: typed {typed_allocs:.4}, boxed {boxed_allocs:.4}");
+    assert_eq!(
+        typed_allocs, 0.0,
+        "typed-event steady-state churn allocated on the heap"
+    );
 
     // End-to-end anchor: the smoke sweep, single-threaded, quick config —
     // the same work `repro --quick --sweep smoke --threads 1` does.
     let spec = SweepSpec::smoke(ReproConfig::quick());
     let t = Instant::now();
+    let allocs_before = ALLOCS.load(Relaxed);
     let result = run_sweep(&spec, 1, false).expect("smoke sweep runs");
+    let sweep_allocs = ALLOCS.load(Relaxed) - allocs_before;
     let sweep_ms = t.elapsed().as_secs_f64() * 1e3;
+    let sweep_requests: u64 = result.results.iter().map(|r| r.completed).sum();
+    let allocs_per_request = sweep_allocs as f64 / sweep_requests.max(1) as f64;
     eprintln!(
-        "perf sweep smoke: {} scenarios in {sweep_ms:.0} ms",
+        "perf sweep smoke: {} scenarios in {sweep_ms:.0} ms \
+         ({allocs_per_request:.1} allocs/request over {sweep_requests} requests)",
         result.results.len()
     );
 
@@ -225,6 +403,10 @@ fn perf_mode(quick: bool, out: &str) {
         .map(|(k, v)| (k.as_str(), Json::Num(*v)))
         .collect();
     metric_fields.push(("churn_speedup", Json::Num(speedup)));
+    metric_fields.push(("mixed_typed_speedup", Json::Num(typed_speedup)));
+    metric_fields.push(("churn_typed_allocs_per_event", Json::Num(typed_allocs)));
+    metric_fields.push(("churn_boxed_allocs_per_event", Json::Num(boxed_allocs)));
+    metric_fields.push(("sweep_allocs_per_request", Json::Num(allocs_per_request)));
     metric_fields.push(("sweep_smoke_wall_ms", Json::Num(sweep_ms)));
     fields.push(("metrics", Json::obj(metric_fields)));
     let doc = Json::obj(fields);

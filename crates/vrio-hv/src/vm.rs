@@ -142,6 +142,10 @@ pub struct VirtioNetDevice {
     pub tx_count: u64,
     /// Messages delivered to the guest.
     pub rx_count: u64,
+    /// Scratch chain + buffers recycled across back-end fetch/deliver calls
+    /// (struct-of-arrays hot path: steady state allocates nothing).
+    scratch_chain: DescChain,
+    scratch_buf: Vec<u8>,
 }
 
 impl VirtioNetDevice {
@@ -165,6 +169,8 @@ impl VirtioNetDevice {
                 rx_slot_of_head: HashMap::new(),
                 tx_count: 0,
                 rx_count: 0,
+                scratch_chain: DescChain::default(),
+                scratch_buf: Vec::new(),
             },
             end,
         )
@@ -488,12 +494,14 @@ impl Vm {
 
     /// Back-end fetches one transmitted message: `(head, hdr, payload)`.
     pub fn net_fetch_tx(&mut self) -> Result<Option<(u16, NetHdr, Bytes)>, DeviceError> {
-        let Some(chain) = self.net.tx_dev.pop_avail(&self.mem)? else {
+        let chain = &mut self.net.scratch_chain;
+        if !self.net.tx_dev.pop_avail_into(&self.mem, chain)? {
             self.net.tx_dev.arm(&mut self.mem)?;
             return Ok(None);
-        };
-        let bytes = chain.copy_readable(&self.mem)?;
-        let hdr = NetHdr::decode(&bytes).unwrap_or_default();
+        }
+        chain.copy_readable_into(&self.mem, &mut self.net.scratch_buf)?;
+        let bytes = &self.net.scratch_buf;
+        let hdr = NetHdr::decode(bytes).unwrap_or_default();
         let payload = Bytes::copy_from_slice(&bytes[NET_HDR_SIZE.min(bytes.len())..]);
         Ok(Some((chain.head, hdr, payload)))
     }
@@ -507,14 +515,16 @@ impl Vm {
 
     /// Back-end delivers a received packet into a posted rx buffer.
     pub fn net_deliver_rx(&mut self, payload: &[u8]) -> Result<(), DeviceError> {
-        let Some(chain) = self.net.rx_dev.pop_avail(&self.mem)? else {
+        let chain = &mut self.net.scratch_chain;
+        if !self.net.rx_dev.pop_avail_into(&self.mem, chain)? {
             self.net.rx_dev.arm(&mut self.mem)?;
             return Err(DeviceError::RxStarved);
-        };
-        let mut buf = Vec::with_capacity(NET_HDR_SIZE + payload.len());
+        }
+        let buf = &mut self.net.scratch_buf;
+        buf.clear();
         buf.extend_from_slice(&NetHdr::plain().encode());
         buf.extend_from_slice(payload);
-        let written = chain.write_writable(&mut self.mem, &buf)?;
+        let written = chain.write_writable(&mut self.mem, buf)?;
         self.net
             .rx_dev
             .push_used(&mut self.mem, chain.head, written)?;

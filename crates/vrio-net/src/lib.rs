@@ -44,6 +44,7 @@ mod frame;
 mod link;
 mod mac;
 mod nic;
+mod pool;
 mod skb;
 mod tso;
 
@@ -57,8 +58,9 @@ pub use nic::{
     Coalescer, NicMode, NicPort, NicStats, PacketRing, RxOutcome, SriovNic, VfId, RX_RING_DEFAULT,
     RX_RING_LARGE,
 };
+pub use pool::{PoolError, SkbPool};
 pub use skb::{Frag, Skb, SkbError, MAX_SKB_FRAGS, PAGE_SIZE};
 pub use tso::{
-    fragment_count, internet_checksum, segment_message, FakeTcpHdr, Reassembler, Segment, TsoError,
-    FAKE_TCP_HDR_SIZE, MAX_TSO_MSG,
+    fragment_count, internet_checksum, reassemble_train, segment_message, segment_message_into,
+    FakeTcpHdr, Reassembler, Segment, TsoError, FAKE_TCP_HDR_SIZE, MAX_TSO_MSG,
 };

@@ -138,6 +138,27 @@ impl Skb {
         }
     }
 
+    /// An empty SKB built over recycled storage from an
+    /// [`SkbPool`](crate::SkbPool): the vectors keep their capacity, so no
+    /// allocation happens until the SKB outgrows what its predecessors
+    /// used.
+    pub(crate) fn from_recycled(headroom: usize, mut buf: Vec<u8>, mut frags: Vec<Frag>) -> Self {
+        buf.clear();
+        buf.resize(headroom, 0);
+        frags.clear();
+        Skb {
+            headroom,
+            buf,
+            frags,
+            bytes_copied: 0,
+        }
+    }
+
+    /// Tears the SKB down to its two backing vectors (for pool recycling).
+    pub(crate) fn into_storage(self) -> (Vec<u8>, Vec<Frag>) {
+        (self.buf, self.frags)
+    }
+
     /// An SKB wrapping existing payload with no copy (the pointer-assignment
     /// path the block front-end uses when lending its I/O buffer, §4.4).
     pub fn from_borrowed(payload: Bytes) -> Self {

@@ -226,6 +226,22 @@ impl From<SkbError> for TsoError {
 /// assert_eq!(pages, 17);
 /// ```
 pub fn segment_message(msg: Bytes, mtu: usize, msg_id: u32) -> Result<Vec<Segment>, TsoError> {
+    let mut segs = Vec::with_capacity(msg.len().div_ceil(mtu.max(1)));
+    segment_message_into(msg, mtu, msg_id, &mut segs)?;
+    Ok(segs)
+}
+
+/// [`segment_message`] into a caller-provided scratch vector, which is
+/// cleared first and keeps its capacity across calls — the zero-allocation
+/// path for emitting a whole TSO segment train from one scheduled event
+/// (pair with [`reassemble_train`]).
+pub fn segment_message_into(
+    msg: Bytes,
+    mtu: usize,
+    msg_id: u32,
+    segs: &mut Vec<Segment>,
+) -> Result<(), TsoError> {
+    segs.clear();
     if msg.is_empty() {
         return Err(TsoError::EmptyMessage);
     }
@@ -234,7 +250,6 @@ pub fn segment_message(msg: Bytes, mtu: usize, msg_id: u32) -> Result<Vec<Segmen
     }
     assert!(mtu > 0, "MTU must be nonzero");
     let total_len = msg.len() as u32;
-    let mut segs = Vec::with_capacity(msg.len().div_ceil(mtu));
     let mut offset = 0usize;
     while offset < msg.len() {
         let take = (msg.len() - offset).min(mtu);
@@ -248,7 +263,52 @@ pub fn segment_message(msg: Bytes, mtu: usize, msg_id: u32) -> Result<Vec<Segmen
         });
         offset += take;
     }
-    Ok(segs)
+    Ok(())
+}
+
+/// Reassembles a complete in-order segment train — the batch produced by
+/// [`segment_message_into`] and delivered by one scheduled event — into a
+/// zero-copy SKB drawn from `pool`. The scratch vector is drained (its
+/// capacity survives for the next train).
+///
+/// This is the fast path next to [`Reassembler::offer`]: because the whole
+/// train arrives at once there is no partial-message state to keep, so it
+/// skips the per-message `HashMap` entry and chunk-list allocation the
+/// incremental path pays. The train must be self-consistent — one
+/// `msg_id`, contiguous offsets from zero, totalling `total_len` — or
+/// [`TsoError::InconsistentFragment`] is returned.
+pub fn reassemble_train(
+    segs: &mut Vec<Segment>,
+    pool: &mut crate::SkbPool,
+) -> Result<Skb, TsoError> {
+    let Some(first) = segs.first() else {
+        return Err(TsoError::EmptyMessage);
+    };
+    let (msg_id, total_len) = (first.hdr.msg_id, first.hdr.total_len);
+    let mut expected_offset = 0u32;
+    for seg in segs.iter() {
+        if seg.hdr.msg_id != msg_id
+            || seg.hdr.total_len != total_len
+            || seg.hdr.offset != expected_offset
+        {
+            return Err(TsoError::InconsistentFragment);
+        }
+        expected_offset += seg.chunk.len() as u32;
+    }
+    if expected_offset != total_len {
+        return Err(TsoError::InconsistentFragment);
+    }
+    let mut skb = pool.acquire(0);
+    for seg in segs.drain(..) {
+        let pages = seg.pages();
+        if let Err(e) = skb.add_frag_spanning(seg.chunk, pages) {
+            // Hand the storage back before reporting: a malformed train
+            // must not leak pool accounting.
+            let _ = pool.release(skb);
+            return Err(e.into());
+        }
+    }
+    Ok(skb)
 }
 
 /// Number of fragments a message of `len` bytes produces at `mtu`.
@@ -591,5 +651,67 @@ mod tests {
         assert_eq!(fragment_count(8100, 8100), 1);
         assert_eq!(fragment_count(8101, 8100), 2);
         assert_eq!(fragment_count(1, 1500), 1);
+    }
+
+    #[test]
+    fn train_roundtrip_matches_incremental_reassembly() {
+        let msg = Bytes::from((0..50_000u32).map(|i| i as u8).collect::<Vec<_>>());
+        let mut pool = crate::SkbPool::new();
+        let mut scratch = Vec::new();
+
+        // Batched path: segment into the scratch, reassemble the whole
+        // train in one call.
+        segment_message_into(msg.clone(), 8100, 3, &mut scratch).unwrap();
+        let skb = reassemble_train(&mut scratch, &mut pool).unwrap();
+        assert!(scratch.is_empty());
+        assert_eq!(skb.bytes_copied(), 0);
+        assert!(skb.eq_contents(&msg));
+
+        // Incremental path for comparison.
+        let mut r = Reassembler::new();
+        let mut done = None;
+        for seg in segment_message(msg.clone(), 8100, 3).unwrap() {
+            if let Some(s) = r.offer(0, seg).unwrap() {
+                done = Some(s);
+            }
+        }
+        let inc = done.unwrap();
+        assert_eq!(inc.frag_slots(), skb.frag_slots());
+        assert!(inc.eq_contents(&msg));
+
+        // Returning the SKB and re-running the train recycles all storage.
+        pool.release(skb).unwrap();
+        segment_message_into(msg.clone(), 8100, 4, &mut scratch).unwrap();
+        let skb2 = reassemble_train(&mut scratch, &mut pool).unwrap();
+        assert_eq!(pool.recycled(), 1);
+        assert!(skb2.eq_contents(&msg));
+        pool.release(skb2).unwrap();
+        pool.leak_check().unwrap();
+    }
+
+    #[test]
+    fn train_rejects_inconsistent_and_leaks_nothing() {
+        let msg = Bytes::from(vec![1u8; 20_000]);
+        let mut pool = crate::SkbPool::new();
+        let mut segs = Vec::new();
+        segment_message_into(msg.clone(), 8100, 9, &mut segs).unwrap();
+        segs.swap(0, 1); // out of order: the batched path demands in-order trains
+        assert_eq!(
+            reassemble_train(&mut segs, &mut pool).unwrap_err(),
+            TsoError::InconsistentFragment
+        );
+        segs.clear();
+        assert_eq!(
+            reassemble_train(&mut segs, &mut pool).unwrap_err(),
+            TsoError::EmptyMessage
+        );
+        // A truncated train (missing tail) is inconsistent too.
+        segment_message_into(msg, 8100, 9, &mut segs).unwrap();
+        segs.pop();
+        assert_eq!(
+            reassemble_train(&mut segs, &mut pool).unwrap_err(),
+            TsoError::InconsistentFragment
+        );
+        pool.leak_check().unwrap();
     }
 }

@@ -1,43 +1,95 @@
 //! The discrete-event simulation engine.
 //!
-//! [`Engine<W>`] owns a priority queue of scheduled events over a
-//! user-supplied world type `W`. Events are `FnOnce(&mut W, &mut Engine<W>)`
-//! closures; firing an event may mutate the world and schedule further
-//! events. Ties in firing time are broken by scheduling order (FIFO), which
-//! together with the deterministic RNG makes every run bit-for-bit
-//! reproducible.
+//! [`Engine<W, E>`] owns a priority queue of scheduled events over a
+//! user-supplied world type `W`. The event payload type `E` implements
+//! [`Dispatch<W>`]; firing an event may mutate the world and schedule
+//! further events. Ties in firing time are broken by scheduling order
+//! (FIFO), which together with the deterministic RNG makes every run
+//! bit-for-bit reproducible.
+//!
+//! Two event representations share the one engine:
+//!
+//! - **Closure events** (the default, `E = `[`BoxedEvent<W>`]): each
+//!   `schedule_at` boxes a `FnOnce` — one heap allocation per scheduled
+//!   event. Maximally flexible; this is what the testbed flows use.
+//! - **Typed events**: instantiate `Engine<W, E>` with a plain `enum`
+//!   implementing [`Dispatch<W>`] and schedule with
+//!   [`Engine::schedule_event_at`]. Events are stored *by value* inside
+//!   the queue's slot vectors, which retain their capacity across pops and
+//!   so act as a free-list-recycled arena: steady-state scheduling
+//!   performs **zero heap allocations per event** (asserted by the
+//!   counting-allocator perf harness in `vrio-bench`). A `Send`-able
+//!   event enum is also the prerequisite for sharding the simulation
+//!   across threads (ROADMAP item 1) — `Box<dyn FnOnce>` closures are
+//!   neither `Send` nor serializable across shard boundaries.
+//!
+//! Both representations fire in identical `(time, seq)` order; the
+//! differential proptest in this crate's test suite replays arbitrary
+//! event programs on a typed-enum engine against the closure
+//! [`ReferenceHeap`] engine and demands identical firing order and world
+//! digests.
 //!
 //! The queue is a hierarchical [`TimingWheel`] (O(1) schedule and pop, with
 //! a fast lane for same-instant bursts); the previous `BinaryHeap`
 //! scheduler survives as [`ReferenceHeap`], selectable via
 //! [`Engine::with_reference_heap`] for differential testing and as the
 //! benchmark baseline. Both fire in identical `(time, seq)` order.
+//!
+//! The observe-only probe ([`Engine::set_probe`]) stays a
+//! `Box<dyn FnMut(SimTime)>` regardless of `E`: it is invoked in
+//! [`Engine::step`] *after* the event is popped out of the arena and
+//! *before* it dispatches, so it never touches event storage and cannot
+//! perturb recycling — enabling it is bit-identical on every model.
+
+use std::marker::PhantomData;
 
 use crate::profiler::Profiler;
 use crate::time::{SimDuration, SimTime};
 use crate::wheel::{ReferenceHeap, TimingWheel};
 
-/// A scheduled event callback.
+/// A scheduled closure-event callback (the payload of [`BoxedEvent`]).
 pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
 
-/// The engine's event queue: the timing wheel in production, the reference
-/// heap when explicitly requested (differential tests, benchmarks).
-enum Queue<W> {
-    Wheel(TimingWheel<EventFn<W>>),
-    Heap(ReferenceHeap<EventFn<W>>),
+/// How an event payload fires. Implemented by [`BoxedEvent`] (closure
+/// dispatch) and by user-defined typed event enums; the world interprets
+/// the event, so a typed `E` needs no per-event heap state.
+pub trait Dispatch<W>: Sized {
+    /// Consumes the event, mutating the world and possibly scheduling
+    /// further events.
+    fn dispatch(self, world: &mut W, eng: &mut Engine<W, Self>);
 }
 
-impl<W> Queue<W> {
+/// The default event payload: a boxed `FnOnce` closure. (A newtype —
+/// a recursive `type` alias cannot name itself in its own definition.)
+pub struct BoxedEvent<W>(pub EventFn<W>);
+
+impl<W> Dispatch<W> for BoxedEvent<W> {
     #[inline]
-    fn push(&mut self, at: u64, seq: u64, f: EventFn<W>) {
+    fn dispatch(self, world: &mut W, eng: &mut Engine<W>) {
+        (self.0)(world, eng)
+    }
+}
+
+/// The engine's event queue: the timing wheel in production, the reference
+/// heap when explicitly requested (differential tests, benchmarks). The
+/// payload is stored by value; the wheel's slot vectors double as the
+/// event arena for typed payloads.
+enum Queue<E> {
+    Wheel(TimingWheel<E>),
+    Heap(ReferenceHeap<E>),
+}
+
+impl<E> Queue<E> {
+    #[inline]
+    fn push(&mut self, at: u64, seq: u64, ev: E) {
         match self {
-            Queue::Wheel(q) => q.push(at, seq, f),
-            Queue::Heap(q) => q.push(at, seq, f),
+            Queue::Wheel(q) => q.push(at, seq, ev),
+            Queue::Heap(q) => q.push(at, seq, ev),
         }
     }
 
     #[inline]
-    fn pop(&mut self) -> Option<(u64, EventFn<W>)> {
+    fn pop(&mut self) -> Option<(u64, E)> {
         match self {
             Queue::Wheel(q) => q.pop(),
             Queue::Heap(q) => q.pop(),
@@ -61,9 +113,12 @@ impl<W> Queue<W> {
     }
 }
 
-/// A deterministic discrete-event simulator over a world type `W`.
+/// A deterministic discrete-event simulator over a world type `W` and an
+/// event payload type `E` (default: boxed closures).
 ///
 /// # Examples
+///
+/// Closure events (the default instantiation):
 ///
 /// ```
 /// use vrio_sim::{Engine, SimDuration, SimTime};
@@ -81,26 +136,53 @@ impl<W> Queue<W> {
 /// assert_eq!(world.pings, 2);
 /// assert_eq!(engine.now(), SimTime::from_nanos(10_000));
 /// ```
-pub struct Engine<W> {
+///
+/// Typed events — no allocation per schedule, `Send`-able payloads:
+///
+/// ```
+/// use vrio_sim::{Dispatch, Engine, SimDuration};
+///
+/// enum Ev { Ping, Pong }
+/// impl Dispatch<u32> for Ev {
+///     fn dispatch(self, w: &mut u32, eng: &mut Engine<u32, Ev>) {
+///         *w += 1;
+///         if matches!(self, Ev::Ping) {
+///             eng.schedule_event_in(SimDuration::micros(1), Ev::Pong);
+///         }
+///     }
+/// }
+/// let mut hits = 0u32;
+/// let mut eng: Engine<u32, Ev> = Engine::new();
+/// eng.schedule_event_in(SimDuration::micros(1), Ev::Ping);
+/// eng.run(&mut hits);
+/// assert_eq!(hits, 2);
+/// ```
+pub struct Engine<W, E: Dispatch<W> = BoxedEvent<W>> {
     now: SimTime,
     seq: u64,
     fired: u64,
-    queue: Queue<W>,
+    queue: Queue<E>,
     /// Observe-only hook fired once per event (see [`Engine::set_probe`]).
+    /// Deliberately a boxed closure even on typed-event engines: it runs
+    /// outside the event arena path (between pop and dispatch) and is
+    /// installed O(1) times per run, so boxing it costs nothing on the hot
+    /// path and keeps the hook maximally flexible.
     probe: Option<Box<dyn FnMut(SimTime)>>,
     /// Wall-clock self-profiler; `None` unless an enabled handle was
     /// installed (see [`Engine::set_profiler`]), so the hot path pays one
     /// branch when profiling is off.
     profiler: Option<Profiler>,
+    /// `W` appears only in the `Dispatch` bound, not in any field.
+    _world: PhantomData<fn(&mut W)>,
 }
 
-impl<W> Default for Engine<W> {
+impl<W, E: Dispatch<W>> Default for Engine<W, E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<W> Engine<W> {
+impl<W, E: Dispatch<W>> Engine<W, E> {
     /// Creates an empty engine at `t = 0`, scheduled by the timing wheel.
     pub fn new() -> Self {
         Engine {
@@ -110,6 +192,7 @@ impl<W> Engine<W> {
             queue: Queue::Wheel(TimingWheel::new()),
             probe: None,
             profiler: None,
+            _world: PhantomData,
         }
     }
 
@@ -124,6 +207,7 @@ impl<W> Engine<W> {
             queue: Queue::Heap(ReferenceHeap::new()),
             probe: None,
             profiler: None,
+            _world: PhantomData,
         }
     }
 
@@ -170,15 +254,13 @@ impl<W> Engine<W> {
         self.queue.len()
     }
 
-    /// Schedules `f` to fire at absolute time `at`.
+    /// Schedules a typed event to fire at absolute time `at`, stored by
+    /// value in the queue (no heap allocation).
     ///
     /// Scheduling in the past is a logic error; the event is clamped to fire
     /// at the current time (still after all already-pending events at that
     /// time), and a debug assertion trips in test builds.
-    pub fn schedule_at<F>(&mut self, at: SimTime, f: F)
-    where
-        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
-    {
+    pub fn schedule_event_at(&mut self, at: SimTime, ev: E) {
         debug_assert!(
             at >= self.now,
             "scheduled event in the past: {at} < {}",
@@ -189,27 +271,21 @@ impl<W> Engine<W> {
         self.seq += 1;
         if let Some(prof) = &self.profiler {
             let _g = prof.scope("engine.push");
-            self.queue.push(at.as_nanos(), seq, Box::new(f));
+            self.queue.push(at.as_nanos(), seq, ev);
         } else {
-            self.queue.push(at.as_nanos(), seq, Box::new(f));
+            self.queue.push(at.as_nanos(), seq, ev);
         }
     }
 
-    /// Schedules `f` to fire `delay` after the current time.
-    pub fn schedule_in<F>(&mut self, delay: SimDuration, f: F)
-    where
-        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
-    {
-        self.schedule_at(self.now + delay, f);
+    /// Schedules a typed event to fire `delay` after the current time.
+    pub fn schedule_event_in(&mut self, delay: SimDuration, ev: E) {
+        self.schedule_event_at(self.now + delay, ev);
     }
 
-    /// Schedules `f` to fire immediately after all events already pending at
-    /// the current time.
-    pub fn schedule_now<F>(&mut self, f: F)
-    where
-        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
-    {
-        self.schedule_at(self.now, f);
+    /// Schedules a typed event to fire immediately after all events already
+    /// pending at the current time.
+    pub fn schedule_event_now(&mut self, ev: E) {
+        self.schedule_event_at(self.now, ev);
     }
 
     /// Fires the next pending event, advancing time to its deadline.
@@ -220,7 +296,7 @@ impl<W> Engine<W> {
             return self.step_profiled(world);
         }
         match self.queue.pop() {
-            Some((at, f)) => {
+            Some((at, ev)) => {
                 let at = SimTime::from_nanos(at);
                 debug_assert!(at >= self.now);
                 self.now = at;
@@ -228,7 +304,7 @@ impl<W> Engine<W> {
                 if let Some(probe) = &mut self.probe {
                     probe(at);
                 }
-                f(world, self);
+                ev.dispatch(world, self);
                 true
             }
             None => false,
@@ -248,7 +324,7 @@ impl<W> Engine<W> {
             self.queue.pop()
         };
         match popped {
-            Some((at, f)) => {
+            Some((at, ev)) => {
                 let at = SimTime::from_nanos(at);
                 debug_assert!(at >= self.now);
                 self.now = at;
@@ -258,7 +334,7 @@ impl<W> Engine<W> {
                     probe(at);
                 }
                 let _g = prof.scope("engine.callback");
-                f(world, self);
+                ev.dispatch(world, self);
                 true
             }
             None => false,
@@ -294,6 +370,38 @@ impl<W> Engine<W> {
         F: FnMut(&W) -> bool,
     {
         while cond(world) && self.step(world) {}
+    }
+}
+
+/// Closure scheduling — only on the default (boxed-closure) instantiation.
+impl<W> Engine<W> {
+    /// Schedules `f` to fire at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error; the event is clamped to fire
+    /// at the current time (still after all already-pending events at that
+    /// time), and a debug assertion trips in test builds.
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F)
+    where
+        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+    {
+        self.schedule_event_at(at, BoxedEvent(Box::new(f)));
+    }
+
+    /// Schedules `f` to fire `delay` after the current time.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, f: F)
+    where
+        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+    {
+        self.schedule_at(self.now + delay, f);
+    }
+
+    /// Schedules `f` to fire immediately after all events already pending at
+    /// the current time.
+    pub fn schedule_now<F>(&mut self, f: F)
+    where
+        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+    {
+        self.schedule_at(self.now, f);
     }
 }
 
@@ -448,5 +556,69 @@ mod tests {
         assert_eq!(n, 1);
         eng.run_for(&mut n, SimDuration::nanos(300));
         assert_eq!(n, 2);
+    }
+
+    /// Typed events fire interchangeably with closure events: same
+    /// (time, seq) order, same world effects, on both queue backends.
+    #[test]
+    fn typed_events_match_closure_engine() {
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        enum Ev {
+            Push(u32),
+            Chain { left: u32, step: u64 },
+        }
+        impl Dispatch<Vec<u32>> for Ev {
+            fn dispatch(self, w: &mut Vec<u32>, eng: &mut Engine<Vec<u32>, Ev>) {
+                match self {
+                    Ev::Push(v) => w.push(v),
+                    Ev::Chain { left, step } => {
+                        w.push(left);
+                        if left > 0 {
+                            eng.schedule_event_in(
+                                SimDuration::nanos(step),
+                                Ev::Chain {
+                                    left: left - 1,
+                                    step,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // The typed enum is Send — the property sharded DES will rely on.
+        fn assert_send<T: Send>() {}
+        assert_send::<Ev>();
+
+        fn typed(mut eng: Engine<Vec<u32>, Ev>) -> (Vec<u32>, SimTime, u64) {
+            let mut w = Vec::new();
+            eng.schedule_event_at(SimTime::from_nanos(50), Ev::Push(7));
+            eng.schedule_event_at(SimTime::from_nanos(10), Ev::Chain { left: 3, step: 25 });
+            eng.schedule_event_at(SimTime::from_nanos(50), Ev::Push(8));
+            eng.run(&mut w);
+            (w, eng.now(), eng.events_fired())
+        }
+        fn closures() -> (Vec<u32>, SimTime, u64) {
+            let mut w = Vec::new();
+            let mut eng: Engine<Vec<u32>> = Engine::new();
+            fn chain(w: &mut Vec<u32>, eng: &mut Engine<Vec<u32>>, left: u32, step: u64) {
+                w.push(left);
+                if left > 0 {
+                    eng.schedule_in(SimDuration::nanos(step), move |w: &mut Vec<u32>, eng| {
+                        chain(w, eng, left - 1, step);
+                    });
+                }
+            }
+            eng.schedule_at(SimTime::from_nanos(50), |w, _| w.push(7));
+            eng.schedule_at(SimTime::from_nanos(10), |w, eng| chain(w, eng, 3, 25));
+            eng.schedule_at(SimTime::from_nanos(50), |w, _| w.push(8));
+            eng.run(&mut w);
+            (w, eng.now(), eng.events_fired())
+        }
+        let wheel = typed(Engine::new());
+        let heap = typed(Engine::with_reference_heap());
+        let boxed = closures();
+        assert_eq!(wheel, boxed);
+        assert_eq!(heap, boxed);
     }
 }

@@ -22,8 +22,6 @@
 //! arithmetic decide notifications identically for both layouts — which is
 //! exactly what the split↔packed differential harness wants to compare.
 
-use std::collections::HashMap;
-
 use crate::mem::{GuestAddr, GuestMemory};
 use crate::ring::{
     vring_need_event, DescChain, QueueError, RingOps, UsedElem, DESC_F_INDIRECT, DESC_F_NEXT,
@@ -228,6 +226,9 @@ pub struct PackedDriverQueue {
     reap_seq: u16,
     last_kick_seq: u16,
     ops: RingOps,
+    /// Recycled scratch for chain assembly: allocation-free after the
+    /// first `add_chain`.
+    scratch: Vec<(u64, u32, u16)>,
 }
 
 impl PackedDriverQueue {
@@ -248,6 +249,7 @@ impl PackedDriverQueue {
             reap_seq: 0,
             last_kick_seq: 0,
             ops: RingOps::default(),
+            scratch: Vec::new(),
         }
     }
 
@@ -339,12 +341,17 @@ impl PackedDriverQueue {
         writable: &[(GuestAddr, u32)],
     ) -> Result<u16, QueueError> {
         let id = self.alloc(readable.len() + writable.len())?;
-        let descs: Vec<(u64, u32, u16)> = readable
-            .iter()
-            .map(|&(a, l)| (a.0, l, 0u16))
-            .chain(writable.iter().map(|&(a, l)| (a.0, l, DESC_F_WRITE)))
-            .collect();
-        self.publish(mem, id, &descs)?;
+        let mut descs = std::mem::take(&mut self.scratch);
+        descs.clear();
+        descs.extend(
+            readable
+                .iter()
+                .map(|&(a, l)| (a.0, l, 0u16))
+                .chain(writable.iter().map(|&(a, l)| (a.0, l, DESC_F_WRITE))),
+        );
+        let published = self.publish(mem, id, &descs);
+        self.scratch = descs;
+        published?;
         Ok(id)
     }
 
@@ -455,9 +462,12 @@ pub struct PackedDeviceQueue {
     avail_wrap: bool,
     used_pos: u16,
     used_wrap: bool,
-    /// Ring slots each in-flight buffer ID occupies, recorded at pop so
-    /// out-of-order completions advance the used position correctly.
-    desc_count: HashMap<u16, u16>,
+    /// Ring slots each in-flight buffer ID occupies (0 = not in flight),
+    /// recorded at pop so out-of-order completions advance the used
+    /// position correctly. A parallel array indexed by buffer ID — the
+    /// struct-of-arrays layout replaces the former `HashMap` (hashing plus
+    /// per-entry churn) with one linear slot per ID.
+    desc_count: Vec<u16>,
     /// Chains popped, mod 2^16 (published as the kick threshold).
     pop_seq: u16,
     /// Chains completed, mod 2^16 (the DESC-mode interrupt sequence space).
@@ -475,7 +485,7 @@ impl PackedDeviceQueue {
             avail_wrap: true,
             used_pos: 0,
             used_wrap: true,
-            desc_count: HashMap::new(),
+            desc_count: vec![0; usize::from(layout.size)],
             pop_seq: 0,
             push_seq: 0,
             last_signal_seq: 0,
@@ -502,15 +512,30 @@ impl PackedDeviceQueue {
     /// Pops the next available descriptor chain, if any. `DescChain::head`
     /// carries the chain's buffer ID.
     pub fn pop_avail(&mut self, mem: &GuestMemory) -> Result<Option<DescChain>, QueueError> {
-        let first = read_pdesc(mem, &self.layout, self.avail_pos)?;
-        if !is_avail(first.flags, self.avail_wrap) {
-            return Ok(None);
-        }
         let mut chain = DescChain {
             head: 0,
             readable: Vec::new(),
             writable: Vec::new(),
         };
+        Ok(self.pop_avail_into(mem, &mut chain)?.then_some(chain))
+    }
+
+    /// [`PackedDeviceQueue::pop_avail`] into a caller-provided chain whose
+    /// buffer lists are cleared and refilled in place (capacity survives
+    /// across requests — the zero-allocation worker path). Returns `false`
+    /// when the driver has published nothing new.
+    pub fn pop_avail_into(
+        &mut self,
+        mem: &GuestMemory,
+        chain: &mut DescChain,
+    ) -> Result<bool, QueueError> {
+        chain.head = 0;
+        chain.readable.clear();
+        chain.writable.clear();
+        let first = read_pdesc(mem, &self.layout, self.avail_pos)?;
+        if !is_avail(first.flags, self.avail_wrap) {
+            return Ok(false);
+        }
         let mut pos = self.avail_pos;
         let mut wrap = self.avail_wrap;
         let mut count = 0u16;
@@ -533,7 +558,7 @@ impl PackedDeviceQueue {
                         "indirect descriptor inside a chain".into(),
                     ));
                 }
-                self.expand_indirect(mem, GuestAddr(d.addr), d.len, &mut chain)?;
+                self.expand_indirect(mem, GuestAddr(d.addr), d.len, chain)?;
             } else {
                 let buf = (GuestAddr(d.addr), d.len);
                 if d.flags & DESC_F_WRITE != 0 {
@@ -558,17 +583,18 @@ impl PackedDeviceQueue {
         if id >= self.layout.size {
             return Err(QueueError::BadChain(format!("buffer id {id} out of range")));
         }
-        if self.desc_count.insert(id, count).is_some() {
+        if self.desc_count[usize::from(id)] != 0 {
             return Err(QueueError::BadChain(format!(
                 "buffer id {id} already in flight"
             )));
         }
+        self.desc_count[usize::from(id)] = count;
         self.avail_pos = pos;
         self.avail_wrap = wrap;
         self.pop_seq = self.pop_seq.wrapping_add(1);
         self.ops.chains_popped += 1;
         chain.head = id;
-        Ok(Some(chain))
+        Ok(true)
     }
 
     /// Expands a packed-format indirect table: a plain array of `len / 16`
@@ -619,11 +645,13 @@ impl PackedDeviceQueue {
         id: u16,
         written: u32,
     ) -> Result<(), QueueError> {
-        let Some(n) = self.desc_count.remove(&id) else {
+        let n = self.desc_count.get(usize::from(id)).copied().unwrap_or(0);
+        if n == 0 {
             return Err(QueueError::BadChain(format!(
                 "completion for buffer id {id} not in flight"
             )));
-        };
+        }
+        self.desc_count[usize::from(id)] = 0;
         let used_flags = if self.used_wrap {
             PACKED_DESC_F_AVAIL | PACKED_DESC_F_USED
         } else {

@@ -460,6 +460,20 @@ impl DeviceRing {
         }
     }
 
+    /// [`DeviceRing::pop_avail`] into a caller-provided scratch chain
+    /// (cleared and refilled in place; capacity survives across requests).
+    /// Returns `false` when nothing new is available.
+    pub fn pop_avail_into(
+        &mut self,
+        mem: &GuestMemory,
+        chain: &mut DescChain,
+    ) -> Result<bool, QueueError> {
+        match &mut self.inner {
+            DeviceInner::Split(q) => q.pop_avail_into(mem, chain),
+            DeviceInner::Packed(q) => q.pop_avail_into(mem, chain),
+        }
+    }
+
     /// Publishes a completion for token `head` with `written` bytes.
     pub fn push_used(
         &mut self,

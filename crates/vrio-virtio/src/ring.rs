@@ -290,9 +290,23 @@ pub struct UsedElem {
 pub struct DriverQueue {
     layout: VirtqueueLayout,
     free: Vec<u16>,
+    /// Driver bookkeeping is struct-of-arrays, indexed by descriptor slot:
+    /// `chain_len[i]` and `chain_next[i]` are parallel arrays scanned
+    /// linearly on reap instead of pointer-chasing descriptor nodes in
+    /// guest memory. The guest-visible descriptor table is still written
+    /// in full — the device side interoperates through guest bytes alone —
+    /// but the driver never needs to read its own descriptors back.
+    ///
     /// Number of descriptors in the chain headed by each index (0 if not a
     /// live head); used to return descriptors to the free list on reap.
     chain_len: Vec<u16>,
+    /// Shadow of each allocated descriptor's `next` link (only meaningful
+    /// for slots inside a live chain), so reaping frees a chain with pure
+    /// array reads.
+    chain_next: Vec<u16>,
+    /// Recycled scratch for chain assembly: allocation-free after the
+    /// first `add_chain`.
+    scratch: Vec<u16>,
     avail_idx: u16,
     last_used_idx: u16,
     /// The avail index as of the driver's last device notification
@@ -313,6 +327,8 @@ impl DriverQueue {
             layout,
             free: (0..layout.size).rev().collect(),
             chain_len: vec![0; usize::from(layout.size)],
+            chain_next: vec![0; usize::from(layout.size)],
+            scratch: Vec::new(),
             avail_idx: 0,
             last_used_idx: 0,
             last_notified_avail: 0,
@@ -366,9 +382,9 @@ impl DriverQueue {
                 free: self.free.len(),
             });
         }
-        let indices: Vec<u16> = (0..needed)
-            .map(|_| self.free.pop().expect("checked free count"))
-            .collect();
+        let mut indices = std::mem::take(&mut self.scratch);
+        indices.clear();
+        indices.extend((0..needed).map(|_| self.free.pop().expect("checked free count")));
         let bufs = readable
             .iter()
             .map(|&(a, l)| (a, l, 0u16))
@@ -377,6 +393,7 @@ impl DriverQueue {
             let is_last = i == needed - 1;
             let flags = wflag | if is_last { 0 } else { DESC_F_NEXT };
             let next = if is_last { 0 } else { indices[i + 1] };
+            self.chain_next[usize::from(indices[i])] = next;
             write_desc(
                 mem,
                 &self.layout,
@@ -390,6 +407,7 @@ impl DriverQueue {
             )?;
         }
         let head = indices[0];
+        self.scratch = indices;
         self.chain_len[usize::from(head)] = needed as u16;
         self.pinned += needed as u16;
         // Publish: ring slot first, then the index increment (the write
@@ -502,7 +520,10 @@ impl DriverQueue {
         let head = mem.read_u32_le(a)? as u16;
         let written = mem.read_u32_le(a.offset(4))?;
         self.last_used_idx = self.last_used_idx.wrapping_add(1);
-        // Walk the chain to return descriptors to the free list.
+        // Return the chain's descriptors to the free list by scanning the
+        // driver's own shadow links — pure array reads, no guest-memory
+        // descriptor walk (the device cannot have rewritten what the
+        // driver published; the shadow is authoritative on this side).
         let n = std::mem::replace(&mut self.chain_len[usize::from(head)], 0);
         if n == 0 {
             return Err(QueueError::BadChain(format!(
@@ -513,7 +534,7 @@ impl DriverQueue {
         for i in 0..n {
             self.free.push(cur);
             if i + 1 < n {
-                cur = read_desc(mem, &self.layout, cur)?.next;
+                cur = self.chain_next[usize::from(cur)];
             }
         }
         self.pinned -= n;
@@ -523,7 +544,7 @@ impl DriverQueue {
 }
 
 /// A descriptor chain as seen by the device side.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DescChain {
     /// Head descriptor index (the completion token).
     pub head: u16,
@@ -547,10 +568,22 @@ impl DescChain {
     /// Copies all readable bytes out of guest memory, in order.
     pub fn copy_readable(&self, mem: &GuestMemory) -> Result<Vec<u8>, QueueError> {
         let mut out = Vec::with_capacity(self.readable_len() as usize);
+        self.copy_readable_into(mem, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`DescChain::copy_readable`] into a caller-provided scratch buffer
+    /// (cleared first; capacity survives across calls).
+    pub fn copy_readable_into(
+        &self,
+        mem: &GuestMemory,
+        out: &mut Vec<u8>,
+    ) -> Result<(), QueueError> {
+        out.clear();
         for &(addr, len) in &self.readable {
             out.extend_from_slice(mem.read(addr, u64::from(len))?);
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Scatters `data` into the writable buffers, in order. Returns the
@@ -675,9 +708,31 @@ impl DeviceQueue {
 
     /// Pops the next available descriptor chain, if any.
     pub fn pop_avail(&mut self, mem: &GuestMemory) -> Result<Option<DescChain>, QueueError> {
+        let mut chain = DescChain {
+            head: 0,
+            readable: Vec::new(),
+            writable: Vec::new(),
+        };
+        Ok(self.pop_avail_into(mem, &mut chain)?.then_some(chain))
+    }
+
+    /// [`DeviceQueue::pop_avail`] into a caller-provided chain, whose
+    /// buffer lists are cleared and refilled in place — their capacity
+    /// survives across requests, so a worker reusing one scratch
+    /// [`DescChain`] pops chains with zero steady-state allocations.
+    /// Returns `false` (leaving the scratch cleared) when the driver has
+    /// published nothing new.
+    pub fn pop_avail_into(
+        &mut self,
+        mem: &GuestMemory,
+        chain: &mut DescChain,
+    ) -> Result<bool, QueueError> {
+        chain.head = 0;
+        chain.readable.clear();
+        chain.writable.clear();
         let driver_idx = mem.read_u16_le(self.layout.avail_idx_addr())?;
         if driver_idx == self.last_avail_idx {
-            return Ok(None);
+            return Ok(false);
         }
         let slot = self.last_avail_idx % self.layout.size;
         let head = mem.read_u16_le(self.layout.avail_ring_addr(slot))?;
@@ -688,11 +743,7 @@ impl DeviceQueue {
         }
         self.last_avail_idx = self.last_avail_idx.wrapping_add(1);
 
-        let mut chain = DescChain {
-            head,
-            readable: Vec::new(),
-            writable: Vec::new(),
-        };
+        chain.head = head;
         let mut cur = head;
         let mut seen = 0u16;
         loop {
@@ -714,7 +765,7 @@ impl DeviceQueue {
                         "indirect descriptor combines NEXT or WRITE".into(),
                     ));
                 }
-                expand_indirect_table(mem, GuestAddr(d.addr), d.len, &mut chain)?;
+                expand_indirect_table(mem, GuestAddr(d.addr), d.len, chain)?;
                 break;
             }
             let buf = (GuestAddr(d.addr), d.len);
@@ -740,7 +791,7 @@ impl DeviceQueue {
             cur = d.next;
         }
         self.ops.chains_popped += 1;
-        Ok(Some(chain))
+        Ok(true)
     }
 
     /// With `EVENT_IDX` negotiated: whether the device must interrupt the

@@ -371,6 +371,7 @@ pub fn run_filebench_with(
     eng.run(&mut world);
     world.tb.export_thread_tracks();
     world.tb.oracle.finish();
+    world.tb.oracle.audit_pool("skb pool", &world.tb.skb_pool);
 
     let horizon = deadline;
     let window = SimDuration::millis(1);

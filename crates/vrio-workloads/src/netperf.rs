@@ -152,6 +152,7 @@ pub fn netperf_rr_sized(config: TestbedConfig, duration: SimDuration, resp_len: 
     eng.run(&mut world);
     world.tb.export_thread_tracks();
     world.tb.oracle.finish();
+    world.tb.oracle.audit_pool("skb pool", &world.tb.skb_pool);
 
     let mean = world.hist.mean();
     RrResult {
@@ -308,6 +309,7 @@ pub fn netperf_stream_sized(
     });
     eng.run(&mut world);
     world.tb.oracle.finish();
+    world.tb.oracle.audit_pool("skb pool", &world.tb.skb_pool);
 
     let bits = world.delivered_msgs * msg_bytes * 8;
     let gbps = bits as f64 / duration.as_secs_f64() / 1e9;

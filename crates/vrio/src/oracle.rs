@@ -516,6 +516,25 @@ impl Oracle {
         );
     }
 
+    /// End-of-run SKB pool audit: every buffer acquired from the pool must
+    /// have been returned. A leaked SKB means payload bytes left the
+    /// conservation books while still alive — recorded under the
+    /// byte-conservation invariant. Call alongside [`Oracle::finish`].
+    pub fn audit_pool(&self, what: &'static str, pool: &vrio_net::SkbPool) {
+        let Some(inner) = &self.inner else { return };
+        let mut i = inner.borrow_mut();
+        i.checks += 1;
+        if let Err(e) = pool.leak_check() {
+            i.violate(
+                "byte-conservation",
+                format!(
+                    "{what}: {e} — payload bytes are still held by an skb that never \
+                     returned to the pool"
+                ),
+            );
+        }
+    }
+
     // ---- per-device FIFO steering -----------------------------------------
 
     /// Records a steering decision: `device`'s next request was assigned
@@ -957,6 +976,38 @@ mod tests {
             "{}",
             v[0].message
         );
+    }
+
+    #[test]
+    fn seeded_leaked_skb_fires_byte_conservation() {
+        let o = on();
+        let mut pool = vrio_net::SkbPool::new();
+        let kept = pool.acquire(0);
+        let _leaked = pool.acquire(0);
+        pool.release(kept).unwrap();
+        o.audit_pool("skb pool", &pool);
+        let v = o.violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].invariant, "byte-conservation");
+        assert!(
+            v[0].message
+                .contains("1 skb(s) acquired but never returned"),
+            "{}",
+            v[0].message
+        );
+        assert!(
+            v[0].message.contains("never returned to the pool"),
+            "{}",
+            v[0].message
+        );
+
+        // A balanced pool is clean.
+        let o = on();
+        let mut pool = vrio_net::SkbPool::new();
+        let skb = pool.acquire(0);
+        pool.release(skb).unwrap();
+        o.audit_pool("skb pool", &pool);
+        assert!(o.is_clean(), "{:?}", o.violations());
     }
 
     #[test]

@@ -12,14 +12,17 @@
 //! FIFO charges; no queueing formula is baked in anywhere.
 
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use bytes::Bytes;
 use vrio_block::{BlockKind, BlockRequest, DeviceProfile, Ramdisk};
 use vrio_hv::ReliabilityCounters;
 use vrio_hv::{CostModel, EventCounters, IoModel, Vm, VmId};
-use vrio_net::{segment_message, FaultConfig, FaultInjector, Reassembler, MTU_VRIO_JUMBO};
+use vrio_net::{
+    reassemble_train, segment_message_into, FaultConfig, FaultInjector, Reassembler, Segment,
+    SkbPool, MTU_VRIO_JUMBO,
+};
 use vrio_sim::{BusyTracker, Engine, Profiler, SimDuration, SimRng, SimTime};
 use vrio_trace::{
     DropCause, SloLedger, SpanId, Stage, Telemetry, TelemetryConfig, TraceConfig, Tracer,
@@ -159,15 +162,26 @@ pub fn run_steps<W: HasTestbed>(
 ) {
     loop {
         let Some(step) = steps.pop_front() else {
+            w.tb().recycle_steps(steps);
             done(w, eng);
             return;
         };
         match step {
             Step::Fixed(d) => {
-                if d.is_zero() {
+                // Coalesce a run of consecutive fixed delays into one
+                // scheduled event. Pure latencies have no observable effect
+                // in between (no resource state, no counters, no rng), so
+                // summing them is exact: the flow resumes at the same
+                // instant, it just skips the intermediate no-op wakeups.
+                let mut total = d;
+                while let Some(Step::Fixed(next)) = steps.front() {
+                    total += *next;
+                    steps.pop_front();
+                }
+                if total.is_zero() {
                     continue;
                 }
-                eng.schedule_in(d, move |w: &mut W, eng| run_steps(w, eng, steps, done));
+                eng.schedule_in(total, move |w: &mut W, eng| run_steps(w, eng, steps, done));
                 return;
             }
             Step::Charge(core, work) => {
@@ -195,7 +209,10 @@ pub fn run_steps<W: HasTestbed>(
             Step::Gate(f) => {
                 let now = eng.now();
                 if !f(w.tb(), now) {
-                    return; // flow aborted (frame dropped)
+                    // Flow aborted (frame dropped): the unfired steps are
+                    // discarded but the queue storage is still recycled.
+                    w.tb().recycle_steps(steps);
+                    return;
                 }
             }
             Step::Pickup(b) => {
@@ -631,6 +648,19 @@ pub struct Testbed {
     next_msg_id: u32,
     /// Reassembler at the IOhost (exercised on large messages).
     pub reassembler: Reassembler,
+    /// Pool recycling SKB buffers and fragment lists across requests
+    /// (steady state: zero allocations per reassembled train).
+    pub skb_pool: SkbPool,
+    /// Scratch segment train reused by the blk TSO hot path.
+    tso_scratch: Vec<Segment>,
+    /// Memoized response payloads keyed by length: `Bytes` clones are
+    /// refcounted, so per-request responses allocate nothing in steady
+    /// state (the fill is a fixed 0x5A pattern, identical every request).
+    resp_cache: HashMap<usize, Bytes>,
+    /// Recycled step-queue storage: flows return their drained
+    /// [`VecDeque`] here instead of dropping it, so compiling the next
+    /// flow reuses warm capacity.
+    step_pool: Vec<VecDeque<Step>>,
     /// Request-lifecycle tracer (inert unless the config enables it).
     pub trace: Tracer,
     /// The simulation oracle (inert unless the config enables it).
@@ -761,6 +791,10 @@ impl Testbed {
             channel_drops: 0,
             next_msg_id: 1,
             reassembler: Reassembler::new(),
+            skb_pool: SkbPool::new(),
+            tso_scratch: Vec::new(),
+            resp_cache: HashMap::new(),
+            step_pool: Vec::new(),
             trace,
             oracle,
             telemetry,
@@ -1055,6 +1089,29 @@ impl Testbed {
         vm_busy + be_busy
     }
 
+    /// A recycled (empty, warm-capacity) step queue for compiling a flow.
+    pub fn take_steps(&mut self) -> VecDeque<Step> {
+        self.step_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a flow's drained step-queue storage to the pool (capped so
+    /// a burst of aborted flows cannot hoard memory).
+    pub fn recycle_steps(&mut self, mut steps: VecDeque<Step>) {
+        if self.step_pool.len() < 64 {
+            steps.clear();
+            self.step_pool.push(steps);
+        }
+    }
+
+    /// The canonical `len`-byte 0x5A response payload, memoized so repeat
+    /// requests of the same size share one refcounted buffer.
+    fn resp_payload(&mut self, len: usize) -> Bytes {
+        self.resp_cache
+            .entry(len)
+            .or_insert_with(|| Bytes::from(vec![0x5Au8; len]))
+            .clone()
+    }
+
     fn fresh_msg_id(&mut self) -> u32 {
         let id = self.next_msg_id;
         self.next_msg_id = self.next_msg_id.wrapping_add(1).max(1);
@@ -1155,7 +1212,7 @@ pub fn net_request_response<W: HasTestbed>(
     // under Apache-style transactions, Fig 5/12).
     let packets = (resp_len.div_ceil(1448)).max(1) as u64;
 
-    let mut s: VecDeque<Step> = VecDeque::new();
+    let mut s: VecDeque<Step> = tb.take_steps();
 
     // 1. Generator sends the request.
     let gen_work = tb.jitter(costs.generator_stack) + tb.gen_extra(vm);
@@ -1379,7 +1436,7 @@ pub fn net_request_response<W: HasTestbed>(
     if tracing {
         s.push_back(Step::Mark(span, Stage::Kick));
     }
-    let resp_payload = Bytes::from(vec![0x5Au8; resp_len]);
+    let resp_payload = tb.resp_payload(resp_len);
     {
         let resp_payload = resp_payload.clone();
         s.push_back(Step::Do(Box::new(move |tb| {
@@ -1633,7 +1690,7 @@ fn fallback_request_response<W: HasTestbed>(
     tb.slo.offer(vm);
     let response_slot: Rc<RefCell<Bytes>> = Rc::new(RefCell::new(Bytes::new()));
     let packets = (resp_len.div_ceil(1448)).max(1) as u64;
-    let mut s: VecDeque<Step> = VecDeque::new();
+    let mut s: VecDeque<Step> = tb.take_steps();
 
     let gen_work = tb.jitter(costs.generator_stack) + tb.gen_extra(vm);
     s.push_back(Step::Charge(CoreRef::Gen(vm), gen_work));
@@ -1678,7 +1735,7 @@ fn fallback_request_response<W: HasTestbed>(
     if tracing {
         s.push_back(Step::Mark(span, Stage::Kick));
     }
-    let resp_payload = Bytes::from(vec![0x5Au8; resp_len]);
+    let resp_payload = tb.resp_payload(resp_len);
     {
         let resp_payload = resp_payload.clone();
         s.push_back(Step::Do(Box::new(move |tb| {
@@ -1789,7 +1846,7 @@ pub fn stream_batch<W: HasTestbed>(
         .begin("stream_batch", req_track(vm), Stage::GuestEnqueue, t0);
     let flow = tb.oracle.flow_begin("stream_batch", t0);
     tb.slo.offer(vm);
-    let mut s: VecDeque<Step> = VecDeque::new();
+    let mut s: VecDeque<Step> = tb.take_steps();
 
     // Guest produces the batch.
     let mut per_msg = costs.stream_guest_per_msg;
@@ -1951,7 +2008,7 @@ pub fn blk_request<W: HasTestbed>(
         }
         work
     };
-    let mut prologue: VecDeque<Step> = VecDeque::new();
+    let mut prologue: VecDeque<Step> = w.tb().take_steps();
     prologue.push_back(Step::ChargeVm(vm, submit_work));
 
     match model {
@@ -2019,7 +2076,7 @@ fn local_blk_backend<W: HasTestbed>(
     let costs = tb.config.costs.clone();
     let backend = tb.pick_backend_at(vm, 0); // local models: iohost unused
     let tracing = tb.trace.enabled() || tb.oracle.enabled();
-    let mut s: VecDeque<Step> = VecDeque::new();
+    let mut s: VecDeque<Step> = tb.take_steps();
     if tracing {
         s.push_back(Step::Mark(span, Stage::Backend));
     }
@@ -2192,7 +2249,7 @@ fn vrio_blk_attempt<W: HasTestbed>(
     let costs = tb.config.costs.clone();
     let host = tb.vm_host[vm];
     let tracing = tb.trace.enabled() || tb.oracle.enabled();
-    let mut s: VecDeque<Step> = VecDeque::new();
+    let mut s: VecDeque<Step> = tb.take_steps();
     if tracing {
         s.push_back(Step::Mark(span, Stage::Encap));
     }
@@ -2321,19 +2378,15 @@ fn vrio_blk_attempt<W: HasTestbed>(
             // fake-TCP TSO path and reassemble zero-copy at the worker.
             if enc.len() > MTU_VRIO_JUMBO {
                 let msg_id = tb.fresh_msg_id();
-                let segs = segment_message(enc.clone(), MTU_VRIO_JUMBO, msg_id)
+                // Batched train: the whole segment train is emitted into a
+                // recycled scratch vector and reassembled through the SKB
+                // pool in this one event — steady state allocates nothing.
+                let mut segs = std::mem::take(&mut tb.tso_scratch);
+                segment_message_into(enc.clone(), MTU_VRIO_JUMBO, msg_id, &mut segs)
                     .expect("block message within TSO bound");
-                let mut skb = None;
-                for seg in segs {
-                    if let Some(done) = tb
-                        .reassembler
-                        .offer(vm as u64, seg)
-                        .expect("consistent fragments")
-                    {
-                        skb = Some(done);
-                    }
-                }
-                let skb = skb.expect("all fragments offered");
+                let skb =
+                    reassemble_train(&mut segs, &mut tb.skb_pool).expect("consistent fragments");
+                tb.tso_scratch = segs;
                 assert_eq!(
                     skb.bytes_copied(),
                     0,
@@ -2341,6 +2394,9 @@ fn vrio_blk_attempt<W: HasTestbed>(
                 );
                 tb.oracle
                     .check_skb("blk tso segment->reassemble", &enc, &skb);
+                tb.skb_pool
+                    .release(skb)
+                    .expect("reassembled skb returns to the pool exactly once");
             }
             // Decode the request the worker actually received and execute.
             let msg = VrioMsg::decode(enc).expect("valid blk message");
